@@ -1,0 +1,193 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (one benchmark per experiment; see DESIGN.md's
+// experiment index). Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment runner at a reduced
+// scale suitable for timing; cmd/experiments produces the full reports.
+// Benchmarks log the experiment output once (b.N loop re-runs the
+// computation for timing).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/forum"
+	"repro/internal/lda"
+	"repro/internal/match"
+	"repro/internal/segment"
+)
+
+// benchOpt keeps per-iteration cost low enough for -bench runs while still
+// exercising the full pipelines.
+var benchOpt = experiments.Options{
+	Scale:             200,
+	Queries:           25,
+	Annotators:        6,
+	SegmentationPosts: 60,
+	Sizes:             []int{200, 600},
+	Table6Posts:       600,
+	Seed:              42,
+}
+
+func BenchmarkTable2UserAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out, _ := experiments.Table2(benchOpt); out == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkCMvsTermSegmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out, _ := experiments.CMvsTerm(benchOpt); out == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig8BorderSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out, _ := experiments.Fig8(benchOpt); out == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig9CoherenceFunctions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out, _ := experiments.Fig9(benchOpt); out == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable3Granularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out, _ := experiments.Table3(benchOpt); out == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable4MeanPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out, _ := experiments.Table4(benchOpt); out == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkFig11aSegmentation(b *testing.B) {
+	// Total segmentation time over a collection — the Fig 11(a) quantity,
+	// isolated: per-post Greedy border selection.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 300, Seed: 42})
+	docs := make([]*segment.Doc, len(posts))
+	for i, p := range posts {
+		docs[i] = segment.NewDoc(p.Text)
+	}
+	st := segment.Greedy{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Segment(docs[i%len(docs)])
+	}
+}
+
+func BenchmarkFig11bClustering(b *testing.B) {
+	// Segment grouping time — the Fig 11(b) quantity: the full MR build
+	// minus matching.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 300, Seed: 42})
+	docs := make([]*segment.Doc, len(posts))
+	for i, p := range posts {
+		docs[i] = segment.NewDoc(p.Text)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.NewMR("bench", docs, match.MRConfig{Seed: 42})
+	}
+}
+
+func BenchmarkFig11cRetrievalIntent(b *testing.B) {
+	benchRetrieval(b, core.IntentIntentMR)
+}
+
+func BenchmarkFig11cRetrievalFullText(b *testing.B) {
+	benchRetrieval(b, core.FullText)
+}
+
+func BenchmarkFig11cRetrievalLDA(b *testing.B) {
+	benchRetrieval(b, core.LDA)
+}
+
+// benchRetrieval measures the online top-k query path of a method — the
+// Fig 11(c) quantity.
+func benchRetrieval(b *testing.B, m core.Method) {
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 1000, Seed: 42})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	cfg := core.Config{Method: m, Seed: 42}
+	if m == core.LDA {
+		cfg.LDA = lda.Config{K: 8, Iterations: 20}
+	}
+	p, err := core.Build(texts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Related(i%len(texts), 5)
+	}
+}
+
+func BenchmarkTable6StackOverflowScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out, _ := experiments.Table6(benchOpt); out == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkPipelineBuild1k(b *testing.B) {
+	// End-to-end offline build at 1k posts — the unit the Fig 11 sweeps
+	// scale up.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 1000, Seed: 42})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(texts, core.Config{Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDBSCANvsKMeans(b *testing.B) {
+	// The grouping ablation DESIGN.md calls out: DBSCAN (paper) vs k-means
+	// (pipeline default) on the same prepared corpus.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 300, Seed: 42})
+	docs := make([]*segment.Doc, len(posts))
+	for i, p := range posts {
+		docs[i] = segment.NewDoc(p.Text)
+	}
+	b.Run("kmeans", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			match.NewMR("bench", docs, match.MRConfig{Grouper: match.GroupKMeans, Seed: 42})
+		}
+	})
+	b.Run("dbscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			match.NewMR("bench", docs, match.MRConfig{Grouper: match.GroupDBSCAN, Seed: 42})
+		}
+	})
+}

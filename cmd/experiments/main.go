@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic corpora.
+//
+// Usage:
+//
+//	experiments -exp table4                 # one experiment
+//	experiments -exp all -scale 1000        # everything, bigger corpora
+//	experiments -exp fig11 -sizes 1000,10000,100000
+//	experiments -exp table6 -table6 200000  # StackOverflow-scale run
+//
+// Experiment ids: table2 fig7 cmvsterm fig8 fig9 table3 fig3 table4 fig10
+// table5 fig11 table6 ablations all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run ("+strings.Join(experiments.Names(), ", ")+")")
+	scale := flag.Int("scale", 0, "per-domain corpus size for effectiveness experiments (default 300)")
+	queries := flag.Int("queries", 0, "reference posts evaluated per dataset (default 60)")
+	annotators := flag.Int("annotators", 0, "simulated annotator pool size (default 12)")
+	segPosts := flag.Int("segposts", 0, "posts in the segmentation study sample (default 200)")
+	sizes := flag.String("sizes", "", "comma-separated Fig 11 collection sizes (default 1000,10000,100000)")
+	table6 := flag.Int("table6", 0, "Table 6 collection size (default 20000; paper used 1.5M)")
+	seed := flag.Int64("seed", 0, "random seed (default 42)")
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:             *scale,
+		Queries:           *queries,
+		Annotators:        *annotators,
+		SegmentationPosts: *segPosts,
+		Table6Posts:       *table6,
+		Seed:              *seed,
+	}
+	if *sizes != "" {
+		for _, part := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad -sizes value %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			opt.Sizes = append(opt.Sizes, n)
+		}
+	}
+
+	out, err := experiments.Run(*exp, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Println(out)
+}

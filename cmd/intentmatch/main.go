@@ -1,0 +1,170 @@
+// Command intentmatch builds the intention-based retrieval pipeline over a
+// JSON-lines corpus (as produced by gencorpus, or any file with one
+// {"id":..,"text":..} object per line) and prints the top-k related posts
+// for one or more reference posts.
+//
+// Usage:
+//
+//	gencorpus -domain tech -n 500 | intentmatch -query 0 -k 5
+//	intentmatch -corpus corpus.jsonl -query 0,7,42 -k 5 -method fulltext
+//	intentmatch -corpus corpus.jsonl -save built.idx        # offline build
+//	intentmatch -load built.idx -query 0,7 -k 5             # online serving
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lda"
+)
+
+type record struct {
+	ID   int    `json:"id"`
+	Text string `json:"text"`
+}
+
+func main() {
+	corpus := flag.String("corpus", "-", "JSON-lines corpus file (default stdin)")
+	query := flag.String("query", "0", "comma-separated reference post ids")
+	k := flag.Int("k", 5, "number of related posts to return")
+	method := flag.String("method", "intent", "matching method: intent, fulltext, lda, content, sent")
+	seed := flag.Int64("seed", 1, "random seed")
+	save := flag.String("save", "", "write the built pipeline to this file and exit")
+	load := flag.String("load", "", "load a previously saved pipeline instead of building")
+	flag.Parse()
+
+	if *load != "" {
+		servePipeline(*load, *query, *k)
+		return
+	}
+
+	var in io.Reader = os.Stdin
+	if *corpus != "-" {
+		f, err := os.Open(*corpus)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var texts []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			fatal(fmt.Errorf("parsing corpus line %d: %w", len(texts)+1, err))
+		}
+		texts = append(texts, rec.Text)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(texts) == 0 {
+		fatal(fmt.Errorf("empty corpus"))
+	}
+
+	cfg := core.Config{Seed: *seed}
+	switch *method {
+	case "intent":
+		cfg.Method = core.IntentIntentMR
+	case "fulltext":
+		cfg.Method = core.FullText
+	case "lda":
+		cfg.Method = core.LDA
+		cfg.LDA = lda.Config{K: 8, Iterations: 60}
+	case "content":
+		cfg.Method = core.ContentMR
+	case "sent":
+		cfg.Method = core.SentIntentMR
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	p, err := core.Build(texts, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	st := p.Stats()
+	fmt.Printf("built %s over %d posts (%d segments, %d clusters)\n",
+		p.Method(), st.NumDocs, st.NumSegments, st.NumClusters)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := p.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved pipeline to %s (%d bytes)\n", *save, n)
+		return
+	}
+
+	for _, part := range strings.Split(*query, ",") {
+		q, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || q < 0 || q >= len(texts) {
+			fatal(fmt.Errorf("bad query id %q (corpus has %d posts)", part, len(texts)))
+		}
+		fmt.Printf("\nquery %d: %s\n", q, truncate(texts[q], 90))
+		for rank, r := range p.Related(q, *k) {
+			fmt.Printf("  %d. post %-5d score %.4f  %s\n", rank+1, r.DocID, r.Score, truncate(texts[r.DocID], 70))
+		}
+	}
+}
+
+// servePipeline answers queries from a previously saved pipeline. Saved
+// pipelines keep segment terms, not post texts, so results list ids and
+// scores only.
+func servePipeline(path, query string, k int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	p, err := core.ReadPipeline(bufio.NewReader(f))
+	if err != nil {
+		fatal(err)
+	}
+	st := p.Stats()
+	fmt.Printf("loaded %s: %d posts, %d clusters\n", p.Method(), st.NumDocs, st.NumClusters)
+	for _, part := range strings.Split(query, ",") {
+		q, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad query id %q", part))
+		}
+		fmt.Printf("query %d:\n", q)
+		for rank, r := range p.Related(q, k) {
+			fmt.Printf("  %d. post %-5d score %.4f\n", rank+1, r.DocID, r.Score)
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "intentmatch:", err)
+	os.Exit(1)
+}

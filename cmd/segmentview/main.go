@@ -1,0 +1,90 @@
+// Command segmentview shows how the pipeline sees one post: its sentence
+// units, the communication-means track of each sentence (the bar charts of
+// the paper's Fig 2), and the borders each segmentation strategy selects.
+//
+// Usage:
+//
+//	segmentview < post.txt
+//	echo "I have an HP system. ... " | segmentview
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cm"
+	"repro/internal/segment"
+)
+
+func main() {
+	raw, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "segmentview:", err)
+		os.Exit(1)
+	}
+	text := strings.TrimSpace(string(raw))
+	if text == "" {
+		fmt.Fprintln(os.Stderr, "segmentview: empty input; pipe a forum post on stdin")
+		os.Exit(2)
+	}
+	d := segment.NewDoc(text)
+	if d.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "segmentview: no sentences found")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%d sentence units\n\n", d.Len())
+	fmt.Println("CM tracks (dominant categorical value per communication mean):")
+	fmt.Printf("%-4s %-8s %-7s %-9s %-8s  %s\n", "#", "tense", "subj", "style", "status", "sentence")
+	for i := 0; i < d.Len(); i++ {
+		a := d.Range(i, i+1)
+		fmt.Printf("%-4d %-8s %-7s %-9s %-8s  %s\n", i,
+			dominant(a, cm.Tense), dominant(a, cm.Subject),
+			dominant(a, cm.Style), dominant(a, cm.Status),
+			truncate(d.Sents[i].Text, 60))
+	}
+
+	fmt.Println("\nSegmentations (borders are sentence indices):")
+	strategies := []segment.Strategy{
+		segment.Greedy{}, segment.Tile{}, segment.StepbyStep{},
+		segment.TopDown{}, segment.TextTiling{},
+	}
+	for _, st := range strategies {
+		seg := st.Segment(d)
+		fmt.Printf("  %-12s %v  (%d segments)\n", st.Name(), seg.Borders, seg.NumSegments())
+	}
+
+	fmt.Println("\nGreedy segments:")
+	for i, r := range (segment.Greedy{}).Segment(d).Segments() {
+		var parts []string
+		for s := r[0]; s < r[1]; s++ {
+			parts = append(parts, d.Sents[s].Text)
+		}
+		fmt.Printf("  [%d] %s\n", i, strings.Join(parts, " "))
+	}
+}
+
+// dominant names the most frequent categorical value of a mean in the
+// annotation, or "-" when the mean is absent.
+func dominant(a cm.Annotation, m cm.Mean) string {
+	lo, hi := cm.FeaturesOf(m)
+	best, bestCount := -1, 0.0
+	for f := lo; f < hi; f++ {
+		if a.Counts[f] > bestCount {
+			best, bestCount = f, a.Counts[f]
+		}
+	}
+	if best < 0 {
+		return "-"
+	}
+	return strings.ToLower(cm.Feature(best).String())
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

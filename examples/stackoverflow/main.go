@@ -1,0 +1,65 @@
+// Stackoverflow: the scaling scenario — build the pipeline over a larger
+// programming corpus, report where offline time goes (the paper's Table 6
+// quantities), and demonstrate that online retrieval stays in the
+// sub-millisecond range.
+//
+// Run with: go run ./examples/stackoverflow [-n 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forum"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "corpus size (the paper's StackOverflow dump had 1.5M root posts)")
+	flag.Parse()
+
+	fmt.Printf("generating %d programming posts...\n", *n)
+	posts := forum.Generate(forum.Config{Domain: forum.Programming, NumPosts: *n, Seed: 5})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+
+	start := time.Now()
+	pipeline, err := core.Build(texts, core.Config{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	st := pipeline.Stats()
+
+	fmt.Printf("offline build: %v total\n", buildTime.Round(time.Millisecond))
+	fmt.Printf("  preprocess    %v\n", st.Preprocess.Round(time.Millisecond))
+	fmt.Printf("  segmentation  %v  (%v avg per post)\n",
+		st.Segmentation.Round(time.Millisecond), (st.Segmentation / time.Duration(*n)).Round(time.Microsecond))
+	fmt.Printf("  grouping      %v  (%d segments → %d clusters)\n",
+		st.Grouping.Round(time.Millisecond), st.NumSegments, st.NumClusters)
+	fmt.Printf("  indexing      %v\n", st.Indexing.Round(time.Millisecond))
+
+	// Online phase: average retrieval latency over a query sample.
+	const queries = 200
+	start = time.Now()
+	found := 0
+	for q := 0; q < queries && q < *n; q++ {
+		if len(pipeline.Related(q, 5)) > 0 {
+			found++
+		}
+	}
+	avg := time.Since(start) / time.Duration(min(queries, *n))
+	fmt.Printf("online: avg retrieval %v per query (%d/%d queries returned results)\n",
+		avg.Round(time.Microsecond), found, min(queries, *n))
+
+	// One concrete retrieval.
+	res := pipeline.Related(0, 3)
+	fmt.Printf("\nposts related to post 0 (%.60s...):\n", texts[0])
+	for rank, r := range res {
+		fmt.Printf("  %d. post %-5d score %.3f  %.60s...\n", rank+1, r.DocID, r.Score, texts[r.DocID])
+	}
+}

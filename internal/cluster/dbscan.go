@@ -1,0 +1,217 @@
+// Package cluster implements the segment-grouping step of Sec 6: density
+// clustering of segment weight vectors into intention clusters. DBSCAN is
+// the paper's choice (no a-priori cluster count, arbitrary shapes, noise);
+// k-means is provided for comparison, along with the k-distance heuristic
+// for choosing DBSCAN's eps, centroid computation (Fig 3), and a sampled
+// variant that scales to millions of segments the way the paper's ELKI
+// library run does.
+package cluster
+
+import (
+	"math"
+	"sort"
+)
+
+// Noise is the label DBSCAN assigns to points that belong to no cluster.
+const Noise = -1
+
+// DBSCAN clusters points (dense vectors of equal dimension) with the
+// classic density-based algorithm of Ester et al. (1996) under Euclidean
+// distance. It returns one label per point — 0..k-1 for cluster members,
+// Noise for outliers — and the number of clusters k. The implementation is
+// the exact O(n²) region-query form; use Sampled for large collections.
+func DBSCAN(points [][]float64, eps float64, minPts int) (labels []int, k int) {
+	n := len(points)
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = Noise - 1 // unvisited
+	}
+	const unvisited = Noise - 1
+
+	epsSq := eps * eps
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if j != i && sqDist(points[i], points[j]) <= epsSq {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	k = 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb)+1 < minPts {
+			labels[i] = Noise
+			continue
+		}
+		// Start a new cluster and expand it over the density-reachable set.
+		labels[i] = k
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = k // border point
+				continue
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = k
+			jnb := neighbors(j)
+			if len(jnb)+1 >= minPts {
+				queue = append(queue, jnb...)
+			}
+		}
+		k++
+	}
+	return labels, k
+}
+
+// EstimateEps returns a data-driven eps for DBSCAN: twice the 90th
+// percentile of every point's distance to its k-th nearest neighbor (the
+// "knee" of the sorted k-distance plot, approximated, with headroom so that
+// uniform within-cluster spread does not fragment a cluster into density
+// islands). k is typically minPts−1.
+func EstimateEps(points [][]float64, k int) float64 {
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	kd := make([]float64, 0, n)
+	dists := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if i != j {
+				dists = append(dists, sqDist(points[i], points[j]))
+			}
+		}
+		sort.Float64s(dists)
+		kd = append(kd, math.Sqrt(dists[k-1]))
+	}
+	sort.Float64s(kd)
+	return 2 * kd[int(float64(len(kd))*0.9)]
+}
+
+// Sampled runs DBSCAN on a deterministic sample of at most sampleSize
+// points, derives centroids, and assigns every remaining point to the
+// nearest centroid within assignEps (Noise otherwise). It trades exactness
+// for linear scaling, which is what makes the Table 6 StackOverflow-scale
+// grouping run in minutes instead of hours.
+func Sampled(points [][]float64, eps float64, minPts, sampleSize int) (labels []int, k int) {
+	n := len(points)
+	if n <= sampleSize {
+		return DBSCAN(points, eps, minPts)
+	}
+	// Deterministic systematic sample: every n/sampleSize-th point.
+	stride := n / sampleSize
+	sample := make([][]float64, 0, sampleSize)
+	for i := 0; i < n && len(sample) < sampleSize; i += stride {
+		sample = append(sample, points[i])
+	}
+	sampleLabels, k := DBSCAN(sample, eps, minPts)
+	cents := Centroids(sample, sampleLabels, k)
+
+	labels = make([]int, n)
+	assignEpsSq := eps * eps * 4 // looser radius for assignment to centroids
+	for i, p := range points {
+		best, bestD := Noise, math.Inf(1)
+		for c, cent := range cents {
+			if d := sqDist(p, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == Noise || bestD > assignEpsSq {
+			labels[i] = Noise
+		} else {
+			labels[i] = best
+		}
+	}
+	return labels, k
+}
+
+// Centroids computes the mean vector of each cluster. Noise points are
+// excluded. Clusters with no members yield zero vectors.
+func Centroids(points [][]float64, labels []int, k int) [][]float64 {
+	if k == 0 || len(points) == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	cents := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range cents {
+		cents[i] = make([]float64, dim)
+	}
+	for i, p := range points {
+		c := labels[i]
+		if c < 0 || c >= k {
+			continue
+		}
+		counts[c]++
+		for d, v := range p {
+			cents[c][d] += v
+		}
+	}
+	for c := range cents {
+		if counts[c] == 0 {
+			continue
+		}
+		for d := range cents[c] {
+			cents[c][d] /= float64(counts[c])
+		}
+	}
+	return cents
+}
+
+// AssignNoise relabels every Noise point to its nearest cluster centroid,
+// so that all segments can participate in matching. It returns the number
+// of points reassigned. With k == 0 nothing changes.
+func AssignNoise(points [][]float64, labels []int, centroids [][]float64) int {
+	if len(centroids) == 0 {
+		return 0
+	}
+	moved := 0
+	for i, l := range labels {
+		if l != Noise {
+			continue
+		}
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range centroids {
+			if d := sqDist(points[i], cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		labels[i] = best
+		moved++
+	}
+	return moved
+}
+
+// Sizes returns the member count of each cluster label (ignoring noise).
+func Sizes(labels []int, k int) []int {
+	sizes := make([]int, k)
+	for _, l := range labels {
+		if l >= 0 && l < k {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+func sqDist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

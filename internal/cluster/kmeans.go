@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters points into k groups with Lloyd's algorithm and
+// k-means++ seeding. It is the distance-based comparison point the paper
+// contrasts DBSCAN against (Sec 6) and the grouper used by the Content-MR
+// baseline on TF/IDF vectors. The seed makes runs reproducible; maxIter
+// bounds Lloyd iterations (25 covers convergence on segment vectors).
+// It returns one cluster label per point, always in 0..k-1.
+func KMeans(points [][]float64, k int, seed int64, maxIter int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	if n == 0 || k <= 0 {
+		return labels
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cents := seedPlusPlus(points, k, rng)
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range cents {
+				if d := sqDist(p, cents[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		cents = recompute(points, labels, k, rng)
+	}
+	return labels
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	cents := make([][]float64, 0, k)
+	cents = append(cents, clone(points[rng.Intn(n)]))
+	d2 := make([]float64, n)
+	for len(cents) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range cents {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			cents = append(cents, clone(points[rng.Intn(n)]))
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, d := range d2 {
+			r -= d
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		cents = append(cents, clone(points[idx]))
+	}
+	return cents
+}
+
+// recompute derives new centroids from the labeling; an emptied cluster is
+// re-seeded with a random point to keep k stable.
+func recompute(points [][]float64, labels []int, k int, rng *rand.Rand) [][]float64 {
+	cents := Centroids(points, labels, k)
+	sizes := Sizes(labels, k)
+	for c := range cents {
+		if sizes[c] == 0 {
+			cents[c] = clone(points[rng.Intn(len(points))])
+		}
+	}
+	return cents
+}
+
+func clone(p []float64) []float64 {
+	out := make([]float64, len(p))
+	copy(out, p)
+	return out
+}
+
+// Inertia returns the total within-cluster sum of squared distances — the
+// k-means objective, useful for elbow-style diagnostics in experiments.
+func Inertia(points [][]float64, labels []int, centroids [][]float64) float64 {
+	var sum float64
+	for i, p := range points {
+		c := labels[i]
+		if c >= 0 && c < len(centroids) {
+			sum += sqDist(p, centroids[c])
+		}
+	}
+	return sum
+}

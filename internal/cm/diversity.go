@@ -1,0 +1,111 @@
+package cm
+
+import "math"
+
+// This file implements the statistics of Sec 5.2: Shannon's diversity index
+// per communication mean (Eq 1), richness, segment coherence (Eq 2), border
+// depth (Eq 3), and the border score (Eq 4).
+//
+// Shannon diversity uses log base 10 so that with at most three categorical
+// values per mean the index stays below log10(3) ≈ 0.477 and the coherence
+// 1 − div of Eq 2 stays inside (0, 1], matching the paper's remark that
+// coherence "takes values less than one".
+
+// ShannonIndex computes Shannon's diversity index (Eq 1) of a distribution
+// table: −Σ p_j·log10(p_j) over the non-zero cells. An empty table has
+// diversity 0 (a vacuously even, minimal-richness distribution).
+func ShannonIndex(table []float64) float64 {
+	var all float64
+	for _, c := range table {
+		all += c
+	}
+	if all == 0 {
+		return 0
+	}
+	var div float64
+	for _, c := range table {
+		if c <= 0 {
+			continue
+		}
+		p := c / all
+		div -= p * math.Log10(p)
+	}
+	return div
+}
+
+// RichnessIndex is the normalized richness of a distribution table: the
+// fraction of categorical values with non-zero observations. It ignores
+// evenness, which is exactly why Fig 9 finds it weaker than Shannon's index.
+func RichnessIndex(table []float64) float64 {
+	if len(table) == 0 {
+		return 0
+	}
+	nz := 0
+	for _, c := range table {
+		if c > 0 {
+			nz++
+		}
+	}
+	return float64(nz) / float64(len(table))
+}
+
+// DiversityFunc maps a distribution table to a diversity value in [0, 1).
+// ShannonIndex and RichnessIndex are the two instances studied in Fig 9.
+type DiversityFunc func(table []float64) float64
+
+// Diversity computes the diversity of mean m within the annotated span
+// using Shannon's index.
+func Diversity(a Annotation, m Mean) float64 {
+	return ShannonIndex(a.Table(m))
+}
+
+// Coherence computes the segment coherence of Eq 2 with Shannon diversity:
+// the mean over all communication means of 1 − div_CM(s).
+func Coherence(a Annotation) float64 {
+	return CoherenceWith(a, ShannonIndex)
+}
+
+// CoherenceWith computes Eq 2 with an arbitrary diversity function.
+func CoherenceWith(a Annotation, div DiversityFunc) float64 {
+	var sum float64
+	for m := Mean(0); m < NumMeans; m++ {
+		sum += 1.0 - div(a.Table(m))
+	}
+	return sum / float64(NumMeans)
+}
+
+// CoherenceOfMean computes the single-mean coherence 1 − div_CM(s), used by
+// the Greedy border-selection strategy that votes one communication mean at
+// a time.
+func CoherenceOfMean(a Annotation, m Mean, div DiversityFunc) float64 {
+	return 1.0 - div(a.Table(m))
+}
+
+// Depth computes the border depth of Eq 3 from the coherences of the left
+// segment, the right segment, and their hypothetical concatenation. A deep
+// border separates two segments that are each more coherent than their
+// union.
+func Depth(cohLeft, cohRight, cohMerged float64) float64 {
+	if cohMerged == 0 {
+		return 0
+	}
+	return (math.Abs(cohLeft-cohMerged) + math.Abs(cohRight-cohMerged)) / (2 * cohMerged)
+}
+
+// BorderScore combines the two segment coherences and the border depth into
+// the border score of Eq 4 (their plain average).
+func BorderScore(cohLeft, cohRight, depth float64) float64 {
+	return (cohLeft + cohRight + depth) / 3
+}
+
+// ScoreBorder evaluates the border between two annotated spans end to end:
+// it derives the merged annotation, computes the three coherences with the
+// supplied diversity function, and returns (score, depth).
+func ScoreBorder(left, right Annotation, div DiversityFunc) (score, depth float64) {
+	merged := left.Add(right)
+	cl := CoherenceWith(left, div)
+	cr := CoherenceWith(right, div)
+	cd := CoherenceWith(merged, div)
+	d := Depth(cl, cr, cd)
+	return BorderScore(cl, cr, d), d
+}

@@ -1,0 +1,156 @@
+package cm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/textproc"
+)
+
+func TestShannonIndexBasics(t *testing.T) {
+	if got := ShannonIndex(nil); got != 0 {
+		t.Errorf("ShannonIndex(nil) = %v, want 0", got)
+	}
+	if got := ShannonIndex([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("ShannonIndex(zeros) = %v, want 0", got)
+	}
+	// Single non-zero value: perfectly concentrated → 0 diversity.
+	if got := ShannonIndex([]float64{5, 0, 0}); got != 0 {
+		t.Errorf("ShannonIndex(concentrated) = %v, want 0", got)
+	}
+	// Uniform over 3: maximal diversity log10(3).
+	want := math.Log10(3)
+	if got := ShannonIndex([]float64{2, 2, 2}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ShannonIndex(uniform3) = %v, want %v", got, want)
+	}
+	// Paper example: [2,3,0] → −(2/5)log(2/5) − (3/5)log(3/5).
+	wantEx := -(0.4*math.Log10(0.4) + 0.6*math.Log10(0.6))
+	if got := ShannonIndex([]float64{2, 3, 0}); math.Abs(got-wantEx) > 1e-12 {
+		t.Errorf("ShannonIndex([2,3,0]) = %v, want %v", got, wantEx)
+	}
+}
+
+// Property: Shannon diversity is bounded by log10(k) for k cells, is
+// scale-invariant, and is maximal on uniform tables.
+func TestShannonIndexProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 6 {
+			return true
+		}
+		table := make([]float64, len(raw))
+		for i, v := range raw {
+			table[i] = float64(v % 50)
+		}
+		div := ShannonIndex(table)
+		if div < 0 || div > math.Log10(float64(len(table)))+1e-12 {
+			return false
+		}
+		// Scale invariance.
+		scaled := make([]float64, len(table))
+		for i := range table {
+			scaled[i] = table[i] * 7
+		}
+		return math.Abs(ShannonIndex(scaled)-div) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRichnessIndex(t *testing.T) {
+	if got := RichnessIndex([]float64{1, 0, 3}); got != 2.0/3.0 {
+		t.Errorf("RichnessIndex = %v, want 2/3", got)
+	}
+	if got := RichnessIndex(nil); got != 0 {
+		t.Errorf("RichnessIndex(nil) = %v, want 0", got)
+	}
+	if got := RichnessIndex([]float64{1, 1}); got != 1 {
+		t.Errorf("RichnessIndex(full) = %v, want 1", got)
+	}
+}
+
+func TestCoherenceBounds(t *testing.T) {
+	// A one-sentence segment is maximally coherent per mean with one value.
+	sents := textproc.SplitSentences("I installed the driver.")
+	a := Annotate(sents[0])
+	coh := Coherence(a)
+	if coh <= 0 || coh > 1 {
+		t.Errorf("Coherence = %v, want in (0,1]", coh)
+	}
+	// An empty annotation has coherence exactly 1 (all diversities 0).
+	var empty Annotation
+	if got := Coherence(empty); got != 1 {
+		t.Errorf("Coherence(empty) = %v, want 1", got)
+	}
+}
+
+func TestCoherenceDropsWithMixedIntentions(t *testing.T) {
+	// A grammatically homogeneous segment should be more coherent than a
+	// segment mixing tense, person and style.
+	homog := textproc.SplitSentences("I installed the driver. I rebooted the machine. I checked the logs.")
+	mixed := textproc.SplitSentences("I installed the driver. Will it degrade performance? The system was repaired.")
+	cohH := Coherence(Merge(AnnotateAll(homog), 0, len(homog)))
+	cohM := Coherence(Merge(AnnotateAll(mixed), 0, len(mixed)))
+	if cohH <= cohM {
+		t.Errorf("homogeneous coherence %v should exceed mixed coherence %v", cohH, cohM)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if got := Depth(0.9, 0.9, 0); got != 0 {
+		t.Errorf("Depth with zero merged coherence = %v, want 0", got)
+	}
+	// Both segments more coherent than merged → positive depth.
+	got := Depth(0.9, 0.8, 0.5)
+	want := (0.4 + 0.3) / 1.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Depth = %v, want %v", got, want)
+	}
+	// Identical coherences → zero depth.
+	if got := Depth(0.7, 0.7, 0.7); got != 0 {
+		t.Errorf("Depth(equal) = %v, want 0", got)
+	}
+}
+
+func TestBorderScore(t *testing.T) {
+	got := BorderScore(0.9, 0.6, 0.3)
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("BorderScore = %v, want 0.6", got)
+	}
+}
+
+func TestScoreBorderDeepVsShallow(t *testing.T) {
+	// Deep border: first-person past narrative vs interrogative request.
+	left := Merge(AnnotateAll(textproc.SplitSentences(
+		"I installed the update. I rebooted twice. I checked every cable.")), 0, 3)
+	right := Merge(AnnotateAll(textproc.SplitSentences(
+		"Do you know a fix? Can you suggest a driver? Should I reformat the disk?")), 0, 3)
+	deepScore, deepDepth := ScoreBorder(left, right, ShannonIndex)
+
+	// Shallow border: two halves of the same narrative.
+	rightSame := Merge(AnnotateAll(textproc.SplitSentences(
+		"I replaced the cable. I reinstalled the driver. I tested the printer.")), 0, 3)
+	_, shallowDepth := ScoreBorder(left, rightSame, ShannonIndex)
+
+	if deepDepth <= shallowDepth {
+		t.Errorf("deep border depth %v should exceed shallow depth %v", deepDepth, shallowDepth)
+	}
+	if deepScore <= 0 {
+		t.Errorf("deep border score = %v, want > 0", deepScore)
+	}
+}
+
+func TestCoherenceOfMean(t *testing.T) {
+	var a Annotation
+	a.Counts[TensePresent] = 4
+	if got := CoherenceOfMean(a, Tense, ShannonIndex); got != 1 {
+		t.Errorf("single-tense coherence = %v, want 1", got)
+	}
+	a.Counts[TensePast] = 4
+	got := CoherenceOfMean(a, Tense, ShannonIndex)
+	want := 1 - math.Log10(2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("two-tense coherence = %v, want %v", got, want)
+	}
+}

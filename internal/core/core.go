@@ -1,0 +1,305 @@
+// Package core is the public face of the reproduction: an end-to-end
+// pipeline that ingests raw forum posts, runs the paper's offline phases
+// (intention-based segmentation, segment grouping, refinement, per-cluster
+// indexing — Sec 4), and serves online top-k related-post queries
+// (Sec 7). It also constructs the comparison matchers of Sec 9.2 behind a
+// single switchboard, which is what the experiment harness and the example
+// programs build on.
+//
+// Typical use:
+//
+//	p, err := core.Build(posts, core.Config{})
+//	related := p.Related(postID, 5)
+//
+// Build is the offline phase (the paper runs it as pre-processing);
+// Related is the online phase (sub-millisecond per query at 100k posts).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/lda"
+	"repro/internal/match"
+	"repro/internal/segment"
+	"repro/internal/textproc"
+)
+
+// Method selects a matching method from Sec 9.2 of the paper.
+type Method int
+
+const (
+	// IntentIntentMR is the paper's complete method: intention-based
+	// segmentation (Greedy border selection), CM-vector clustering, and
+	// multi-ranking matching (Algorithms 1 and 2).
+	IntentIntentMR Method = iota
+	// FullText matches whole posts with the MySQL-style weighting (Eq 7).
+	FullText
+	// LDA matches posts by topic-distribution similarity.
+	LDA
+	// ContentMR segments by topic shift (TextTiling) and clusters TF
+	// vectors with k-means — segment-based but content-driven.
+	ContentMR
+	// SentIntentMR uses sentences as segments (no border selection) with
+	// CM-vector clustering.
+	SentIntentMR
+)
+
+var methodNames = [...]string{
+	IntentIntentMR: "IntentIntent-MR", FullText: "FullText", LDA: "LDA",
+	ContentMR: "Content-MR", SentIntentMR: "SentIntent-MR",
+}
+
+// String returns the method's Table 4 row label.
+func (m Method) String() string {
+	if int(m) < len(methodNames) {
+		return methodNames[m]
+	}
+	return "?"
+}
+
+// Config controls pipeline construction. The zero value is the paper's
+// configuration: Greedy border selection, DBSCAN grouping, n = 2k.
+type Config struct {
+	// Method selects the matcher; IntentIntentMR by default.
+	Method Method
+	// Stem applies Porter stemming to index terms. Enabled by default via
+	// DisableStem being false… set DisableStem to index raw tokens the way
+	// the paper's MySQL baseline does.
+	DisableStem bool
+	// MR carries the multi-ranking knobs for the segment-based methods;
+	// zero values follow the paper (see match.MRConfig).
+	MR match.MRConfig
+	// LDA carries topic-model hyperparameters for the LDA method.
+	LDA lda.Config
+	// Seed drives every randomized component.
+	Seed int64
+}
+
+// Stats describes where offline build time went (Fig 11 and Table 6).
+type Stats struct {
+	Preprocess   time.Duration // HTML cleaning, sentence split, CM annotation
+	Segmentation time.Duration
+	Grouping     time.Duration
+	Indexing     time.Duration
+	NumDocs      int
+	NumSegments  int
+	NumClusters  int
+}
+
+// Pipeline is a built related-post retrieval system over one collection.
+type Pipeline struct {
+	cfg     Config
+	matcher match.Matcher
+	mr      *match.MR // non-nil for the MR methods
+	docs    []*segment.Doc
+	stats   Stats
+}
+
+// Result is one related post.
+type Result = match.Result
+
+// Build runs the offline phases over raw post texts. Posts may contain
+// HTML. The index positions of texts become the document ids used by
+// Related.
+func Build(texts []string, cfg Config) (*Pipeline, error) {
+	p := &Pipeline{cfg: cfg}
+	start := time.Now()
+	p.docs = make([]*segment.Doc, len(texts))
+	terms := make([][]string, len(texts))
+	parallelDo(len(texts), func(i int) {
+		p.docs[i] = segment.NewDoc(texts[i])
+		terms[i] = p.docTerms(p.docs[i])
+	})
+	p.stats.Preprocess = time.Since(start)
+	p.stats.NumDocs = len(texts)
+
+	switch cfg.Method {
+	case FullText:
+		p.matcher = match.NewFullText(terms)
+	case LDA:
+		ldaCfg := cfg.LDA
+		if ldaCfg.Seed == 0 {
+			ldaCfg.Seed = cfg.Seed
+		}
+		m, err := match.NewLDA(terms, ldaCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		p.matcher = m
+	case IntentIntentMR, ContentMR, SentIntentMR:
+		mrCfg := cfg.MR
+		if mrCfg.Seed == 0 {
+			mrCfg.Seed = cfg.Seed
+		}
+		switch cfg.Method {
+		case ContentMR:
+			if mrCfg.Strategy == nil {
+				mrCfg.Strategy = segment.TextTiling{}
+			}
+			mrCfg.ContentVectors = true
+		case SentIntentMR:
+			mrCfg.Strategy = segment.Sentences{}
+		}
+		p.mr = match.NewMR(cfg.Method.String(), p.docs, mrCfg)
+		p.matcher = p.mr
+		bs := p.mr.Stats()
+		p.stats.Segmentation = bs.Segmentation
+		p.stats.Grouping = bs.Grouping
+		p.stats.Indexing = bs.Indexing
+		p.stats.NumSegments = bs.NumSegments
+		p.stats.NumClusters = bs.NumClusters
+	default:
+		return nil, fmt.Errorf("core: unknown method %d", int(cfg.Method))
+	}
+	return p, nil
+}
+
+// docTerms extracts a document's whole-post index terms. segment.Doc keeps
+// stemmed terms; with DisableStem the raw content words are re-derived the
+// way the paper's MySQL baseline indexes them.
+func (p *Pipeline) docTerms(d *segment.Doc) []string {
+	if p.cfg.DisableStem {
+		return textproc.ContentWords(d.Text)
+	}
+	return d.Terms(0, d.Len())
+}
+
+// Related returns the top-k posts related to document docID (Sec 7's
+// online matching). Results never include docID and arrive best first.
+func (p *Pipeline) Related(docID, k int) []Result {
+	return p.matcher.Match(docID, k)
+}
+
+// Method returns the matcher's name.
+func (p *Pipeline) Method() string { return p.matcher.Name() }
+
+// Stats returns offline build statistics.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// NumClusters returns the intention-cluster count (0 for whole-post
+// methods).
+func (p *Pipeline) NumClusters() int {
+	if p.mr == nil {
+		return 0
+	}
+	return p.mr.NumClusters()
+}
+
+// Centroids returns the intention-cluster centroids (Fig 3), or nil for
+// whole-post methods.
+func (p *Pipeline) Centroids() [][]float64 {
+	if p.mr == nil {
+		return nil
+	}
+	return p.mr.Centroids()
+}
+
+// SegmentCounts returns each document's segment count before grouping and
+// after refinement (Table 3), or nils for whole-post methods.
+func (p *Pipeline) SegmentCounts() (before, after []int) {
+	if p.mr == nil {
+		return nil, nil
+	}
+	return p.mr.SegmentCounts()
+}
+
+// Add ingests one new post into an already-built intention pipeline
+// without re-clustering: the post is segmented, its segments join the
+// nearest existing intention clusters, and the per-cluster indices are
+// updated (Sec 9.2: intentions drift slowly, so nearest-centroid
+// assignment suffices between periodic rebuilds). It returns the new
+// post's document id, or an error for whole-post methods, which do not
+// support incremental addition.
+func (p *Pipeline) Add(text string) (int, error) {
+	if p.mr == nil {
+		return 0, fmt.Errorf("core: %s does not support incremental addition", p.matcher.Name())
+	}
+	d := segment.NewDoc(text)
+	p.docs = append(p.docs, d)
+	p.stats.NumDocs++
+	return p.mr.Add(d), nil
+}
+
+// Doc exposes the prepared form of a document (sentences, annotations) for
+// inspection tools like cmd/segmentview.
+func (p *Pipeline) Doc(docID int) *segment.Doc {
+	if docID < 0 || docID >= len(p.docs) {
+		return nil
+	}
+	return p.docs[docID]
+}
+
+// GranularityDistribution summarizes a segment-count vector into the
+// percentage rows of Table 3: the share of posts with 1, 2, 3, 4, and 5+
+// segments.
+func GranularityDistribution(counts []int) map[string]float64 {
+	if len(counts) == 0 {
+		return nil
+	}
+	buckets := map[string]float64{}
+	for _, c := range counts {
+		switch {
+		case c <= 1:
+			buckets["1"]++
+		case c == 2:
+			buckets["2"]++
+		case c == 3:
+			buckets["3"]++
+		case c == 4:
+			buckets["4"]++
+		default:
+			buckets["5-8"]++
+		}
+	}
+	for k := range buckets {
+		buckets[k] = buckets[k] / float64(len(counts)) * 100
+	}
+	return buckets
+}
+
+// GranularityBuckets returns the Table 3 row labels in display order.
+func GranularityBuckets() []string { return []string{"1", "2", "3", "4", "5-8"} }
+
+// TopIDs extracts just the document ids of a result list.
+func TopIDs(results []Result) []int {
+	out := make([]int, len(results))
+	for i, r := range results {
+		out[i] = r.DocID
+	}
+	return out
+}
+
+// SortByID orders a result list by document id (for deterministic display).
+func SortByID(results []Result) {
+	sort.Slice(results, func(i, j int) bool { return results[i].DocID < results[j].DocID })
+}
+
+// parallelDo runs fn over [0,n) with GOMAXPROCS-bounded goroutines.
+func parallelDo(n int, fn func(i int)) {
+	const workers = 8
+	if n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	done := make(chan struct{})
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range next {
+				fn(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// ExampleBuild shows the minimal end-to-end flow: build the intention
+// pipeline over a small collection and query it.
+func ExampleBuild() {
+	posts := []string{
+		"I have an HP printer with a duplex unit. It does not print anymore. " +
+			"I replaced the toner last week. Do you know what causes the jam?",
+		"My HP printer shows an ink system failure. I cleaned the print head " +
+			"yesterday. What should I try next to stop the failure?",
+		"The hotel pool faced the beach. Breakfast had fresh fruit. " +
+			"Would you recommend the resort for families?",
+		"My printer jams on every duplex job. I searched the forum but found " +
+			"nothing. How do I stop the jam from coming back?",
+	}
+	p, err := core.Build(posts, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// On a real collection, p.Related(0, 5) returns the top-5 related
+	// posts. (Probabilistic IDF needs more than a handful of documents to
+	// produce meaningful scores — see examples/quickstart for a fuller
+	// demonstration.)
+	fmt.Println(p.Method(), p.Stats().NumDocs, "posts")
+	// Output:
+	// IntentIntent-MR 4 posts
+}
+
+// ExamplePipeline_Add folds a new post into a built pipeline without
+// re-clustering.
+func ExamplePipeline_Add() {
+	posts := []string{
+		"I have a laptop that overheats. I cleaned the fan. Why does it still shut down?",
+		"My laptop shuts down after gaming. I replaced the thermal paste. What else can I check?",
+		"The hotel room had a balcony. The staff were friendly. Would you stay again?",
+	}
+	p, err := core.Build(posts, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	id, err := p.Add("My laptop gets hot near the fan. I bought a cooling pad. Should I replace the heat sink?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("new post id:", id)
+	// Output:
+	// new post id: 3
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/match"
+)
+
+// Pipeline persistence: the offline build (segmentation, grouping,
+// indexing) is written once and reloaded by serving processes, mirroring
+// the paper's offline/online split. Only the intention (MR) methods are
+// persistable — FullText rebuilds in milliseconds and LDA's model is
+// cheaper to retrain than to version.
+//
+// A loaded pipeline serves Related queries and accepts Add; it does not
+// retain the prepared documents, so Doc returns nil for pre-load ids.
+
+// WriteTo serializes a built MR pipeline. It implements io.WriterTo.
+func (p *Pipeline) WriteTo(w io.Writer) (int64, error) {
+	if p.mr == nil {
+		return 0, fmt.Errorf("core: %s pipelines are not persistable", p.matcher.Name())
+	}
+	cw := &countWriter{w: w}
+	enc := gob.NewEncoder(cw)
+	if err := enc.Encode(p.cfg.Method); err != nil {
+		return cw.n, err
+	}
+	if err := enc.Encode(p.stats); err != nil {
+		return cw.n, err
+	}
+	if _, err := p.mr.WriteTo(cw); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadPipeline deserializes a pipeline written with WriteTo.
+//
+// The stream holds two gob values (header) followed by the matcher's own
+// gob stream. A gob decoder over-reads only when its source lacks
+// io.ByteReader (it then wraps the source in a bufio.Reader), so both
+// decoding stages share one exactReader and each consumes precisely its
+// own bytes.
+func ReadPipeline(r io.Reader) (*Pipeline, error) {
+	er := &exactReader{r: r}
+	dec := gob.NewDecoder(er)
+	var method Method
+	if err := dec.Decode(&method); err != nil {
+		return nil, fmt.Errorf("core: decoding pipeline header: %w", err)
+	}
+	var stats Stats
+	if err := dec.Decode(&stats); err != nil {
+		return nil, err
+	}
+	mr, err := match.ReadMR(er)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		cfg:     Config{Method: method},
+		matcher: mr,
+		mr:      mr,
+		stats:   stats,
+	}, nil
+}
+
+// exactReader adapts an io.Reader into an io.ByteReader so gob decoders
+// sharing the stream never buffer past their own values. Wrap slow sources
+// in a bufio.Reader before handing them to ReadPipeline.
+type exactReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (e *exactReader) Read(p []byte) (int, error) { return e.r.Read(p) }
+
+func (e *exactReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(e.r, e.one[:]); err != nil {
+		return 0, err
+	}
+	return e.one[0], nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/forum"
+)
+
+func TestPipelinePersistRoundTrip(t *testing.T) {
+	texts, _ := corpusTexts(t, forum.TechSupport, 120, 61)
+	p, err := Build(texts, Config{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	loaded, err := ReadPipeline(&buf)
+	if err != nil {
+		t.Fatalf("ReadPipeline: %v", err)
+	}
+	if loaded.Method() != p.Method() {
+		t.Errorf("method %q != %q", loaded.Method(), p.Method())
+	}
+	if loaded.Stats() != p.Stats() {
+		t.Error("stats differ after round trip")
+	}
+	if loaded.NumClusters() != p.NumClusters() {
+		t.Error("cluster count differs")
+	}
+	for q := 0; q < 20; q++ {
+		a := p.Related(q, 5)
+		b := loaded.Related(q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DocID != b[i].DocID {
+				t.Fatalf("query %d rank %d: doc %d vs %d", q, i, a[i].DocID, b[i].DocID)
+			}
+		}
+	}
+	// A loaded pipeline keeps no prepared documents.
+	if loaded.Doc(0) != nil {
+		t.Error("loaded pipeline should not retain documents")
+	}
+	// But it accepts new posts.
+	id, err := loaded.Add("My printer stopped printing. I replaced the toner. What should I check?")
+	if err != nil {
+		t.Fatalf("Add on loaded pipeline: %v", err)
+	}
+	if id != 120 {
+		t.Errorf("Add returned id %d, want 120", id)
+	}
+}
+
+func TestPipelinePersistRejectsWholePostMethods(t *testing.T) {
+	texts, _ := corpusTexts(t, forum.TechSupport, 20, 62)
+	p, err := Build(texts, Config{Method: FullText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err == nil {
+		t.Fatal("FullText pipeline should not be persistable")
+	}
+}
+
+func TestReadPipelineGarbage(t *testing.T) {
+	if _, err := ReadPipeline(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := ReadPipeline(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream should fail")
+	}
+}

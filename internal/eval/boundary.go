@@ -1,0 +1,50 @@
+package eval
+
+// Boundary-level precision/recall/F1 complement WindowDiff: WindowDiff
+// measures near-miss-tolerant disagreement density, while boundary P/R/F1
+// attributes error to spurious vs missing borders — useful when diagnosing
+// why a strategy over- or under-segments (Fig 8's border-count column in
+// metric form).
+
+// BoundaryPRF computes precision, recall and F1 of hypothesis borders
+// against reference borders over a document of n units. A hypothesis
+// border matches an unmatched reference border within ±tolerance units
+// (greedy nearest-first matching; each border matches at most once).
+func BoundaryPRF(ref, hyp []int, n, tolerance int) (precision, recall, f1 float64) {
+	refB := borderList(ref, n)
+	hypB := borderList(hyp, n)
+	if len(hypB) == 0 && len(refB) == 0 {
+		return 1, 1, 1
+	}
+	if len(hypB) == 0 || len(refB) == 0 {
+		return 0, 0, 0
+	}
+	matchedRef := make([]bool, len(refB))
+	matches := 0
+	for _, h := range hypB {
+		best, bestD := -1, tolerance+1
+		for i, r := range refB {
+			if matchedRef[i] {
+				continue
+			}
+			d := h - r
+			if d < 0 {
+				d = -d
+			}
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			matchedRef[best] = true
+			matches++
+		}
+	}
+	precision = float64(matches) / float64(len(hypB))
+	recall = float64(matches) / float64(len(refB))
+	if precision+recall == 0 {
+		return precision, recall, 0
+	}
+	f1 = 2 * precision * recall / (precision + recall)
+	return precision, recall, f1
+}

@@ -1,0 +1,75 @@
+package eval
+
+// This file implements the retrieval-effectiveness measures of Sec 9.2:
+// binary-relevance precision of a top-k list and the mean precision over
+// query posts that Table 4 reports.
+
+// Precision returns the fraction of retrieved ids judged relevant. An empty
+// retrieval has precision 0 (a list with no true positives, as counted in
+// the paper's "lists with mean precision 0" statistic).
+func Precision(retrieved []int, relevant map[int]bool) float64 {
+	if len(retrieved) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, id := range retrieved {
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(retrieved))
+}
+
+// PrecisionAtK truncates the retrieval to its first k elements before
+// computing precision; the paper's users evaluated top-5 lists.
+func PrecisionAtK(retrieved []int, relevant map[int]bool, k int) float64 {
+	if k < len(retrieved) {
+		retrieved = retrieved[:k]
+	}
+	return Precision(retrieved, relevant)
+}
+
+// MeanPrecision averages per-query precision values ("the mean of the
+// precision values considering each information need separately").
+func MeanPrecision(perQuery []float64) float64 {
+	if len(perQuery) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range perQuery {
+		sum += p
+	}
+	return sum / float64(len(perQuery))
+}
+
+// ZeroFraction returns the fraction of queries with precision 0 — the
+// "lists with no true positives" statistic of Sec 9.2.2.
+func ZeroFraction(perQuery []float64) float64 {
+	if len(perQuery) == 0 {
+		return 0
+	}
+	zeros := 0
+	for _, p := range perQuery {
+		if p == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(perQuery))
+}
+
+// Pool merges several systems' retrievals for one query into a single
+// deduplicated judging pool, preserving first-seen order (Sec 9.2.1 uses
+// pooling for the TripAdvisor judgments).
+func Pool(lists ...[]int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, list := range lists {
+		for _, id := range list {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

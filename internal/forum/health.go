@@ -1,0 +1,160 @@
+package forum
+
+// healthSpec models a medical forum (the paper's introduction motivates
+// the method with Medhelp-style health communities: "someone with a health
+// problem reading a medical forum post where a user is describing similar
+// symptoms could find additional related forum posts"). It is a fourth
+// domain beyond the paper's three evaluation datasets, useful for
+// out-of-domain checks: the canonical experiments run on the paper's
+// domains only.
+var healthSpec = domainSpec{
+	name: "Health",
+	flow: []string{
+		"patient background", "symptom description", "treatment history",
+		"REQUEST", "worries",
+	},
+	optional: map[string]float64{
+		"patient background": 0.7,
+		"treatment history":  0.65,
+		"worries":            0.35,
+	},
+	requestLabel: "advice request",
+	specs: map[string]intentionSpec{
+		"patient background": {
+			label: "patient background",
+			templates: []string{
+				"I am a {age} year old with a history of {condition}.",
+				"My {relative} has lived with {condition} for {duration}.",
+				"I work long shifts and my {habit} is far from ideal.",
+				"I am generally healthy apart from mild {condition}.",
+			},
+		},
+		"symptom description": {
+			label: "symptom description",
+			templates: []string{
+				"The {bodypart} aches every {time} and never fully settles.",
+				"A dull {symptom} shows up after {trigger}.",
+				"The {symptom} does not respond to rest at all.",
+				"It starts with {symptom} and ends with hours of {symptom2}.",
+				"The {bodypart} swells slightly by the evening.",
+			},
+		},
+		"treatment history": {
+			label: "treatment history",
+			templates: []string{
+				"I tried {remedy} for {duration} with little change.",
+				"My doctor prescribed {medication} last {time}.",
+				"I switched to {remedy} after the {medication} upset my stomach.",
+				"I already cut out {habit} completely.",
+				"A physiotherapist worked on my {bodypart} for {duration}.",
+			},
+		},
+		"worries": {
+			label: "worries",
+			templates: []string{
+				"I am honestly scared it could be something serious.",
+				"This uncertainty keeps me awake at night.",
+				"I worry constantly about the {bodypart}.",
+			},
+		},
+	},
+	slots: map[string][]string{
+		"age":      {"35", "42", "58", "29"},
+		"relative": {"mother", "father", "sister", "brother"},
+		"duration": {"two weeks", "three months", "a year", "ten days"},
+		"time":     {"morning", "evening", "night", "week"},
+		"habit":    {"sleep schedule", "diet", "posture", "caffeine intake"},
+	},
+	topics: []topic{
+		{
+			name: "back pain",
+			slots: map[string][]string{
+				"crossterm":  {"stretching routines", "imaging scans", "ergonomic chairs"},
+				"condition":  {"sciatica", "a slipped disc", "muscle strain"},
+				"bodypart":   {"lower back", "spine", "hip"},
+				"symptom":    {"stabbing pain", "stiffness", "tingling"},
+				"symptom2":   {"numbness", "cramping"},
+				"trigger":    {"sitting all day", "lifting boxes", "long drives"},
+				"remedy":     {"daily stretching", "heat packs", "yoga"},
+				"medication": {"ibuprofen", "a muscle relaxant"},
+			},
+			variants: [][]string{
+				{
+					"Do you know whether {remedy} actually helps a {condition}?",
+					"Should I keep up the {remedy} even when the {bodypart} hurts?",
+					"Which exercises are safe with {condition}?",
+				},
+				{
+					"Should I push for an MRI of the {bodypart}?",
+					"Is a scan worth it after only {duration} of {symptom}?",
+					"Do you know what a scan shows that an exam misses?",
+				},
+				{
+					"Can a better chair really fix {symptom} from {trigger}?",
+					"Which desk setup helps the {bodypart} most?",
+					"Is a standing desk worth trying for {condition}?",
+				},
+			},
+		},
+		{
+			name: "migraine",
+			slots: map[string][]string{
+				"crossterm":  {"trigger diaries", "preventive medication", "screen time limits"},
+				"condition":  {"chronic migraine", "tension headaches", "cluster headaches"},
+				"bodypart":   {"temple", "forehead", "neck"},
+				"symptom":    {"throbbing pain", "aura", "light sensitivity"},
+				"symptom2":   {"nausea", "blurred vision"},
+				"trigger":    {"bright screens", "skipped meals", "stress at work"},
+				"remedy":     {"a trigger diary", "magnesium", "regular sleep"},
+				"medication": {"a triptan", "a beta blocker"},
+			},
+			variants: [][]string{
+				{
+					"Do you know how long a {medication} should take to work?",
+					"Is it normal to need a {medication} every {time}?",
+					"Should I ask about preventive {medication} after {duration}?",
+				},
+				{
+					"How do you identify which {trigger} matters most?",
+					"Did a {remedy} help you find your triggers?",
+					"Which patterns should I log in a {remedy}?",
+				},
+				{
+					"Can {trigger} alone explain daily {symptom}?",
+					"Would cutting {trigger} really reduce the {symptom}?",
+					"How strict do screen limits need to be for {condition}?",
+				},
+			},
+		},
+		{
+			name: "allergy",
+			slots: map[string][]string{
+				"crossterm":  {"elimination diets", "antihistamine schedules", "air purifiers"},
+				"condition":  {"hay fever", "a dust allergy", "food intolerance"},
+				"bodypart":   {"sinuses", "skin", "throat"},
+				"symptom":    {"sneezing fits", "itchy rash", "congestion"},
+				"symptom2":   {"watery eyes", "wheezing"},
+				"trigger":    {"pollen season", "dusty rooms", "certain foods"},
+				"remedy":     {"saline rinses", "an elimination diet", "air filtering"},
+				"medication": {"an antihistamine", "a nasal spray"},
+			},
+			variants: [][]string{
+				{
+					"Do you know whether {medication} loses effect over {duration}?",
+					"Is it safe to take {medication} every {time} long term?",
+					"Should I rotate between different {medication} brands?",
+				},
+				{
+					"How do I run {remedy} without missing nutrients?",
+					"Which foods go first in {remedy}?",
+					"How long before {remedy} shows a clear answer?",
+				},
+				{
+					"Would an air purifier help with {trigger}?",
+					"Which room matters most for air filtering?",
+					"Do filters actually reduce {symptom} indoors?",
+				},
+			},
+		},
+	},
+}

@@ -1,0 +1,177 @@
+package forum
+
+// programmingSpec mirrors StackOverflow: shorter posts (Table 3 shows
+// 53.6% of StackOverflow posts end up undivided) with a tight flow of
+// context, error report, attempted fixes, and the actual question.
+var programmingSpec = domainSpec{
+	name: "Programming",
+	flow: []string{
+		"code context", "error report", "previous attempts", "REQUEST",
+	},
+	optional: map[string]float64{
+		"error report":      0.75,
+		"previous attempts": 0.55,
+	},
+	requestLabel: "question",
+	specs: map[string]intentionSpec{
+		"code context": {
+			label: "code context",
+			templates: []string{
+				"I am building a {app} in {lang}.",
+				"My project uses {framework} with {lang}.",
+				"I am working on a {app} that talks to a {storage}.",
+				"Our codebase is a {app} running on {platform}.",
+				"I maintain a {app} written in {lang} for my team.",
+				"My {app} already handles {crossterm} elsewhere.",
+			},
+		},
+		"error report": {
+			label: "error report",
+			templates: []string{
+				"The compiler never finishes without a {error}.",
+				"The {component} cannot run without hitting a {error}.",
+				"The tests crash with a {error} and never recover.",
+				"The {app} returns nothing but a {error} when the {component} runs.",
+				"The build does not survive the {event} and shows a {error}.",
+				"It prints a {error} and not the expected {output}.",
+				"The logs show no warning about {crossterm} before the {error}.",
+			},
+		},
+		"previous attempts": {
+			label: "previous attempts",
+			templates: []string{
+				"I rewrote the {component} twice.",
+				"I tried downgrading {framework} and hit the same wall.",
+				"I added logging around the {component} and read every line.",
+				"I cleared the cache and rebuilt the {app} from scratch.",
+				"I copied a snippet from the documentation and it failed the same way.",
+				"I bisected the commits until I found the {event}.",
+				"I followed a tutorial about {crossterm} and gave up after an hour.",
+				"I skimmed an answer about {crossterm} but it targeted an old version.",
+			},
+		},
+	},
+	slots: map[string][]string{
+		"platform": {"Kubernetes", "a bare VM", "a CI runner", "Docker"},
+		"event":    {"dependency upgrade", "merge", "refactor", "config change"},
+		"output":   {"JSON payload", "status code", "sorted list", "rendered page"},
+	},
+	topics: []topic{
+		{
+			name: "null pointer",
+			slots: map[string][]string{
+				"crossterm": {"tracing null callers", "optional wrappers", "regression tests for crashes"},
+				"app":       {"REST service", "web API", "backend service"},
+				"lang":      {"Java", "Kotlin", "Go"},
+				"framework": {"Spring", "Micronaut", "a standard library stack"},
+				"storage":   {"Postgres database", "Redis cache"},
+				"component": {"request handler", "service layer", "mapper"},
+				"error":     {"null pointer exception", "nil dereference panic", "empty response"},
+			},
+			variants: [][]string{
+				{
+					"Why is the {component} receiving a null {output} here?",
+					"How can I find which caller passes null into the {component}?",
+					"What does this {error} stack actually point to?",
+				},
+				{
+					"How should I guard the {component} against missing values?",
+					"Is an optional wrapper the right fix for the {component}?",
+					"What is the idiomatic null check in {lang}?",
+				},
+				{
+					"How do I write a regression test for the {error}?",
+					"Can I reproduce the {error} deterministically in a unit test?",
+					"Which testing pattern catches a {error} early?",
+				},
+			},
+		},
+		{
+			name: "async deadlock",
+			slots: map[string][]string{
+				"crossterm": {"buffered channel sizing", "context timeouts", "load testing for stalls"},
+				"app":       {"worker pool", "message consumer", "scheduler"},
+				"lang":      {"Go", "Rust", "C#"},
+				"framework": {"goroutines and channels", "async tasks", "an actor library"},
+				"storage":   {"message queue", "job table"},
+				"component": {"dispatcher", "worker loop", "semaphore"},
+				"error":     {"deadlock detector report", "stalled queue", "timeout storm"},
+			},
+			variants: [][]string{
+				{
+					"Why does the {component} stop consuming after a burst?",
+					"What makes every worker block on the same channel?",
+					"How do I read this {error} to find the stuck goroutine?",
+				},
+				{
+					"Should the {component} use a buffered channel here?",
+					"Is a context timeout the right way to free the {component}?",
+					"What is the correct shutdown order for the {component}?",
+				},
+				{
+					"How can I load test the {app} to trigger the {error} reliably?",
+					"Which race detector flags help with a {error}?",
+					"Can I assert liveness of the {component} in CI?",
+				},
+			},
+		},
+		{
+			name: "orm query",
+			slots: map[string][]string{
+				"crossterm": {"eager loading relations", "reading generated SQL", "squashing migrations"},
+				"app":       {"admin dashboard", "reporting service", "CRUD app"},
+				"lang":      {"Python", "Ruby", "PHP"},
+				"framework": {"Django", "Rails", "Laravel"},
+				"storage":   {"MySQL database", "Postgres cluster"},
+				"component": {"query builder", "model layer", "migration"},
+				"error":     {"N plus one query storm", "missing index warning", "migration conflict"},
+			},
+			variants: [][]string{
+				{
+					"Why does the {component} fire hundreds of queries per page?",
+					"How do I see the SQL the {framework} generates here?",
+					"What causes the {error} on the listing view?",
+				},
+				{
+					"How do I eager load the relations in {framework}?",
+					"Is a join or a prefetch better for the {component}?",
+					"Which index should I add for this access pattern?",
+				},
+				{
+					"How do I resolve a {error} without losing data?",
+					"Can I squash migrations safely in {framework}?",
+					"What is the safe way to rollback the {component}?",
+				},
+			},
+		},
+		{
+			name: "frontend state",
+			slots: map[string][]string{
+				"crossterm": {"render dependency tracing", "memoized components", "state transition tests"},
+				"app":       {"single page app", "dashboard UI", "form wizard"},
+				"lang":      {"TypeScript", "JavaScript"},
+				"framework": {"React", "Vue", "Svelte"},
+				"storage":   {"REST backend", "GraphQL gateway"},
+				"component": {"state store", "effect hook", "reducer"},
+				"error":     {"infinite re-render loop", "stale props bug", "hydration mismatch"},
+			},
+			variants: [][]string{
+				{
+					"Why does the {component} re-render on every keystroke?",
+					"What triggers the {error} after the data loads?",
+					"How do I trace which dependency changes each render?",
+				},
+				{
+					"Should the {component} live in context or local state?",
+					"Is a memo the right fix for the {component}?",
+					"How do I split the {component} to avoid the {error}?",
+				},
+				{
+					"How can I test the {component} without mounting the whole {app}?",
+					"Which testing library helpers cover the {error} case?",
+					"Can I snapshot the {component} state transitions?",
+				},
+			},
+		},
+	},
+}

@@ -1,0 +1,292 @@
+package forum
+
+// techSpec mirrors the HP product-support forum: Fig 7's tech-support
+// intention categories, realized with the grammar signatures the paper's
+// method detects — present/first-person context, negative/third-person
+// problem statements, past/first-person effort reports, interrogative
+// requests, and first-person feelings.
+var techSpec = domainSpec{
+	name: "TechSupport",
+	flow: []string{
+		"environment description", "reason for posting", "problem statement",
+		"symptoms", "previous efforts", "REQUEST", "feelings",
+	},
+	optional: map[string]float64{
+		"reason for posting": 0.35,
+		"symptoms":           0.6,
+		"previous efforts":   0.7,
+		"feelings":           0.3,
+	},
+	requestLabel: "help request",
+	specs: map[string]intentionSpec{
+		"environment description": {
+			label: "environment description",
+			templates: []string{
+				"I have a {brand} {device} with a {component} and {spec}.",
+				"My {device} is a {brand} model with {spec}.",
+				"I am running {os} on a {brand} {device}.",
+				"The {device} in my office uses a {component} and {spec}.",
+				"We use a {brand} {device} with {spec} at work.",
+				"My setup includes a {device} connected to a {peripheral}.",
+				"The {device} used to handle {crossterm} without any drama.",
+				"The machine is a {brand} {device} that my {person} gave me.",
+			},
+		},
+		"reason for posting": {
+			label: "reason for posting",
+			templates: []string{
+				"I am asking because I need the {device} for my daily work.",
+				"I am posting here because the {brand} site shows nothing about it.",
+				"I am writing this because the deadline for my {task} is close.",
+				"I am asking since I do not want to break the {component}.",
+			},
+		},
+		"problem statement": {
+			label: "problem statement",
+			templates: []string{
+				"The {device} does not {function} anymore.",
+				"It stopped {function}ing after the last {event}.",
+				"The {component} no longer responds to anything.",
+				"The {device} never finishes the {task} without an error.",
+				"It refuses to {function} since the {event}.",
+				"The {component} fails every time the {device} starts the {task}.",
+				"The {device} still struggles with {crossterm}.",
+			},
+		},
+		"symptoms": {
+			label: "symptoms",
+			templates: []string{
+				"The {indicator} blinks twice and then goes dark.",
+				"It shows a {error} after about fifteen minutes of activity.",
+				"The {device} becomes very hot near the {component}.",
+				"A loud noise comes from the {component} during the {task}.",
+				"The screen displays the {error} right before it dies.",
+				"The {indicator} stays orange while the {task} runs.",
+			},
+		},
+		"previous efforts": {
+			label: "previous efforts",
+			templates: []string{
+				"I reinstalled the {software} twice.",
+				"I replaced the {component} with a new one last week.",
+				"I called the technical department but no luck.",
+				"I tried a different {peripheral} and got the same {error}.",
+				"I downloaded the latest {software} from the {brand} site.",
+				"I cleaned the {component} and restarted the {device}.",
+				"My {person} checked the {component} yesterday and found nothing.",
+				"I searched the forum for the {error} but found nothing useful.",
+				"I read a long thread about {crossterm} but it did not help.",
+				"A colleague suggested {crossterm} but I was not convinced.",
+			},
+		},
+		"feelings": {
+			label: "feelings",
+			templates: []string{
+				"I am really frustrated with this {device}.",
+				"This whole situation makes me quite nervous.",
+				"I am honestly disappointed because the {device} is almost new.",
+				"It frustrates me that the {brand} support cannot say what is wrong.",
+			},
+		},
+	},
+	slots: map[string][]string{
+		"brand":  {"HP", "Pavilion", "EliteBook", "ProBook", "Envy", "Omen"},
+		"person": {"boss", "colleague", "friend", "brother", "neighbor"},
+		"event":  {"update", "power outage", "move", "firmware upgrade", "reboot"},
+		"os":     {"Linux", "Windows", "Ubuntu", "Fedora"},
+	},
+	topics: []topic{
+		{
+			name: "raid storage",
+			slots: map[string][]string{
+				"crossterm":  {"degraded performance under load", "adding an extra drive", "a full reformat and rebuild", "recovering lost data"},
+				"device":     {"storage server", "workstation", "desktop"},
+				"component":  {"RAID 0 controller", "RAID 1 array", "JBOD enclosure", "disk backplane"},
+				"spec":       {"four 320GB disks", "a 1TB drive", "replication 4 HDFS", "two mirrored drives"},
+				"peripheral": {"SATA cable", "drive caddy", "external dock"},
+				"software":   {"RAID driver", "Cloudera distribution", "disk utility", "Hadoop stack"},
+				"function":   {"rebuild", "sync", "mount"},
+				"task":       {"array rebuild", "disk format", "volume sync"},
+				"indicator":  {"drive light", "array LED"},
+				"error":      {"degraded array warning", "disk failure code", "S.M.A.R.T. alert"},
+			},
+			variants: [][]string{
+				{
+					"Do you know whether the partial use of the disks would degrade performance?",
+					"Would a replication 4 setup perform ok on these {spec}?",
+					"Is the {component} fast enough for a {task} under load?",
+				},
+				{
+					"Can I add an extra drive using RAID without rebuilding the entire system?",
+					"Does adding drives to the {component} require a reformat of everything?",
+					"Is there a way to extend the {component} while keeping my data?",
+				},
+				{
+					"How can I recover the data after the {error} appeared?",
+					"Do you know a way to bring the {component} back after the {error}?",
+					"What should I try first to repair the {component}?",
+				},
+			},
+		},
+		{
+			name: "printer trouble",
+			slots: map[string][]string{
+				"crossterm":  {"constant paper jams", "third party cartridges", "wireless printing setup"},
+				"device":     {"printer", "LaserJet", "OfficeJet", "all-in-one printer"},
+				"component":  {"toner cartridge", "paper tray", "duplex unit", "print head"},
+				"spec":       {"a duplex unit", "wireless printing", "a 250 sheet tray"},
+				"peripheral": {"USB cable", "print server", "paper stack"},
+				"software":   {"printer driver", "print spooler", "firmware package"},
+				"function":   {"print", "scan", "feed paper"},
+				"task":       {"print job", "duplex print", "scan batch"},
+				"indicator":  {"ink light", "status LED"},
+				"error":      {"paper jam message", "ink system failure", "spooler error"},
+			},
+			variants: [][]string{
+				{
+					"Do you know why the {device} jams on every {task}?",
+					"How do I stop the {error} from coming back?",
+					"What causes the {component} to fail so often?",
+				},
+				{
+					"Can you suggest a {component} that works with this {device}?",
+					"Is a third party {component} safe to use here?",
+					"Which {component} should I buy as a replacement?",
+				},
+				{
+					"How can I share the {device} with every computer in the office?",
+					"Can the {device} print from a phone over the network?",
+					"Is there a way to set the {device} up for wireless printing?",
+				},
+			},
+		},
+		{
+			name: "laptop overheating",
+			slots: map[string][]string{
+				"crossterm":  {"sudden thermal shutdowns", "cooling pads", "replacing the fan myself"},
+				"device":     {"laptop", "notebook", "Pavilion laptop"},
+				"component":  {"cooling fan", "heat sink", "battery", "CPU"},
+				"spec":       {"an eight core CPU", "16GB of memory", "a thin chassis"},
+				"peripheral": {"cooling pad", "docking station", "charger"},
+				"software":   {"fan control utility", "BIOS update", "thermal monitor"},
+				"function":   {"cool down", "stay on", "charge"},
+				"task":       {"video call", "compile run", "gaming session"},
+				"indicator":  {"fan", "charge light"},
+				"error":      {"thermal shutdown warning", "battery alert"},
+			},
+			variants: [][]string{
+				{
+					"Why does the {device} shut down after fifteen minutes of activity?",
+					"Do you know what makes the {component} spin at full speed all the time?",
+					"What should I check first when the {device} overheats?",
+				},
+				{
+					"Would moving the {device} to a cooler place solve it?",
+					"Can a {peripheral} keep the temperature under control?",
+					"Is it safe to keep using the {device} this hot?",
+				},
+				{
+					"Should I replace the {component} myself or pay the service?",
+					"How hard is it to swap the {component} on this model?",
+					"Can you recommend a {component} replacement guide?",
+				},
+			},
+		},
+		{
+			name: "wifi connectivity",
+			slots: map[string][]string{
+				"crossterm":  {"hourly connection drops", "range improvements upstairs", "static address setups"},
+				"device":     {"laptop", "desktop", "tablet"},
+				"component":  {"wireless card", "antenna", "router"},
+				"spec":       {"a dual band card", "the latest firmware"},
+				"peripheral": {"USB adapter", "ethernet cable", "access point"},
+				"software":   {"network driver", "router firmware", "network manager"},
+				"function":   {"connect", "hold the signal", "reach the network"},
+				"task":       {"video stream", "large download", "backup"},
+				"indicator":  {"wifi icon", "router light"},
+				"error":      {"limited connectivity message", "authentication error", "DNS failure"},
+			},
+			variants: [][]string{
+				{
+					"Why does the {component} drop the connection every hour?",
+					"Do you know what causes the {error} on this network?",
+					"What makes the signal die during a {task}?",
+				},
+				{
+					"Can a {peripheral} give me a more stable link?",
+					"Would a new {component} improve the range upstairs?",
+					"Which {component} works best with {os}?",
+				},
+				{
+					"How do I set a static address on the {component}?",
+					"Can you explain how to bridge the {component} and the router?",
+					"Is there a way to prioritize the {task} traffic?",
+				},
+			},
+		},
+		{
+			name: "boot failure",
+			slots: map[string][]string{
+				"crossterm":  {"morning boot stops", "bootloader repairs", "clean installs"},
+				"device":     {"desktop", "tower", "workstation"},
+				"component":  {"hard drive", "boot sector", "power supply", "motherboard"},
+				"spec":       {"dual boot disks", "a new SSD"},
+				"peripheral": {"recovery USB", "install disc"},
+				"software":   {"bootloader", "BIOS", "recovery image"},
+				"function":   {"boot", "start", "load the system"},
+				"task":       {"startup", "system restore"},
+				"indicator":  {"power light", "beep code"},
+				"error":      {"no bootable device message", "blue screen", "grub rescue prompt"},
+			},
+			variants: [][]string{
+				{
+					"Why does the {device} stop at the {error} every morning?",
+					"Do you know what the {indicator} pattern means at {task}?",
+					"What should I read from the {error} screen?",
+				},
+				{
+					"Can I repair the {component} from a {peripheral}?",
+					"How do I rebuild the {software} without losing files?",
+					"Is there a safe way to restore the {component}?",
+				},
+				{
+					"Would installing {os} fresh fix the {task} problem for good?",
+					"Should I replace the {component} before reinstalling {os}?",
+					"Is a clean install better than a repair here?",
+				},
+			},
+		},
+		{
+			name: "display issues",
+			slots: map[string][]string{
+				"crossterm":  {"playback flicker", "cable and adapter swaps", "panel calibration"},
+				"device":     {"monitor", "display", "screen"},
+				"component":  {"graphics card", "display cable", "panel", "backlight"},
+				"spec":       {"a 4K panel", "dual monitors"},
+				"peripheral": {"HDMI cable", "DisplayPort adapter"},
+				"software":   {"graphics driver", "color profile"},
+				"function":   {"display anything", "wake up", "keep the image"},
+				"task":       {"video playback", "external presentation"},
+				"indicator":  {"power LED", "signal light"},
+				"error":      {"no signal message", "flickering band", "dead pixel patch"},
+			},
+			variants: [][]string{
+				{
+					"Why does the {device} flicker during {task}?",
+					"Do you know what causes the {error} on wake?",
+					"What makes the {component} lose signal randomly?",
+				},
+				{
+					"Can a different {peripheral} remove the {error}?",
+					"Would a new {component} fix the flicker for good?",
+					"Which {peripheral} should I use for {spec}?",
+				},
+				{
+					"How do I calibrate the {device} under {os}?",
+					"Can you explain how to set {spec} correctly?",
+					"Is there a tool to test the {component} health?",
+				},
+			},
+		},
+	},
+}

@@ -1,0 +1,243 @@
+package forum
+
+// travelSpec mirrors the TripAdvisor hotel forum: Fig 7's travel intention
+// categories — booking reason, aspect judgements, room description, pros
+// and cons, overall opinion, and recommendation — with their grammatical
+// signatures (past/first-person booking narrative, third-person
+// descriptions, second-person/future recommendations).
+var travelSpec = domainSpec{
+	name: "Travel",
+	flow: []string{
+		"booking reason", "room description", "aspect judgement",
+		"pros and cons", "REQUEST", "opinion",
+	},
+	optional: map[string]float64{
+		"booking reason": 0.7,
+		"pros and cons":  0.6,
+		"opinion":        0.75,
+	},
+	requestLabel: "recommendation",
+	specs: map[string]intentionSpec{
+		"booking reason": {
+			label: "booking reason",
+			templates: []string{
+				"We booked the {hotel} for {occasion} last {season}.",
+				"I chose this place because of the {aspect}.",
+				"My {person} recommended the {hotel} after {occasion} there.",
+				"We stayed {duration} during our {occasion}.",
+				"I picked the {hotel} since it sits near the {landmark}.",
+				"We reserved a {roomtype} months before the {occasion}.",
+				"A review praising {crossterm} convinced us to book.",
+			},
+		},
+		"room description": {
+			label: "room description",
+			templates: []string{
+				"The {roomtype} has a {feature} and a view of the {landmark}.",
+				"The room comes with a {feature} and plenty of space.",
+				"The {hotel} offers a {amenity} and a {amenity2} on site.",
+				"The room smells fresh and the {feature} works perfectly.",
+				"The {roomtype} faces the {landmark} directly.",
+				"The bathroom has a {feature} and good lighting.",
+				"Leaflets in the lobby covered {crossterm} in detail.",
+			},
+		},
+		"aspect judgement": {
+			label: "aspect judgement",
+			templates: []string{
+				"The {aspect} was excellent from the first day.",
+				"The staff were friendly and spoke perfect English.",
+				"The {aspect} felt a bit dated for the price.",
+				"Breakfast offered fresh fruit and warm bread every morning.",
+				"The {aspect} got crowded every evening.",
+				"Housekeeping kept the {roomtype} spotless all week.",
+				"Other guests kept talking about {crossterm} all week.",
+				"The desk staff handled questions about {crossterm} politely.",
+			},
+		},
+		"pros and cons": {
+			label: "pros and cons",
+			templates: []string{
+				"The main pro is clearly the {aspect}.",
+				"A clear con is the {problem}.",
+				"On the plus side the {amenity} stays open late.",
+				"The weak point is the {problem} at night.",
+				"The strong points are the {aspect} and the {amenity}.",
+				"Reviews moaning about {crossterm} exaggerate a lot.",
+			},
+		},
+		"opinion": {
+			label: "opinion",
+			templates: []string{
+				"Overall I think the {hotel} is worth the price.",
+				"I would definitely stay at the {hotel} again.",
+				"Honestly I think the price sits too high for this.",
+				"All in all I consider it a lovely place.",
+				"I would happily return for {occasion}.",
+			},
+		},
+	},
+	slots: map[string][]string{
+		"person":   {"sister", "colleague", "friend", "cousin"},
+		"season":   {"summer", "spring", "autumn", "winter"},
+		"duration": {"three nights", "a week", "a long weekend", "five days"},
+		"occasion": {"our honeymoon", "a business trip", "a family holiday", "an anniversary"},
+	},
+	topics: []topic{
+		{
+			name: "beach resort",
+			slots: map[string][]string{
+				"crossterm": {"family friendly pool hours", "the quietest room floors", "places to eat near the lighthouse"},
+				"hotel":     {"beach resort", "seaside hotel", "coastal resort"},
+				"roomtype":  {"sea view room", "beach bungalow", "deluxe double"},
+				"feature":   {"private balcony", "king bed", "rain shower"},
+				"amenity":   {"infinity pool", "beach bar", "spa"},
+				"amenity2":  {"dive center", "sunset terrace"},
+				"aspect":    {"beach access", "pool area", "sea view"},
+				"landmark":  {"beach", "marina", "lighthouse"},
+				"problem":   {"loud beach bar music", "crowded pool", "slow elevator"},
+			},
+			variants: [][]string{
+				{
+					"Would you recommend the {hotel} for families with small kids?",
+					"You should tell me whether the {amenity} suits children.",
+					"Is the {aspect} safe for a toddler?",
+				},
+				{
+					"Which {roomtype} should I book for the best {aspect}?",
+					"You will want to know which floor has the quietest rooms.",
+					"Should I pay extra for the {feature}?",
+				},
+				{
+					"Can you suggest restaurants near the {landmark}?",
+					"Where should we eat around the {hotel} at night?",
+					"You should try the places by the {landmark} first, right?",
+				},
+			},
+		},
+		{
+			name: "city hotel",
+			slots: map[string][]string{
+				"crossterm": {"walking to the old town", "rooms away from street noise", "the executive lounge perks"},
+				"hotel":     {"downtown hotel", "city center hotel", "boutique hotel"},
+				"roomtype":  {"executive room", "studio suite", "standard double"},
+				"feature":   {"work desk", "soundproof windows", "espresso machine"},
+				"amenity":   {"rooftop bar", "fitness room", "business lounge"},
+				"amenity2":  {"underground parking", "conference floor"},
+				"aspect":    {"location", "metro access", "skyline view"},
+				"landmark":  {"old town", "central station", "museum quarter"},
+				"problem":   {"street noise", "tiny elevator", "expensive parking"},
+			},
+			variants: [][]string{
+				{
+					"Is the {hotel} close enough to walk to the {landmark}?",
+					"You should tell me how far the {landmark} really is.",
+					"Can I reach the {landmark} without a taxi?",
+				},
+				{
+					"Would the {roomtype} be quiet enough for light sleepers?",
+					"Which side of the {hotel} avoids the {problem}?",
+					"Should I ask for a high floor to escape the {problem}?",
+				},
+				{
+					"Does the {amenity} justify the executive rate?",
+					"Is the {amenity} open to all guests or only members?",
+					"You would book the {roomtype} again for the {amenity}, right?",
+				},
+			},
+		},
+		{
+			name: "mountain lodge",
+			slots: map[string][]string{
+				"crossterm": {"driving up after snow", "the suites with the view", "summer trail openings"},
+				"hotel":     {"mountain lodge", "alpine chalet", "ski hotel"},
+				"roomtype":  {"chalet suite", "loft room", "family cabin"},
+				"feature":   {"fireplace", "heated floor", "panorama window"},
+				"amenity":   {"sauna", "ski storage", "hot tub"},
+				"amenity2":  {"shuttle service", "equipment rental"},
+				"aspect":    {"slope access", "mountain view", "hiking trails"},
+				"landmark":  {"cable car", "summit trail", "village square"},
+				"problem":   {"steep access road", "thin walls", "limited parking"},
+			},
+			variants: [][]string{
+				{
+					"Is the {hotel} doable without a four wheel drive in winter?",
+					"You should tell me how bad the {problem} gets after snow.",
+					"Can a normal car reach the {hotel} in January?",
+				},
+				{
+					"Which {roomtype} has the best {aspect}?",
+					"Should we book the {roomtype} with the {feature}?",
+					"Is the {feature} worth the higher rate?",
+				},
+				{
+					"Would the lodge suit a summer hiking trip too?",
+					"Are the {aspect} open outside the ski season?",
+					"You would return in summer for the {landmark}, right?",
+				},
+			},
+		},
+		{
+			name: "airport hotel",
+			slots: map[string][]string{
+				"crossterm": {"dawn shuttle schedules", "rooms that block runway noise", "leaving bags after checkout"},
+				"hotel":     {"airport hotel", "transit hotel", "terminal inn"},
+				"roomtype":  {"day room", "compact double", "runway view room"},
+				"feature":   {"blackout curtains", "soundproofing", "early breakfast box"},
+				"amenity":   {"24 hour desk", "free shuttle", "luggage room"},
+				"amenity2":  {"express checkout", "lounge access"},
+				"aspect":    {"shuttle timing", "checkin speed", "quietness"},
+				"landmark":  {"terminal", "departures hall", "train link"},
+				"problem":   {"runway noise", "early crowd", "slow shuttle"},
+			},
+			variants: [][]string{
+				{
+					"Does the {amenity} run all night for early flights?",
+					"You should tell me how often the shuttle leaves at dawn.",
+					"Can I make a six in the morning flight from the {hotel}?",
+				},
+				{
+					"Is the {roomtype} quiet despite the {problem}?",
+					"Do the {feature} really block the {problem}?",
+					"Which floor avoids the {problem} best?",
+				},
+				{
+					"Is there a place to leave bags after checkout?",
+					"Can the {amenity} hold luggage for a whole day?",
+					"You would trust the {amenity} with valuables, right?",
+				},
+			},
+		},
+		{
+			name: "spa retreat",
+			slots: map[string][]string{
+				"crossterm": {"booking treatments ahead", "the silent floors", "surprise extra charges"},
+				"hotel":     {"spa retreat", "wellness resort", "thermal hotel"},
+				"roomtype":  {"garden suite", "zen room", "thermal view room"},
+				"feature":   {"soaking tub", "yoga mat corner", "aromatherapy set"},
+				"amenity":   {"thermal pools", "massage center", "silent garden"},
+				"amenity2":  {"tea lounge", "meditation pavilion"},
+				"aspect":    {"treatment quality", "calm atmosphere", "garden"},
+				"landmark":  {"hot springs", "forest path", "lake"},
+				"problem":   {"fully booked treatments", "strict silence rules", "extra charges"},
+			},
+			variants: [][]string{
+				{
+					"Should I reserve the {amenity} sessions before arriving?",
+					"You should warn me how early the {amenity} fills up.",
+					"Can we book treatments on arrival or is that too late?",
+				},
+				{
+					"Is the {hotel} suitable for someone who wants pure quiet?",
+					"Do children change the {aspect} during holidays?",
+					"Would the {roomtype} guarantee a silent night?",
+				},
+				{
+					"Are the {problem} as bad as other reviews say?",
+					"Did the {problem} spoil your stay at all?",
+					"You would still return despite the {problem}, right?",
+				},
+			},
+		},
+	},
+}

@@ -1,0 +1,261 @@
+// Package index implements the full-text indexing layer of Sec 7: an
+// inverted index over text units (whole posts for the FullText baseline,
+// intention-cluster segments for the paper's method) with the MySQL-5.5.3
+// style term weighting of Eq 7/8 — log-scaled term frequency, a
+// unique-term-count length normalization NU, and the smoothed probabilistic
+// inverse document frequency of Eq 9. One Index instance backs one
+// intention cluster (the paper builds |C| full-text indices plus one
+// document-id index; see Fig 6); the whole-collection FullText baseline is
+// the same structure with documents as units.
+//
+// The index is safe for concurrent use: additions take the write lock,
+// queries the read lock. Derived statistics (average unique-term count,
+// document frequencies) are maintained incrementally so queries never
+// rescan the collection.
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Posting records one term occurrence list entry: the unit that contains
+// the term and the term's frequency in it.
+type Posting struct {
+	Unit int32
+	TF   int32
+}
+
+// unitStats caches the per-unit quantities of Eq 7/8: the weight
+// denominator Σ(log f(t')+1) over the unit's distinct terms, and the count
+// of unique terms feeding the NU normalization.
+type unitStats struct {
+	denom  float64
+	unique int32
+}
+
+// Index is an inverted full-text index over integer-identified units.
+type Index struct {
+	mu          sync.RWMutex
+	postings    map[string][]Posting
+	units       []unitStats
+	totalUnique int64 // sum of unique-term counts, for the NU average
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{postings: make(map[string][]Posting)}
+}
+
+// Add indexes a unit's terms and returns the unit id the index assigned
+// (dense, starting at 0). Term order is irrelevant; duplicates are counted
+// as term frequency.
+func (ix *Index) Add(terms []string) int {
+	tf := make(map[string]int, len(terms))
+	for _, t := range terms {
+		tf[t]++
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := int32(len(ix.units))
+	var denom float64
+	for t, f := range tf {
+		ix.postings[t] = append(ix.postings[t], Posting{Unit: id, TF: int32(f)})
+		denom += math.Log(float64(f)) + 1
+	}
+	ix.units = append(ix.units, unitStats{denom: denom, unique: int32(len(tf))})
+	ix.totalUnique += int64(len(tf))
+	return int(id)
+}
+
+// NumUnits returns the number of indexed units (|I| in Eq 9).
+func (ix *Index) NumUnits() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.units)
+}
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
+
+// DocFreq returns the number of units containing the term (|Iᵗ| in Eq 9).
+func (ix *Index) DocFreq(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings[term])
+}
+
+// avgUniqueLocked returns the mean unique-term count per unit. Callers must
+// hold at least the read lock.
+func (ix *Index) avgUniqueLocked() float64 {
+	if len(ix.units) == 0 {
+		return 0
+	}
+	return float64(ix.totalUnique) / float64(len(ix.units))
+}
+
+// nu computes the length-normalization factor of Eq 7/8: units with more
+// unique terms than the collection average are penalized proportionally;
+// shorter units are not boosted (MySQL's behavior).
+func nu(unique int32, avgUnique float64) float64 {
+	if avgUnique <= 0 {
+		return 1
+	}
+	if ratio := float64(unique) / avgUnique; ratio > 1 {
+		return ratio
+	}
+	return 1
+}
+
+// Weight computes the Eq 7/8 weight of a term within a unit. It returns 0
+// if the term does not occur in the unit.
+func (ix *Index) Weight(term string, unit int) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, p := range ix.postings[term] {
+		if int(p.Unit) == unit {
+			return ix.weightLocked(p, ix.avgUniqueLocked())
+		}
+	}
+	return 0
+}
+
+func (ix *Index) weightLocked(p Posting, avgUnique float64) float64 {
+	u := ix.units[p.Unit]
+	if u.denom == 0 {
+		return 0
+	}
+	return (math.Log(float64(p.TF)) + 1) / (u.denom * nu(u.unique, avgUnique))
+}
+
+// IDF computes the smoothed probabilistic inverse document frequency of
+// Eq 9, log((N−n+0.5)/(n+0.5)), floored at zero so terms occurring in most
+// units contribute nothing rather than negative evidence.
+func (ix *Index) IDF(term string) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return idf(len(ix.units), len(ix.postings[term]))
+}
+
+func idf(n, df int) float64 {
+	if df == 0 {
+		return 0
+	}
+	v := math.Log((float64(n-df) + 0.5) / (float64(df) + 0.5))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Result is one scored unit of a query.
+type Result struct {
+	Unit  int
+	Score float64
+}
+
+// Query scores every unit containing at least one query term with Eq 9 —
+// Σ_t f_q(t)·w(t,unit)·pIDF(t) — and returns the topN results in
+// descending score order. The exclude predicate (may be nil) drops units
+// from the result, e.g. the query document's own segment.
+func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit int) bool) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if topN <= 0 || len(ix.units) == 0 {
+		return nil
+	}
+	avgUnique := ix.avgUniqueLocked()
+	// Accumulate in sorted term order: float summation is not associative,
+	// so map-order iteration would make scores vary at the ULP level across
+	// runs and break tie determinism.
+	terms := make([]string, 0, len(queryTF))
+	for term := range queryTF {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	scores := make(map[int32]float64)
+	for _, term := range terms {
+		qf := queryTF[term]
+		posts := ix.postings[term]
+		if len(posts) == 0 {
+			continue
+		}
+		tIDF := idf(len(ix.units), len(posts))
+		if tIDF == 0 {
+			continue
+		}
+		for _, p := range posts {
+			scores[p.Unit] += qf * ix.weightLocked(p, avgUnique) * tIDF
+		}
+	}
+
+	h := &resultHeap{}
+	heap.Init(h)
+	for unit, score := range scores {
+		if score <= 0 {
+			continue
+		}
+		if exclude != nil && exclude(int(unit)) {
+			continue
+		}
+		cand := Result{Unit: int(unit), Score: score}
+		if h.Len() < topN {
+			heap.Push(h, cand)
+		} else if beats(cand, (*h)[0]) {
+			(*h)[0] = cand
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}
+
+// TermFrequencies converts a term slice into the query TF map Query
+// expects (f_sq(t) of Eq 9).
+func TermFrequencies(terms []string) map[string]float64 {
+	tf := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		tf[t]++
+	}
+	return tf
+}
+
+// beats reports whether candidate a outranks b under the full ordering
+// (higher score first, lower unit id on ties) — used at the heap
+// replacement gate so ties never depend on map iteration order.
+func beats(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Unit < b.Unit
+}
+
+// resultHeap is a min-heap on score (ties broken by unit id for
+// determinism), used to keep the running top-N.
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Unit > h[j].Unit
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,82 @@
+package index
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// snapshot is the gob-serializable form of an Index. The paper performs
+// segmentation and grouping offline (Sec 7 "Indexing"); persistence lets a
+// built index be saved after that offline phase and reloaded for online
+// matching without re-processing the collection.
+type snapshot struct {
+	Postings    map[string][]Posting
+	Denoms      []float64
+	Uniques     []int32
+	TotalUnique int64
+}
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	snap := snapshot{
+		Postings:    ix.postings,
+		Denoms:      make([]float64, len(ix.units)),
+		Uniques:     make([]int32, len(ix.units)),
+		TotalUnique: ix.totalUnique,
+	}
+	for i, u := range ix.units {
+		snap.Denoms[i] = u.denom
+		snap.Uniques[i] = u.unique
+	}
+	ix.mu.RUnlock()
+
+	cw := &countingWriter{w: w}
+	err := gob.NewEncoder(cw).Encode(snap)
+	return cw.n, err
+}
+
+// ReadFrom replaces the index contents with a serialized snapshot. It
+// implements io.ReaderFrom.
+func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	var snap snapshot
+	if err := gob.NewDecoder(cr).Decode(&snap); err != nil {
+		return cr.n, err
+	}
+	units := make([]unitStats, len(snap.Denoms))
+	for i := range units {
+		units[i] = unitStats{denom: snap.Denoms[i], unique: snap.Uniques[i]}
+	}
+	if snap.Postings == nil {
+		snap.Postings = make(map[string][]Posting)
+	}
+	ix.mu.Lock()
+	ix.postings = snap.Postings
+	ix.units = units
+	ix.totalUnique = snap.TotalUnique
+	ix.mu.Unlock()
+	return cr.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,109 @@
+package match
+
+import (
+	"math"
+
+	"repro/internal/cm"
+	"repro/internal/segment"
+)
+
+// This file implements incremental maintenance of a built MR matcher.
+// Sec 9.2 of the paper discusses arriving posts: intentions drift slowly
+// (the authors compared two consecutive StackOverflow years and "noticed no
+// significant changes"), so new posts can be folded into the existing
+// intention clusters by nearest-centroid assignment, deferring a full
+// re-clustering to the cheap offline re-build (Fig 11(b): minutes even at
+// millions of segments).
+
+// Add segments a new document, assigns each segment to the nearest
+// existing intention centroid, applies the refinement rule, and indexes
+// the refined segments. It returns the document id assigned to the new
+// post. Add is not safe for concurrent use with itself; queries remain
+// safe throughout (the underlying indices take the write lock per
+// insertion).
+func (mr *MR) Add(d *segment.Doc) int {
+	docID := len(mr.docSegs)
+	seg := mr.cfg.Strategy.Segment(d)
+	ranges := seg.Segments()
+	mr.before = append(mr.before, len(ranges))
+	mr.stats.NumSegments += len(ranges)
+
+	// Assign each segment to its nearest centroid and merge per cluster
+	// (the refinement rule: at most one segment per document per cluster).
+	merged := make(map[int][]string)
+	for _, r := range ranges {
+		var vec []float64
+		switch {
+		case mr.cfg.ContentVectors:
+			vec = hashedTermVector(d.Terms(r[0], r[1]))
+		case mr.cfg.FullVectors:
+			vec = cm.WeightVector(d.Range(r[0], r[1]), d.Range(0, d.Len()))
+		default:
+			vec = cm.WithinSegmentWeights(d.Range(r[0], r[1]))
+		}
+		c := nearestCentroid(mr.centroids, vec)
+		if c < 0 {
+			continue
+		}
+		merged[c] = append(merged[c], d.Terms(r[0], r[1])...)
+	}
+
+	mr.docSegs = append(mr.docSegs, nil)
+	after := 0
+	for c := 0; c < len(mr.clusters); c++ {
+		terms, ok := merged[c]
+		if !ok {
+			continue
+		}
+		unit := mr.clusters[c].Add(terms)
+		mr.unitDoc[c] = append(mr.unitDoc[c], docID)
+		mr.docSegs[docID] = append(mr.docSegs[docID], docSeg{cluster: c, unit: unit, terms: terms})
+		after++
+	}
+	mr.after = append(mr.after, after)
+	return docID
+}
+
+// nearestCentroid returns the index of the closest centroid to vec under
+// Euclidean distance, or -1 if there are no centroids.
+func nearestCentroid(centroids [][]float64, vec []float64) int {
+	best, bestD := -1, math.Inf(1)
+	for c, cent := range centroids {
+		var d float64
+		for i := range cent {
+			diff := cent[i] - vec[i]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// DriftStats measures how far the current segment population has drifted
+// from the frozen centroids: the mean distance of a deterministic sample
+// of each cluster's units... since original vectors are not retained, the
+// proxy is cluster-size imbalance: the ratio between the largest and
+// smallest non-empty intention cluster. A ratio far above the value at
+// build time suggests a re-build (Sec 9.2: re-running clustering on the
+// whole updated collection is cheap).
+func (mr *MR) DriftStats() (minSize, maxSize int) {
+	for _, ix := range mr.clusters {
+		n := ix.NumUnits()
+		if n == 0 {
+			continue
+		}
+		if minSize == 0 || n < minSize {
+			minSize = n
+		}
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	return minSize, maxSize
+}
+
+// NumDocs returns the number of documents currently in the matcher,
+// including incrementally added ones.
+func (mr *MR) NumDocs() int { return len(mr.docSegs) }

@@ -1,0 +1,340 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/forum"
+	"repro/internal/lda"
+	"repro/internal/segment"
+	"repro/internal/textproc"
+)
+
+// testCorpus bundles a generated corpus with its prepared forms.
+type testCorpus struct {
+	posts []forum.Post
+	terms [][]string
+	docs  []*segment.Doc
+}
+
+func buildCorpus(t testing.TB, domain forum.Domain, n int, seed int64) *testCorpus {
+	t.Helper()
+	posts := forum.Generate(forum.Config{Domain: domain, NumPosts: n, Seed: seed})
+	tc := &testCorpus{posts: posts}
+	for _, p := range posts {
+		tc.terms = append(tc.terms, textproc.StemAll(textproc.ContentWords(p.Text)))
+		tc.docs = append(tc.docs, segment.NewDoc(p.Text))
+	}
+	return tc
+}
+
+func checkResults(t *testing.T, name string, res []Result, docID, k int) {
+	t.Helper()
+	if len(res) > k {
+		t.Errorf("%s returned %d results for k=%d", name, len(res), k)
+	}
+	for i, r := range res {
+		if r.DocID == docID {
+			t.Errorf("%s returned the query document", name)
+		}
+		if i > 0 && r.Score > res[i-1].Score {
+			t.Errorf("%s results not sorted", name)
+		}
+	}
+}
+
+func TestFullTextMatch(t *testing.T) {
+	tc := buildCorpus(t, forum.TechSupport, 120, 1)
+	ft := NewFullText(tc.terms)
+	for _, q := range []int{0, 5, 50} {
+		res := ft.Match(q, 5)
+		if len(res) == 0 {
+			t.Fatalf("FullText found nothing for doc %d", q)
+		}
+		checkResults(t, "FullText", res, q, 5)
+	}
+	if got := ft.Match(-1, 5); got != nil {
+		t.Error("out-of-range doc should return nil")
+	}
+	if ft.Name() != "FullText" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestFullTextPrefersSameTopic(t *testing.T) {
+	tc := buildCorpus(t, forum.TechSupport, 200, 2)
+	ft := NewFullText(tc.terms)
+	hits, total := 0, 0
+	for q := 0; q < 30; q++ {
+		for _, r := range ft.Match(q, 5) {
+			total++
+			if tc.posts[r.DocID].Topic == tc.posts[q].Topic {
+				hits++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no results at all")
+	}
+	if frac := float64(hits) / float64(total); frac < 0.7 {
+		t.Errorf("FullText same-topic fraction %.2f < 0.7 — shared vocabulary should dominate", frac)
+	}
+}
+
+func TestLDAMatcher(t *testing.T) {
+	tc := buildCorpus(t, forum.Travel, 100, 3)
+	lm, err := NewLDA(tc.terms, lda.Config{K: 6, Iterations: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lm.Match(0, 5)
+	if len(res) != 5 {
+		t.Fatalf("LDA returned %d results", len(res))
+	}
+	checkResults(t, "LDA", res, 0, 5)
+	if lm.Match(-1, 5) != nil || lm.Match(0, 0) != nil {
+		t.Error("degenerate queries should return nil")
+	}
+	if _, err := NewLDA(nil, lda.Config{}); err == nil {
+		t.Error("NewLDA(nil) should fail")
+	}
+}
+
+func TestMRIntentIntentBuild(t *testing.T) {
+	tc := buildCorpus(t, forum.TechSupport, 150, 5)
+	mr := NewMR("IntentIntent-MR", tc.docs, MRConfig{})
+	if mr.NumClusters() < 2 {
+		t.Fatalf("only %d intention clusters formed", mr.NumClusters())
+	}
+	if mr.NumClusters() > 25 {
+		// The paper reports 3-5 intention clusters on 100K+ post corpora;
+		// on a 150-post corpus the k-distance eps estimate is noisier, so
+		// only guard against pathological fragmentation here.
+		t.Errorf("%d clusters — pathological fragmentation", mr.NumClusters())
+	}
+	stats := mr.Stats()
+	if stats.NumSegments < len(tc.docs) {
+		t.Errorf("fewer segments than documents: %d", stats.NumSegments)
+	}
+	before, after := mr.SegmentCounts()
+	if len(before) != len(tc.docs) || len(after) != len(tc.docs) {
+		t.Fatal("segment count vectors wrong length")
+	}
+	for i := range before {
+		if after[i] > before[i] {
+			t.Errorf("doc %d: refinement increased segments %d → %d", i, before[i], after[i])
+		}
+		if after[i] < 1 {
+			t.Errorf("doc %d lost all segments", i)
+		}
+	}
+	if len(mr.Centroids()) != mr.NumClusters() {
+		t.Error("centroid count mismatch")
+	}
+	sizes := mr.ClusterSizes()
+	var total int
+	for _, s := range sizes {
+		total += s
+	}
+	var afterTotal int
+	for _, a := range after {
+		afterTotal += a
+	}
+	if total != afterTotal {
+		t.Errorf("cluster sizes sum %d != refined segments %d", total, afterTotal)
+	}
+}
+
+func TestMRMatch(t *testing.T) {
+	tc := buildCorpus(t, forum.TechSupport, 150, 6)
+	mr := NewMR("IntentIntent-MR", tc.docs, MRConfig{})
+	found := 0
+	for q := 0; q < 20; q++ {
+		res := mr.Match(q, 5)
+		checkResults(t, "MR", res, q, 5)
+		if len(res) > 0 {
+			found++
+		}
+	}
+	if found < 15 {
+		t.Errorf("MR returned results for only %d/20 queries", found)
+	}
+	if mr.Match(-1, 5) != nil || mr.Match(0, 0) != nil {
+		t.Error("degenerate queries should return nil")
+	}
+}
+
+func TestMRVariants(t *testing.T) {
+	tc := buildCorpus(t, forum.Travel, 100, 7)
+	variants := []*MR{
+		NewMR("IntentIntent-MR", tc.docs, MRConfig{Strategy: segment.Greedy{}}),
+		NewMR("SentIntent-MR", tc.docs, MRConfig{Strategy: segment.Sentences{}}),
+		NewMR("Content-MR", tc.docs, MRConfig{Strategy: segment.TextTiling{}, ContentVectors: true}),
+	}
+	for _, mr := range variants {
+		res := mr.Match(3, 5)
+		checkResults(t, mr.Name(), res, 3, 5)
+		if mr.NumClusters() == 0 {
+			t.Errorf("%s built no clusters", mr.Name())
+		}
+	}
+	// SentIntent segments are sentences: strictly more raw segments than
+	// Greedy's merged segments.
+	if variants[1].Stats().NumSegments <= variants[0].Stats().NumSegments {
+		t.Errorf("sentence segmentation should produce more raw segments (%d vs %d)",
+			variants[1].Stats().NumSegments, variants[0].Stats().NumSegments)
+	}
+}
+
+func TestMRBeatsFullTextOnConfusableCorpus(t *testing.T) {
+	// The headline claim (Table 4): on same-category posts where vocabulary
+	// is shared but needs differ, intention-based matching finds more truly
+	// related posts than whole-post matching.
+	tc := buildCorpus(t, forum.TechSupport, 300, 8)
+	ft := NewFullText(tc.terms)
+	mr := NewMR("IntentIntent-MR", tc.docs, MRConfig{})
+
+	var ftPrec, mrPrec float64
+	queries := 40
+	for q := 0; q < queries; q++ {
+		rel := forum.RelevantSet(tc.posts, tc.posts[q])
+		ftPrec += precision(ft.Match(q, 5), rel)
+		mrPrec += precision(mr.Match(q, 5), rel)
+	}
+	ftPrec /= float64(queries)
+	mrPrec /= float64(queries)
+	t.Logf("mean precision: FullText=%.3f IntentIntent-MR=%.3f", ftPrec, mrPrec)
+	if mrPrec <= ftPrec {
+		t.Errorf("IntentIntent-MR precision %.3f should beat FullText %.3f", mrPrec, ftPrec)
+	}
+}
+
+func precision(res []Result, rel map[int]bool) float64 {
+	if len(res) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, r := range res {
+		if rel[r.DocID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(res))
+}
+
+func TestMRKeepNoise(t *testing.T) {
+	tc := buildCorpus(t, forum.TechSupport, 80, 9)
+	mr := NewMR("IntentIntent-MR", tc.docs, MRConfig{KeepNoise: true})
+	// With noise kept out, some documents may have fewer refined segments,
+	// but the matcher must still work.
+	res := mr.Match(0, 5)
+	checkResults(t, "KeepNoise", res, 0, 5)
+}
+
+func TestMREmptyAndTinyCorpus(t *testing.T) {
+	mr := NewMR("empty", nil, MRConfig{})
+	if mr.Match(0, 5) != nil {
+		t.Error("empty corpus should match nothing")
+	}
+	tiny := buildCorpus(t, forum.TechSupport, 3, 10)
+	mr = NewMR("tiny", tiny.docs, MRConfig{})
+	res := mr.Match(0, 5)
+	checkResults(t, "tiny", res, 0, 5)
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		n := 100
+		seen := make([]bool, n)
+		var mu chan struct{} = make(chan struct{}, 1)
+		mu <- struct{}{}
+		parallelFor(n, workers, func(i int) {
+			<-mu
+			seen[i] = true
+			mu <- struct{}{}
+		})
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+func TestHashedTermVector(t *testing.T) {
+	v := hashedTermVector([]string{"raid", "disk", "raid"})
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm < 0.99 || norm > 1.01 {
+		t.Errorf("vector not L2-normalized: %v", norm)
+	}
+	if len(v) != hashedTermVectorDim {
+		t.Errorf("wrong dimension %d", len(v))
+	}
+	empty := hashedTermVector(nil)
+	for _, x := range empty {
+		if x != 0 {
+			t.Error("empty terms should give zero vector")
+		}
+	}
+	// Determinism.
+	w := hashedTermVector([]string{"raid", "disk", "raid"})
+	for i := range v {
+		if v[i] != w[i] {
+			t.Fatal("hashing not deterministic")
+		}
+	}
+}
+
+func BenchmarkMRBuild(b *testing.B) {
+	tc := buildCorpus(b, forum.TechSupport, 100, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMR("IntentIntent-MR", tc.docs, MRConfig{})
+	}
+}
+
+func BenchmarkMRMatch(b *testing.B) {
+	tc := buildCorpus(b, forum.TechSupport, 500, 12)
+	mr := NewMR("IntentIntent-MR", tc.docs, MRConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr.Match(i%500, 5)
+	}
+}
+
+func TestMatcherNames(t *testing.T) {
+	tc := buildCorpus(t, forum.TechSupport, 30, 71)
+	lm, err := NewLDA(tc.terms, lda.Config{K: 3, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Name() != "LDA" {
+		t.Errorf("LDA name = %q", lm.Name())
+	}
+	mr := NewMR("Custom-MR", tc.docs, MRConfig{})
+	if mr.Name() != "Custom-MR" {
+		t.Errorf("MR name = %q", mr.Name())
+	}
+}
+
+func TestEstimateEpsSampled(t *testing.T) {
+	// Large vector sets route through the sampled estimator. Points spread
+	// along a line so nearest-neighbor distances are nonzero.
+	var vecs [][]float64
+	for i := 0; i < 1200; i++ {
+		vecs = append(vecs, []float64{float64(i) / 100, float64(i%13) / 10})
+	}
+	eps := estimateEpsSampled(vecs, 3, 500)
+	if eps <= 0 {
+		t.Errorf("sampled eps = %v, want > 0", eps)
+	}
+	// Small sets use the exact estimator; both paths must agree on scale.
+	exact := estimateEpsSampled(vecs[:400], 3, 500)
+	if exact <= 0 {
+		t.Errorf("exact eps = %v", exact)
+	}
+}

@@ -1,0 +1,171 @@
+// Package match implements the document-matching layer of Sec 7: the
+// intention-based multi-ranking method of Algorithms 1 and 2
+// (IntentIntent-MR) and the comparison methods of Sec 9.2 — FullText
+// (whole-post MySQL-style ranking), LDA (topic-distribution similarity),
+// Content-MR (topical segmentation + TF/IDF clusters), and SentIntent-MR
+// (sentence units + CM clusters). All expose the same Matcher interface:
+// given a reference post in the collection, return the top-k most related
+// posts.
+package match
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/lda"
+)
+
+// Result is one related document with its matching score.
+type Result struct {
+	DocID int
+	Score float64
+}
+
+// Matcher finds the documents most related to a reference document of the
+// prepared collection.
+type Matcher interface {
+	// Name identifies the method in experiment output (Table 4 row labels).
+	Name() string
+	// Match returns up to k related documents for the collection document
+	// docID, best first, never including docID itself.
+	Match(docID, k int) []Result
+}
+
+// FullText is the whole-post baseline: one inverted index over entire
+// posts with the Eq 7 weighting — the paper's MySQL 5.5.3 full-text
+// configuration.
+type FullText struct {
+	ix    *index.Index
+	terms [][]string
+}
+
+// NewFullText indexes the collection; docs[i] holds the content terms of
+// document i.
+func NewFullText(docs [][]string) *FullText {
+	ft := &FullText{ix: index.New(), terms: docs}
+	for _, terms := range docs {
+		ft.ix.Add(terms)
+	}
+	return ft
+}
+
+// Name implements Matcher.
+func (ft *FullText) Name() string { return "FullText" }
+
+// Match implements Matcher. Unit ids coincide with document ids here.
+func (ft *FullText) Match(docID, k int) []Result {
+	if docID < 0 || docID >= len(ft.terms) {
+		return nil
+	}
+	q := index.TermFrequencies(ft.terms[docID])
+	res := ft.ix.Query(q, k, func(u int) bool { return u == docID })
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{DocID: r.Unit, Score: r.Score}
+	}
+	return out
+}
+
+// LDAMatcher ranks posts by the similarity of their LDA topic
+// distributions. Like the paper's LDA baseline it has no index: every
+// query scans the collection, which is what makes it the slowest method in
+// Fig 11(c).
+type LDAMatcher struct {
+	model *lda.Model
+}
+
+// NewLDA trains a topic model over the collection's term lists.
+func NewLDA(docs [][]string, cfg lda.Config) (*LDAMatcher, error) {
+	m, err := lda.Train(docs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("match: training LDA: %w", err)
+	}
+	return &LDAMatcher{model: m}, nil
+}
+
+// Name implements Matcher.
+func (lm *LDAMatcher) Name() string { return "LDA" }
+
+// Match implements Matcher.
+func (lm *LDAMatcher) Match(docID, k int) []Result {
+	n := lm.model.NumDocs()
+	if docID < 0 || docID >= n || k <= 0 {
+		return nil
+	}
+	q := lm.model.DocTopics(docID)
+	h := &resultHeap{}
+	heap.Init(h)
+	for d := 0; d < n; d++ {
+		if d == docID {
+			continue
+		}
+		cand := Result{DocID: d, Score: lda.Similarity(q, lm.model.DocTopics(d))}
+		if h.Len() < k {
+			heap.Push(h, cand)
+		} else if beats(cand, (*h)[0]) {
+			(*h)[0] = cand
+			heap.Fix(h, 0)
+		}
+	}
+	return drain(h)
+}
+
+// beats reports whether candidate a outranks b (higher score, then lower
+// document id) — the gate ordering that keeps top-k selection independent
+// of map iteration order.
+func beats(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.DocID < b.DocID
+}
+
+// resultHeap is a min-heap on score with deterministic tie-breaking.
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].DocID > h[j].DocID
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// drain empties the heap into a best-first slice.
+func drain(h *resultHeap) []Result {
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}
+
+// topK selects the k highest-scoring entries of a doc → score map, best
+// first, excluding docID.
+func topK(scores map[int]float64, k, docID int) []Result {
+	h := &resultHeap{}
+	heap.Init(h)
+	for d, s := range scores {
+		if d == docID || s <= 0 {
+			continue
+		}
+		cand := Result{DocID: d, Score: s}
+		if h.Len() < k {
+			heap.Push(h, cand)
+		} else if beats(cand, (*h)[0]) {
+			(*h)[0] = cand
+			heap.Fix(h, 0)
+		}
+	}
+	return drain(h)
+}

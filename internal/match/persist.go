@@ -1,0 +1,186 @@
+package match
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/index"
+	"repro/internal/segment"
+)
+
+// This file persists a built MR matcher. The paper splits the system into
+// an offline phase (segmentation, grouping, indexing) and an online phase
+// (top-k matching); persistence lets the offline result be built once,
+// written to disk, and served by separate processes.
+//
+// The segmentation strategy itself is configuration, not state: the loaded
+// matcher reconstructs it from the saved MRConfig's zero-value defaults
+// unless the caller overrides it before calling Add. Everything the online
+// phase needs — the per-cluster indices, unit ownership, per-document
+// segment terms, centroids, and statistics — round-trips exactly.
+
+// mrSnapshot is the gob-serializable state of an MR matcher.
+type mrSnapshot struct {
+	Name      string
+	Cfg       mrConfigSnapshot
+	UnitDoc   [][]int
+	DocSegs   [][]docSegSnapshot
+	Before    []int
+	After     []int
+	Centroids [][]float64
+	Stats     BuildStats
+}
+
+// mrConfigSnapshot carries the serializable MRConfig fields (the Strategy
+// interface is reconstructed as the default on load).
+type mrConfigSnapshot struct {
+	ContentVectors bool
+	ContentK       int
+	Eps            float64
+	MinPts         int
+	SampleSize     int
+	KeepNoise      bool
+	Grouper        int
+	KMeansK        int
+	FullVectors    bool
+	NFactor        int
+	ScoreThreshold float64
+	NormalizeLists bool
+	Seed           int64
+}
+
+type docSegSnapshot struct {
+	Cluster int
+	Unit    int
+	Terms   []string
+}
+
+// WriteTo serializes the matcher: a header snapshot followed by each
+// cluster index. It implements io.WriterTo.
+func (mr *MR) WriteTo(w io.Writer) (int64, error) {
+	snap := mrSnapshot{
+		Name: mr.name,
+		Cfg: mrConfigSnapshot{
+			ContentVectors: mr.cfg.ContentVectors,
+			ContentK:       mr.cfg.ContentK,
+			Eps:            mr.cfg.Eps,
+			MinPts:         mr.cfg.MinPts,
+			SampleSize:     mr.cfg.SampleSize,
+			KeepNoise:      mr.cfg.KeepNoise,
+			Grouper:        int(mr.cfg.Grouper),
+			KMeansK:        mr.cfg.KMeansK,
+			FullVectors:    mr.cfg.FullVectors,
+			NFactor:        mr.cfg.NFactor,
+			ScoreThreshold: mr.cfg.ScoreThreshold,
+			NormalizeLists: mr.cfg.NormalizeLists,
+			Seed:           mr.cfg.Seed,
+		},
+		UnitDoc:   mr.unitDoc,
+		Before:    mr.before,
+		After:     mr.after,
+		Centroids: mr.centroids,
+		Stats:     mr.stats,
+	}
+	snap.DocSegs = make([][]docSegSnapshot, len(mr.docSegs))
+	for d, segs := range mr.docSegs {
+		for _, s := range segs {
+			snap.DocSegs[d] = append(snap.DocSegs[d], docSegSnapshot{
+				Cluster: s.cluster, Unit: s.unit, Terms: s.terms,
+			})
+		}
+	}
+
+	// A gob decoder buffers past what it consumes, so nested gob streams
+	// cannot share a reader; each cluster index is serialized into its own
+	// byte slice inside the single outer stream.
+	cw := &countingWriter{w: w}
+	enc := gob.NewEncoder(cw)
+	if err := enc.Encode(snap); err != nil {
+		return cw.n, fmt.Errorf("match: encoding matcher: %w", err)
+	}
+	if err := enc.Encode(len(mr.clusters)); err != nil {
+		return cw.n, err
+	}
+	for _, ix := range mr.clusters {
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			return cw.n, fmt.Errorf("match: encoding cluster index: %w", err)
+		}
+		if err := enc.Encode(buf.Bytes()); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadMR deserializes a matcher previously written with WriteTo.
+func ReadMR(r io.Reader) (*MR, error) {
+	dec := gob.NewDecoder(r)
+	var snap mrSnapshot
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("match: decoding matcher: %w", err)
+	}
+	var numClusters int
+	if err := dec.Decode(&numClusters); err != nil {
+		return nil, err
+	}
+	mr := &MR{
+		name: snap.Name,
+		cfg: MRConfig{
+			ContentVectors: snap.Cfg.ContentVectors,
+			ContentK:       snap.Cfg.ContentK,
+			Eps:            snap.Cfg.Eps,
+			MinPts:         snap.Cfg.MinPts,
+			SampleSize:     snap.Cfg.SampleSize,
+			KeepNoise:      snap.Cfg.KeepNoise,
+			Grouper:        Grouping(snap.Cfg.Grouper),
+			KMeansK:        snap.Cfg.KMeansK,
+			FullVectors:    snap.Cfg.FullVectors,
+			NFactor:        snap.Cfg.NFactor,
+			ScoreThreshold: snap.Cfg.ScoreThreshold,
+			NormalizeLists: snap.Cfg.NormalizeLists,
+			Seed:           snap.Cfg.Seed,
+		}.withDefaults(),
+		unitDoc:   snap.UnitDoc,
+		before:    snap.Before,
+		after:     snap.After,
+		centroids: snap.Centroids,
+		stats:     snap.Stats,
+	}
+	mr.docSegs = make([][]docSeg, len(snap.DocSegs))
+	for d, segs := range snap.DocSegs {
+		for _, s := range segs {
+			mr.docSegs[d] = append(mr.docSegs[d], docSeg{cluster: s.Cluster, unit: s.Unit, terms: s.Terms})
+		}
+	}
+	mr.clusters = make([]*index.Index, numClusters)
+	for c := range mr.clusters {
+		var raw []byte
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("match: decoding cluster %d: %w", c, err)
+		}
+		mr.clusters[c] = index.New()
+		if _, err := mr.clusters[c].ReadFrom(bytes.NewReader(raw)); err != nil {
+			return nil, fmt.Errorf("match: decoding cluster %d: %w", c, err)
+		}
+	}
+	return mr, nil
+}
+
+// SetStrategy replaces the segmentation strategy used by incremental Add
+// on a loaded matcher (the strategy itself is configuration and is not
+// serialized).
+func (mr *MR) SetStrategy(st segment.Strategy) { mr.cfg.Strategy = st }
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,102 @@
+package match
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/forum"
+	"repro/internal/segment"
+)
+
+func TestMRPersistRoundTrip(t *testing.T) {
+	tc := buildCorpus(t, forum.TechSupport, 120, 51)
+	mr := NewMR("IntentIntent-MR", tc.docs, MRConfig{Seed: 3})
+
+	var buf bytes.Buffer
+	n, err := mr.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	loaded, err := ReadMR(&buf)
+	if err != nil {
+		t.Fatalf("ReadMR: %v", err)
+	}
+	if loaded.Name() != mr.Name() {
+		t.Errorf("name %q != %q", loaded.Name(), mr.Name())
+	}
+	if loaded.NumClusters() != mr.NumClusters() || loaded.NumDocs() != mr.NumDocs() {
+		t.Fatal("shape mismatch after round trip")
+	}
+	// Every query must return the same documents with the same scores.
+	// (Query-term map iteration makes float summation order vary, so scores
+	// are compared within an ULP-scale tolerance and documents as sets.)
+	for q := 0; q < 30; q++ {
+		a := mr.Match(q, 5)
+		b := loaded.Match(q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", q, len(a), len(b))
+		}
+		scoreOf := map[int]float64{}
+		for _, r := range a {
+			scoreOf[r.DocID] = r.Score
+		}
+		for _, r := range b {
+			want, ok := scoreOf[r.DocID]
+			if !ok {
+				t.Fatalf("query %d: doc %d only in loaded results", q, r.DocID)
+			}
+			if diff := r.Score - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("query %d doc %d score %v vs %v", q, r.DocID, r.Score, want)
+			}
+		}
+	}
+	// Segment accounting round-trips.
+	b1, a1 := mr.SegmentCounts()
+	b2, a2 := loaded.SegmentCounts()
+	for i := range b1 {
+		if b1[i] != b2[i] || a1[i] != a2[i] {
+			t.Fatal("segment counts differ after round trip")
+		}
+	}
+	if loaded.Stats() != mr.Stats() {
+		t.Error("stats differ after round trip")
+	}
+}
+
+func TestLoadedMRSupportsAdd(t *testing.T) {
+	tc := buildCorpus(t, forum.Travel, 80, 52)
+	mr := NewMR("m", tc.docs, MRConfig{})
+	var buf bytes.Buffer
+	if _, err := mr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadMR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The strategy is configuration; a loaded matcher gets the default and
+	// can be overridden.
+	loaded.SetStrategy(segment.Greedy{})
+	extra := forum.GeneratePost(forum.Travel, 80, 52)
+	id := loaded.Add(segment.NewDoc(extra.Text))
+	if id != 80 {
+		t.Fatalf("Add after load returned %d", id)
+	}
+	if res := loaded.Match(id, 5); len(res) == 0 {
+		t.Error("added doc on loaded matcher matches nothing")
+	}
+}
+
+func TestReadMRGarbage(t *testing.T) {
+	if _, err := ReadMR(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage input should fail")
+	}
+	if _, err := ReadMR(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}

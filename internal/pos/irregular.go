@@ -1,0 +1,101 @@
+package pos
+
+// irregularPast maps irregular simple-past forms to their base verb, and
+// irregularPart maps irregular past participles to their base verb. Forms
+// that serve both roles ("bought") appear in both maps. The inventory
+// covers the ~170 irregular verbs that dominate written English.
+
+var irregularPast = map[string]string{
+	"arose": "arise", "awoke": "awake", "was": "be", "were": "be",
+	"bore": "bear", "beat": "beat", "became": "become", "began": "begin",
+	"bent": "bend", "bet": "bet", "bound": "bind", "bit": "bite",
+	"bled": "bleed", "blew": "blow", "broke": "break", "bred": "breed",
+	"brought": "bring", "broadcast": "broadcast", "built": "build",
+	"burned": "burn", "burnt": "burn", "burst": "burst", "bought": "buy",
+	"caught": "catch", "chose": "choose", "clung": "cling", "came": "come",
+	"cost": "cost", "crept": "creep", "cut": "cut", "dealt": "deal",
+	"dug": "dig", "did": "do", "drew": "draw", "dreamed": "dream",
+	"dreamt": "dream", "drank": "drink", "drove": "drive", "ate": "eat",
+	"fell": "fall", "fed": "feed", "felt": "feel", "fought": "fight",
+	"found": "find", "fit": "fit", "fled": "flee", "flung": "fling",
+	"flew": "fly", "forbade": "forbid", "forgot": "forget",
+	"forgave": "forgive", "froze": "freeze", "got": "get", "gave": "give",
+	"went": "go", "grew": "grow", "hung": "hang", "had": "have",
+	"heard": "hear", "hid": "hide", "hit": "hit", "held": "hold",
+	"hurt": "hurt", "kept": "keep", "knelt": "kneel", "knew": "know",
+	"laid": "lay", "led": "lead", "leaped": "leap", "leapt": "leap",
+	"learned": "learn", "learnt": "learn", "left": "leave", "lent": "lend",
+	"lay": "lie", "lit": "light", "lost": "lose", "made": "make",
+	"meant": "mean", "met": "meet", "paid": "pay", "put": "put",
+	"quit": "quit", "read": "read", "rid": "rid", "rode": "ride",
+	"rang": "ring", "rose": "rise", "ran": "run", "said": "say",
+	"saw": "see", "sought": "seek", "sold": "sell", "sent": "send",
+	"set": "set", "sewed": "sew", "shook": "shake", "shone": "shine",
+	"shot": "shoot", "showed": "show", "shrank": "shrink", "shut": "shut",
+	"sang": "sing", "sank": "sink", "sat": "sit", "slept": "sleep",
+	"slid": "slide", "spoke": "speak", "sped": "speed", "spent": "spend",
+	"spun": "spin", "spread": "spread", "sprang": "spring", "stood": "stand",
+	"stole": "steal", "stuck": "stick", "stung": "sting", "stank": "stink",
+	"struck": "strike", "swore": "swear", "swept": "sweep", "swam": "swim",
+	"swung": "swing", "took": "take", "taught": "teach", "tore": "tear",
+	"told": "tell", "thought": "think", "threw": "throw",
+	"understood": "understand", "woke": "wake", "wore": "wear",
+	"wove": "weave", "wept": "weep", "won": "win", "wound": "wind",
+	"withdrew": "withdraw", "wrung": "wring", "wrote": "write",
+	"sprung": "spring", "stove": "stave", "strove": "strive",
+	"upgraded": "upgrade",
+}
+
+var irregularPart = map[string]string{
+	"arisen": "arise", "awoken": "awake", "been": "be", "borne": "bear",
+	"beaten": "beat", "become": "become", "begun": "begin", "bent": "bend",
+	"bet": "bet", "bound": "bind", "bitten": "bite", "bled": "bleed",
+	"blown": "blow", "broken": "break", "bred": "breed",
+	"brought": "bring", "broadcast": "broadcast", "built": "build",
+	"burned": "burn", "burnt": "burn", "burst": "burst", "bought": "buy",
+	"caught": "catch", "chosen": "choose", "clung": "cling", "come": "come",
+	"cost": "cost", "crept": "creep", "cut": "cut", "dealt": "deal",
+	"dug": "dig", "done": "do", "drawn": "draw", "dreamed": "dream",
+	"dreamt": "dream", "drunk": "drink", "driven": "drive", "eaten": "eat",
+	"fallen": "fall", "fed": "feed", "felt": "feel", "fought": "fight",
+	"found": "find", "fit": "fit", "fled": "flee", "flung": "fling",
+	"flown": "fly", "forbidden": "forbid", "forgotten": "forget",
+	"forgiven": "forgive", "frozen": "freeze", "gotten": "get", "got": "get",
+	"given": "give", "gone": "go", "grown": "grow", "hung": "hang",
+	"had": "have", "heard": "hear", "hidden": "hide", "hit": "hit",
+	"held": "hold", "hurt": "hurt", "kept": "keep", "knelt": "kneel",
+	"known": "know", "laid": "lay", "led": "lead", "leaped": "leap",
+	"leapt": "leap", "learned": "learn", "learnt": "learn", "left": "leave",
+	"lent": "lend", "lain": "lie", "lit": "light", "lost": "lose",
+	"made": "make", "meant": "mean", "met": "meet", "paid": "pay",
+	"put": "put", "quit": "quit", "read": "read", "rid": "rid",
+	"ridden": "ride", "rung": "ring", "risen": "rise", "run": "run",
+	"said": "say", "seen": "see", "sought": "seek", "sold": "sell",
+	"sent": "send", "set": "set", "sewn": "sew", "shaken": "shake",
+	"shone": "shine", "shot": "shoot", "shown": "show", "shrunk": "shrink",
+	"shut": "shut", "sung": "sing", "sunk": "sink", "sat": "sit",
+	"slept": "sleep", "slid": "slide", "spoken": "speak", "sped": "speed",
+	"spent": "spend", "spun": "spin", "spread": "spread",
+	"sprung": "spring", "stood": "stand", "stolen": "steal",
+	"stuck": "stick", "stung": "sting", "stunk": "stink",
+	"struck": "strike", "sworn": "swear", "swept": "sweep", "swum": "swim",
+	"swung": "swing", "taken": "take", "taught": "teach", "torn": "tear",
+	"told": "tell", "thought": "think", "thrown": "throw",
+	"understood": "understand", "woken": "wake", "worn": "wear",
+	"woven": "weave", "wept": "weep", "won": "win", "wound": "wind",
+	"withdrawn": "withdraw", "wrung": "wring", "written": "write",
+}
+
+// IsIrregularPast reports whether w (lower-cased) is an irregular
+// simple-past verb form, returning its base form.
+func IsIrregularPast(w string) (base string, ok bool) {
+	base, ok = irregularPast[w]
+	return base, ok
+}
+
+// IsIrregularParticiple reports whether w (lower-cased) is an irregular past
+// participle, returning its base form.
+func IsIrregularParticiple(w string) (base string, ok bool) {
+	base, ok = irregularPart[w]
+	return base, ok
+}

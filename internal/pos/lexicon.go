@@ -1,0 +1,162 @@
+package pos
+
+// Closed-class lexicons. These word lists are the backbone of the tagger:
+// English closed classes are small and stable, so enumerating them gives
+// high-precision tags for exactly the words the communication-means
+// annotator cares most about (pronouns, auxiliaries, modals, negators,
+// wh-words).
+
+var pronounFirst = set(
+	"i", "we", "me", "us", "my", "our", "mine", "ours", "myself", "ourselves",
+	"i'm", "i've", "i'd", "i'll", "we're", "we've", "we'd", "we'll",
+)
+
+var pronounSecond = set(
+	"you", "your", "yours", "yourself", "yourselves",
+	"you're", "you've", "you'd", "you'll",
+)
+
+var pronounThird = set(
+	"he", "she", "it", "they", "him", "her", "them", "his", "hers", "its",
+	"their", "theirs", "himself", "herself", "itself", "themselves", "one",
+	"someone", "anyone", "everyone", "somebody", "anybody", "everybody",
+	"something", "anything", "everything", "nothing", "nobody",
+	"he's", "she's", "it's", "they're", "they've", "they'd", "they'll",
+	"he'd", "she'd", "he'll", "she'll", "it'll",
+)
+
+var modals = set(
+	"will", "would", "shall", "should", "can", "could", "may", "might",
+	"must", "ought", "wo", "'ll", "'d", "won't", "wouldn't", "shouldn't",
+	"can't", "cannot", "couldn't", "mustn't", "mightn't", "shan't",
+)
+
+// Auxiliary and copular verb forms with their tense classification.
+var auxPresent = set(
+	"am", "is", "are", "do", "does", "has", "have", "'s", "'re", "'m", "'ve",
+	"isn't", "aren't", "don't", "doesn't", "hasn't", "haven't", "ain't",
+)
+
+var auxPast = set(
+	"was", "were", "did", "had", "wasn't", "weren't", "didn't", "hadn't",
+)
+
+// beForms are the forms of "to be"; they matter for passive detection.
+var beForms = set(
+	"be", "am", "is", "are", "was", "were", "been", "being",
+	"'s", "'re", "'m", "isn't", "aren't", "wasn't", "weren't", "ain't",
+)
+
+// getForms participate in the colloquial "get"-passive ("got installed").
+var getForms = set("get", "gets", "got", "gotten", "getting")
+
+var determiners = set(
+	"the", "a", "an", "this", "that", "these", "those", "each", "every",
+	"either", "neither", "some", "any", "no", "all", "both", "such",
+	"another", "other",
+)
+
+var prepositions = set(
+	"in", "on", "at", "by", "for", "with", "about", "against", "between",
+	"into", "through", "during", "before", "after", "above", "below", "to",
+	"from", "up", "down", "of", "off", "over", "under", "again", "further",
+	"since", "until", "while", "because", "although", "though", "unless",
+	"whether", "if", "as", "than", "via", "per", "without", "within",
+	"despite", "upon", "onto", "toward", "towards", "across", "around",
+	"behind", "beside", "near", "inside", "outside",
+)
+
+var conjunctions = set("and", "but", "or", "nor", "yet", "so", "plus")
+
+var whWords = set(
+	"what", "which", "who", "whom", "whose", "when", "where", "why", "how",
+	"what's", "who's", "where's", "how's", "when's", "why's",
+)
+
+// negationWords mark a sentence as negative for the CM_qneg communication
+// mean. Contracted auxiliaries ("didn't") are handled separately by suffix.
+var negationWords = set(
+	"not", "no", "never", "none", "nothing", "nobody", "nowhere", "neither",
+	"nor", "cannot", "without", "hardly", "barely", "scarcely", "n't",
+)
+
+// commonAdjectives: open class, but a seed list of high-frequency forum
+// adjectives sharpens tagging where suffix rules are silent.
+var commonAdjectives = set(
+	"good", "bad", "new", "old", "great", "small", "large", "big", "high",
+	"low", "long", "short", "right", "wrong", "same", "different", "next",
+	"last", "first", "second", "third", "few", "many", "much", "more",
+	"most", "less", "least", "own", "full", "empty", "free", "hard", "easy",
+	"nice", "fine", "poor", "main", "extra", "sure", "able", "best", "worst",
+	"better", "worse", "clean", "dirty", "quiet", "loud", "cheap",
+	"expensive", "slow", "fast", "hot", "cold", "warm", "cool", "cooler",
+	"ok", "okay", "several", "available", "possible", "impossible", "entire",
+	"whole", "partial", "brilliant", "adequate", "technical", "official",
+	"pre-installed", "wireless", "wrongful", "comfortable", "friendly",
+	"helpful", "modern", "spacious", "dirty", "noisy", "central", "overall",
+)
+
+// commonAdverbs: seed list for the same reason.
+var commonAdverbs = set(
+	"very", "too", "also", "just", "only", "here", "there", "now", "then",
+	"always", "often", "sometimes", "usually", "already", "still", "yet",
+	"again", "once", "twice", "soon", "later", "well", "even", "almost",
+	"quite", "rather", "maybe", "perhaps", "however", "anyway", "instead",
+	"together", "away", "back", "forward", "online", "offline", "anymore",
+	"everywhere", "somewhere", "definitely", "probably", "recently",
+	"yesterday", "today", "tomorrow", "voila",
+)
+
+// commonNouns that look like verbs or adjectives to the suffix rules and
+// appear constantly in forum text.
+var commonNouns = set(
+	"thing", "things", "time", "times", "way", "problem", "problems",
+	"issue", "issues", "question", "questions", "answer", "answers", "help",
+	"system", "systems", "computer", "computers", "drive", "drives", "disk",
+	"disks", "disc", "discs", "controller", "printer", "printers", "laptop",
+	"laptops", "screen", "screens", "error", "errors", "site", "website",
+	"person", "people", "friend", "friends", "boss", "department", "place",
+	"room", "rooms", "hotel", "hotels", "staff", "location", "price",
+	"prices", "breakfast", "view", "pool", "beach", "night", "nights",
+	"day", "days", "week", "weeks", "month", "months", "year", "years",
+	"code", "programming", "function", "functions", "method", "methods",
+	"class", "classes", "server", "servers", "database", "databases",
+	"file", "files", "folder", "version", "versions", "update", "updates",
+	"setting", "settings", "knowledge", "activity", "performance", "user",
+	"users", "idea", "solution", "solutions", "replacement", "support",
+	"configuration", "distribution", "replication", "information", "calls",
+	"call", "luck", "min", "web",
+)
+
+// baseVerbs seed the open verb class: frequent forum verbs in base form.
+// Inflected forms are derived by the morphology rules in tagger.go.
+var baseVerbs = set(
+	"have", "do", "go", "get", "make", "know", "think", "see", "come",
+	"want", "use", "find", "give", "tell", "work", "call", "try", "ask",
+	"need", "seem", "help", "show", "move", "play", "run", "turn", "start",
+	"stop", "look", "install", "download", "upload", "boot", "reboot",
+	"restart", "configure", "connect", "disconnect", "upgrade", "update",
+	"fix", "repair", "replace", "remove", "add", "delete", "format",
+	"reformat", "rebuild", "build", "compile", "write", "read", "print",
+	"scan", "click", "type", "open", "close", "save", "load", "buy",
+	"suggest", "recommend", "book", "stay", "visit", "travel", "arrive",
+	"leave", "check", "enjoy", "like", "love", "hate", "prefer", "expect",
+	"hope", "wish", "wonder", "believe", "suppose", "manage", "fail",
+	"succeed", "happen", "occur", "appear", "degrade", "improve", "perform",
+	"crash", "freeze", "hang", "blink", "flash", "return", "send", "receive",
+	"post", "reply", "answer", "search", "browse", "wait", "pay", "cost",
+	"spend", "keep", "let", "put", "set", "say", "mean", "feel", "hear",
+	"speak", "bring", "frustrate", "describe", "explain", "mention",
+	"report", "state", "declare", "judge", "rate", "review", "complain",
+	"thank", "appreciate", "apologize", "solve", "resolve", "debug", "test",
+	"deploy", "refactor", "implement", "throw", "catch", "parse", "render",
+	"invoke", "import", "export", "merge", "commit", "push", "pull",
+)
+
+func set(words ...string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}

@@ -1,0 +1,333 @@
+package pos
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tag assigns a part-of-speech tag to every token of a sentence. Tokens are
+// the word/punctuation strings produced by textproc.Tokenize, in order.
+// Tagging proceeds in two passes: a lexical pass (closed-class lexicons,
+// irregular-verb tables, morphology and suffix heuristics) followed by a
+// contextual repair pass that fixes the classic ambiguities (noun/verb after
+// determiners, base form after modals and "to", participles after
+// auxiliaries).
+func TagWords(tokens []string) []TaggedToken {
+	out := make([]TaggedToken, len(tokens))
+	for i, tok := range tokens {
+		lower := strings.ToLower(tok)
+		out[i] = TaggedToken{Text: tok, Lower: lower, Tag: lexicalTag(tok, lower)}
+	}
+	repair(out)
+	return out
+}
+
+// lexicalTag assigns a context-free tag to a single token.
+func lexicalTag(tok, lower string) Tag {
+	if lower == "" {
+		return Other
+	}
+	r := rune(lower[0])
+	if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+		return Punct
+	}
+	if unicode.IsDigit(r) {
+		return Number
+	}
+
+	// Negated contractions first: "didn't" must become a past verb, not be
+	// swallowed by a generic rule.
+	if strings.HasSuffix(lower, "n't") {
+		if modals[lower] {
+			return Modal
+		}
+		if auxPast[lower] {
+			return VerbPast
+		}
+		if auxPresent[lower] {
+			return VerbPresent
+		}
+	}
+
+	switch {
+	case pronounFirst[lower]:
+		return PronounFirst
+	case pronounSecond[lower]:
+		return PronounSecond
+	case pronounThird[lower]:
+		return PronounThird
+	case modals[lower]:
+		return Modal
+	case whWords[lower]:
+		return WhWord
+	case lower == "not":
+		return Particle
+	case auxPast[lower]:
+		return VerbPast
+	case auxPresent[lower]:
+		return VerbPresent
+	case lower == "be":
+		return VerbBase
+	case lower == "been", lower == "being":
+		// Repair pass refines "been" to a participle; lexical default below.
+		return VerbPastPart
+	case determiners[lower]:
+		return Determiner
+	case conjunctions[lower]:
+		return Conjunction
+	case prepositions[lower]:
+		return Preposition
+	case commonNouns[lower]:
+		return Noun
+	case commonAdverbs[lower]:
+		return Adverb
+	case commonAdjectives[lower]:
+		return Adjective
+	}
+
+	if _, ok := irregularPast[lower]; ok {
+		return VerbPast
+	}
+	if _, ok := irregularPart[lower]; ok {
+		return VerbPastPart
+	}
+	if baseVerbs[lower] {
+		return VerbPresent // finite by default; repair demotes to base form
+	}
+
+	// Morphological derivations of known base verbs.
+	if base, ok := stripVerbS(lower); ok && baseVerbs[base] {
+		return VerbPresent
+	}
+	if base, ok := stripVerbED(lower); ok && baseVerbs[base] {
+		return VerbPast
+	}
+	if base, ok := stripVerbING(lower); ok && baseVerbs[base] {
+		return VerbGerund
+	}
+
+	return suffixTag(tok, lower)
+}
+
+// stripVerbS undoes third-person-singular inflection: "goes" → "go",
+// "tries" → "try", "installs" → "install".
+func stripVerbS(w string) (string, bool) {
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y", true
+	case strings.HasSuffix(w, "sses"), strings.HasSuffix(w, "ches"),
+		strings.HasSuffix(w, "shes"), strings.HasSuffix(w, "xes"),
+		strings.HasSuffix(w, "zes"), strings.HasSuffix(w, "oes"):
+		if len(w) > 3 {
+			return w[:len(w)-2], true
+		}
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 2:
+		return w[:len(w)-1], true
+	}
+	return "", false
+}
+
+// stripVerbED undoes regular past inflection: "installed" → "install",
+// "tried" → "try", "stopped" → "stop", "used" → "use".
+func stripVerbED(w string) (string, bool) {
+	if !strings.HasSuffix(w, "ed") || len(w) < 4 {
+		return "", false
+	}
+	stem := w[:len(w)-2]
+	if baseVerbs[stem] {
+		return stem, true // install-ed
+	}
+	if baseVerbs[stem+"e"] {
+		return stem + "e", true // us-ed → use
+	}
+	if strings.HasSuffix(stem, "i") && baseVerbs[stem[:len(stem)-1]+"y"] {
+		return stem[:len(stem)-1] + "y", true // tri-ed → try
+	}
+	if len(stem) >= 2 && stem[len(stem)-1] == stem[len(stem)-2] && baseVerbs[stem[:len(stem)-1]] {
+		return stem[:len(stem)-1], true // stopp-ed → stop
+	}
+	return "", false
+}
+
+// stripVerbING undoes progressive inflection: "installing" → "install",
+// "using" → "use", "stopping" → "stop".
+func stripVerbING(w string) (string, bool) {
+	if !strings.HasSuffix(w, "ing") || len(w) < 5 {
+		return "", false
+	}
+	stem := w[:len(w)-3]
+	if baseVerbs[stem] {
+		return stem, true
+	}
+	if baseVerbs[stem+"e"] {
+		return stem + "e", true
+	}
+	if len(stem) >= 2 && stem[len(stem)-1] == stem[len(stem)-2] && baseVerbs[stem[:len(stem)-1]] {
+		return stem[:len(stem)-1], true
+	}
+	return "", false
+}
+
+// suffixTag guesses a tag for an open-class word from its shape.
+func suffixTag(tok, lower string) Tag {
+	switch {
+	case strings.HasSuffix(lower, "ly") && len(lower) > 4:
+		return Adverb
+	case strings.HasSuffix(lower, "ing") && len(lower) > 5:
+		return VerbGerund
+	case strings.HasSuffix(lower, "ed") && len(lower) > 4:
+		return VerbPast
+	case strings.HasSuffix(lower, "tion"), strings.HasSuffix(lower, "sion"),
+		strings.HasSuffix(lower, "ment"), strings.HasSuffix(lower, "ness"),
+		strings.HasSuffix(lower, "ity"), strings.HasSuffix(lower, "ance"),
+		strings.HasSuffix(lower, "ence"), strings.HasSuffix(lower, "ship"),
+		strings.HasSuffix(lower, "ism"), strings.HasSuffix(lower, "ware"),
+		strings.HasSuffix(lower, "age"):
+		return Noun
+	case strings.HasSuffix(lower, "ful"), strings.HasSuffix(lower, "ous"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "able"),
+		strings.HasSuffix(lower, "ible"), strings.HasSuffix(lower, "less"),
+		strings.HasSuffix(lower, "ish"), strings.HasSuffix(lower, "est"):
+		return Adjective
+	}
+	return Noun
+}
+
+// repair applies contextual correction rules over the lexically tagged
+// sequence, left to right.
+func repair(tt []TaggedToken) {
+	for i := range tt {
+		cur := &tt[i]
+		prev := prevWord(tt, i)
+
+		// "to" + verb → infinitive particle + base form.
+		if cur.Tag.IsVerb() && prev != nil && prev.Lower == "to" {
+			prev.Tag = Particle
+			if cur.Tag == VerbPresent {
+				cur.Tag = VerbBase
+			}
+		}
+
+		// Modal + finite verb → base form ("would like", "can do").
+		if cur.Tag == VerbPresent && prev != nil && prev.Tag == Modal {
+			cur.Tag = VerbBase
+		}
+
+		// have/has/had + past verb → past participle (perfect aspect).
+		if cur.Tag == VerbPast && prev != nil && isHaveForm(prev.Lower) {
+			cur.Tag = VerbPastPart
+		}
+		// be-form + past verb → past participle (passive candidate); also
+		// allow one intervening adverb or negation ("was not suggested").
+		if cur.Tag == VerbPast && prev != nil {
+			if beForms[prev.Lower] || getForms[prev.Lower] {
+				cur.Tag = VerbPastPart
+			} else if prev.Tag == Adverb || prev.Tag == Particle {
+				if pp := prevWordBefore(tt, i, prev); pp != nil && (beForms[pp.Lower] || getForms[pp.Lower]) {
+					cur.Tag = VerbPastPart
+				}
+			}
+		}
+
+		// Determiner/adjective + "verb" → noun ("the work", "a call",
+		// "my previous trial"). Applies to ambiguous base/present verbs.
+		if (cur.Tag == VerbPresent || cur.Tag == VerbBase) && prev != nil &&
+			(prev.Tag == Determiner || prev.Tag == Adjective || prev.Tag == Number) {
+			cur.Tag = Noun
+		}
+
+		// Determiner/possessive + adjective with no noun following is a
+		// noun phrase head the suffix rules mistook ("the cable", "a
+		// table"); true attributive adjectives precede their noun.
+		if cur.Tag == Adjective && prev != nil &&
+			(prev.Tag == Determiner || prev.Tag.IsPronoun() || prev.Tag == Adjective) {
+			if nxt := nextWord(tt, i); nxt == nil ||
+				(nxt.Tag != Noun && nxt.Tag != Adjective && nxt.Tag != Number && nxt.Tag != VerbGerund) {
+				cur.Tag = Noun
+			}
+		}
+
+		// Preposition + gerund stays a gerund; pronoun + gerund after be is
+		// progressive — both already covered. But sentence-initial gerunds
+		// followed by a noun act as nouns ("Programming forums are ...").
+		if cur.Tag == VerbGerund && prev == nil {
+			if nxt := nextWord(tt, i); nxt != nil && (nxt.Tag == Noun || nxt.Tag == Number) {
+				cur.Tag = Noun
+			}
+		}
+	}
+}
+
+// isHaveForm reports whether w is a form of "to have" (including negated
+// contractions), for perfect-aspect detection.
+func isHaveForm(w string) bool {
+	switch w {
+	case "have", "has", "had", "having", "'ve", "haven't", "hasn't", "hadn't":
+		return true
+	}
+	return false
+}
+
+// prevWord returns the nearest preceding non-punctuation token, or nil.
+func prevWord(tt []TaggedToken, i int) *TaggedToken {
+	for j := i - 1; j >= 0; j-- {
+		if tt[j].Tag != Punct {
+			return &tt[j]
+		}
+	}
+	return nil
+}
+
+// prevWordBefore returns the nearest non-punctuation token preceding the
+// given marker token (which itself precedes index i).
+func prevWordBefore(tt []TaggedToken, i int, marker *TaggedToken) *TaggedToken {
+	seen := false
+	for j := i - 1; j >= 0; j-- {
+		if tt[j].Tag == Punct {
+			continue
+		}
+		if !seen {
+			if &tt[j] == marker {
+				seen = true
+			}
+			continue
+		}
+		return &tt[j]
+	}
+	return nil
+}
+
+// nextWord returns the nearest following non-punctuation token, or nil.
+func nextWord(tt []TaggedToken, i int) *TaggedToken {
+	for j := i + 1; j < len(tt); j++ {
+		if tt[j].Tag != Punct {
+			return &tt[j]
+		}
+	}
+	return nil
+}
+
+// IsNegation reports whether the lower-cased word functions as a negation
+// marker ("not", "never", "didn't", ...).
+func IsNegation(w string) bool {
+	return negationWords[w] || strings.HasSuffix(w, "n't")
+}
+
+// IsBeForm reports whether the lower-cased word is a form of "to be".
+func IsBeForm(w string) bool { return beForms[w] }
+
+// IsGetForm reports whether the lower-cased word is a form of "to get".
+func IsGetForm(w string) bool { return getForms[w] }
+
+// IsWhWord reports whether the lower-cased word is an interrogative word.
+func IsWhWord(w string) bool { return whWords[w] }
+
+// IsFutureMarker reports whether the lower-cased word signals future tense
+// ("will", "shall", "'ll", "won't").
+func IsFutureMarker(w string) bool {
+	switch w {
+	case "will", "shall", "'ll", "won't", "shan't", "gonna":
+		return true
+	}
+	return false
+}

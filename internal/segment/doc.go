@@ -1,0 +1,177 @@
+// Package segment implements the intention-based post segmentation of
+// Sec 5 of the paper. A document is a sequence of sentence text units; a
+// segmentation is a set of borders between them. The package provides the
+// three bottom-up border-selection strategies of Sec 5.3 (Tile, StepbyStep,
+// Greedy), a top-down splitter, the trivial per-sentence segmentation, and
+// Hearst's term-based TextTiling as the topical baseline, all behind a
+// common Strategy interface with pluggable border scoring functions
+// (Shannon diversity, richness, and the cosine/Euclidean/Manhattan distance
+// variants compared in Fig 9).
+package segment
+
+import (
+	"sort"
+
+	"repro/internal/cm"
+	"repro/internal/textproc"
+)
+
+// Doc is a document prepared for segmentation: its sentence units, their
+// communication-means annotations, and a prefix-sum table that answers
+// "annotation of sentences [lo,hi)" in constant time. Doc is immutable
+// after construction and safe for concurrent use.
+type Doc struct {
+	Text    string
+	Sents   []textproc.Sentence
+	Anns    []cm.Annotation
+	prefix  []cm.Annotation // prefix[i] = sum of Anns[0:i]
+	terms   [][]string      // stemmed content terms per sentence
+	termIDs map[string]int  // Doc-wide term interning for TF vectors
+}
+
+// NewDoc prepares raw post text for segmentation: HTML is stripped, the
+// text is split into sentence units, and every sentence is annotated.
+func NewDoc(text string) *Doc {
+	clean := textproc.StripHTML(text)
+	return NewDocFromSentences(clean, textproc.SplitSentences(clean))
+}
+
+// NewDocFromSentences builds a Doc from pre-split sentences. The text must
+// be the string the sentence offsets refer to.
+func NewDocFromSentences(text string, sents []textproc.Sentence) *Doc {
+	d := &Doc{
+		Text:  text,
+		Sents: sents,
+		Anns:  cm.AnnotateAll(sents),
+	}
+	d.prefix = make([]cm.Annotation, len(sents)+1)
+	for i, a := range d.Anns {
+		d.prefix[i+1] = d.prefix[i].Add(a)
+	}
+	d.terms = make([][]string, len(sents))
+	d.termIDs = make(map[string]int)
+	for i, s := range sents {
+		d.terms[i] = textproc.StemAll(filterStopwords(s.Words()))
+		for _, t := range d.terms[i] {
+			if _, ok := d.termIDs[t]; !ok {
+				d.termIDs[t] = len(d.termIDs)
+			}
+		}
+	}
+	return d
+}
+
+// termID returns the Doc-wide integer id of a term known to the Doc.
+func (d *Doc) termID(t string) int { return d.termIDs[t] }
+
+func filterStopwords(words []string) []string {
+	out := words[:0]
+	for _, w := range words {
+		if !textproc.IsStopword(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Len returns the number of sentence units.
+func (d *Doc) Len() int { return len(d.Sents) }
+
+// Range returns the merged annotation of sentence units [lo, hi).
+func (d *Doc) Range(lo, hi int) cm.Annotation {
+	return d.prefix[hi].Sub(d.prefix[lo])
+}
+
+// Terms returns the stemmed, stopword-filtered content terms of sentence
+// units [lo, hi).
+func (d *Doc) Terms(lo, hi int) []string {
+	var out []string
+	for i := lo; i < hi; i++ {
+		out = append(out, d.terms[i]...)
+	}
+	return out
+}
+
+// Segmentation is a division of a Doc into consecutive segments
+// (Definition 1). Borders holds the sentence indices at which new segments
+// begin, strictly increasing within (0, N); N is the number of sentence
+// units. The zero Borders slice is the undivided document.
+type Segmentation struct {
+	Borders []int
+	N       int
+}
+
+// NewSegmentation normalizes a border set: out-of-range and duplicate
+// positions are dropped and the rest sorted.
+func NewSegmentation(borders []int, n int) Segmentation {
+	seen := make(map[int]bool, len(borders))
+	out := make([]int, 0, len(borders))
+	for _, b := range borders {
+		if b > 0 && b < n && !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	sort.Ints(out)
+	return Segmentation{Borders: out, N: n}
+}
+
+// NumSegments returns the cardinality |S^d| of the segmentation.
+func (s Segmentation) NumSegments() int {
+	if s.N == 0 {
+		return 0
+	}
+	return len(s.Borders) + 1
+}
+
+// Segments returns the half-open sentence ranges [lo, hi) of each segment.
+func (s Segmentation) Segments() [][2]int {
+	if s.N == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, len(s.Borders)+1)
+	lo := 0
+	for _, b := range s.Borders {
+		out = append(out, [2]int{lo, b})
+		lo = b
+	}
+	return append(out, [2]int{lo, s.N})
+}
+
+// CharBorders translates the sentence-index borders into byte offsets in
+// the document text (the start offset of the first sentence of each new
+// segment). These offsets are what the human-agreement and WinDiff metrics
+// operate on.
+func (s Segmentation) CharBorders(sents []textproc.Sentence) []int {
+	out := make([]int, len(s.Borders))
+	for i, b := range s.Borders {
+		out[i] = sents[b].Start
+	}
+	return out
+}
+
+// Strategy selects the borders of an intention-based segmentation.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Segment divides the document.
+	Segment(d *Doc) Segmentation
+}
+
+// Sentences is the trivial strategy that makes every sentence its own
+// segment. It is the segmentation used by the SentIntent-MR baseline
+// (Sec 9.2), which skips border selection entirely.
+type Sentences struct{}
+
+// Name implements Strategy.
+func (Sentences) Name() string { return "Sentences" }
+
+// Segment implements Strategy.
+func (Sentences) Segment(d *Doc) Segmentation {
+	n := d.Len()
+	borders := make([]int, 0, max(0, n-1))
+	for b := 1; b < n; b++ {
+		borders = append(borders, b)
+	}
+	return Segmentation{Borders: borders, N: n}
+}

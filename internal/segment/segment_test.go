@@ -1,0 +1,359 @@
+package segment
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// docA is the motivating post of Fig. 1: context (present, first person),
+// question (interrogative), past report, motive.
+const docA = "I have an HP system with a RAID 0 controller and 4 disks in form " +
+	"of a JBOD. I would like to install Hadoop with a replication 4 HDFS and " +
+	"only 320GB of disk space used from every disc. Do you know whether it " +
+	"would perform ok or whether the partial use of the disk would degrade " +
+	"performance. Friends have downloaded the Cloudera distribution but it " +
+	"didn't work. It stopped since the web site was suggesting to have 1TB " +
+	"disks. I am asking because I do not want to install Linux to find that " +
+	"my HW configuration is not right."
+
+// threeIntentions is a post with three sharply different blocks: past
+// narrative, interrogative request, present description.
+const threeIntentions = "I installed the driver last week. I rebooted the machine twice. " +
+	"I checked every cable in the office. " +
+	"Do you know a better driver? Can you suggest a fix? Should I reformat the whole disk? " +
+	"The printer is an HP model. It has a duplex unit. The tray holds paper."
+
+func TestNewDoc(t *testing.T) {
+	d := NewDoc(docA)
+	if d.Len() != 6 {
+		t.Fatalf("Doc A should have 6 sentence units, got %d", d.Len())
+	}
+	// Range must equal explicit merge.
+	full := d.Range(0, d.Len())
+	if full.Words == 0 {
+		t.Fatal("full-range annotation has no words")
+	}
+	left := d.Range(0, 3)
+	right := d.Range(3, 6)
+	if got := left.Add(right); got != full {
+		t.Error("Range(0,3)+Range(3,6) != Range(0,6)")
+	}
+}
+
+func TestNewDocStripsHTML(t *testing.T) {
+	d := NewDoc("<p>First sentence here.</p><p>Second sentence here.</p>")
+	if d.Len() != 2 {
+		t.Fatalf("expected 2 sentences after HTML stripping, got %d", d.Len())
+	}
+}
+
+func TestSegmentationBasics(t *testing.T) {
+	s := NewSegmentation([]int{3, 1, 3, 9, 0, -2}, 5)
+	if !reflect.DeepEqual(s.Borders, []int{1, 3}) {
+		t.Fatalf("normalized borders = %v", s.Borders)
+	}
+	if s.NumSegments() != 3 {
+		t.Fatalf("NumSegments = %d, want 3", s.NumSegments())
+	}
+	want := [][2]int{{0, 1}, {1, 3}, {3, 5}}
+	if !reflect.DeepEqual(s.Segments(), want) {
+		t.Fatalf("Segments = %v, want %v", s.Segments(), want)
+	}
+}
+
+func TestSegmentationEmpty(t *testing.T) {
+	s := Segmentation{N: 0}
+	if s.NumSegments() != 0 || s.Segments() != nil {
+		t.Error("empty segmentation should have no segments")
+	}
+	s = Segmentation{N: 1}
+	if s.NumSegments() != 1 {
+		t.Error("single-unit doc is one segment")
+	}
+}
+
+func TestSentencesStrategy(t *testing.T) {
+	d := NewDoc(docA)
+	s := Sentences{}.Segment(d)
+	if s.NumSegments() != d.Len() {
+		t.Fatalf("Sentences strategy: %d segments, want %d", s.NumSegments(), d.Len())
+	}
+}
+
+func TestStrategiesProduceValidSegmentations(t *testing.T) {
+	docs := []*Doc{
+		NewDoc(docA),
+		NewDoc(threeIntentions),
+		NewDoc("Single sentence only."),
+		NewDoc(""),
+	}
+	strategies := []Strategy{
+		Tile{}, StepbyStep{}, Greedy{}, Greedy{Plain: true},
+		TopDown{}, Sentences{}, TextTiling{},
+	}
+	for _, d := range docs {
+		for _, st := range strategies {
+			seg := st.Segment(d)
+			if seg.N != d.Len() {
+				t.Errorf("%s: N = %d, want %d", st.Name(), seg.N, d.Len())
+			}
+			prev := 0
+			for _, b := range seg.Borders {
+				if b <= prev || b >= d.Len() {
+					t.Errorf("%s: invalid border %d (n=%d, prev=%d)", st.Name(), b, d.Len(), prev)
+				}
+				prev = b
+			}
+		}
+	}
+}
+
+func TestGreedyFindsIntentionShift(t *testing.T) {
+	d := NewDoc(threeIntentions)
+	seg := Greedy{}.Segment(d)
+	if seg.NumSegments() < 2 {
+		t.Fatalf("Greedy found no intention shift in a three-intention post: %v", seg.Borders)
+	}
+	if seg.NumSegments() > 7 {
+		t.Fatalf("Greedy over-segmented: %d segments from 9 sentences", seg.NumSegments())
+	}
+	// The strongest shift — narrative past → interrogative — is between
+	// sentence 3 and 3 questions; a border at 3 or 4 should exist.
+	found := false
+	for _, b := range seg.Borders {
+		if b >= 3 && b <= 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a border near the narrative→question shift, got %v", seg.Borders)
+	}
+}
+
+func TestGreedyMergesHomogeneousText(t *testing.T) {
+	homog := "I installed the driver. I rebooted the machine. I checked the cable. " +
+		"I replaced the toner. I tested the printer. I updated the firmware."
+	d := NewDoc(homog)
+	seg := Greedy{}.Segment(d)
+	if seg.NumSegments() > 2 {
+		t.Errorf("Greedy kept %d segments in a single-intention post (borders %v)",
+			seg.NumSegments(), seg.Borders)
+	}
+}
+
+func TestMergingStrategiesBelowSentences(t *testing.T) {
+	// Tile and Greedy merge; they must never exceed the finest
+	// segmentation, and on multi-intention text they should merge at least
+	// something.
+	docs := []*Doc{NewDoc(docA), NewDoc(threeIntentions)}
+	for _, d := range docs {
+		maxB := d.Len() - 1
+		tile := len(Tile{}.Segment(d).Borders)
+		greedy := len(Greedy{}.Segment(d).Borders)
+		if tile > maxB || greedy > maxB {
+			t.Fatalf("strategy produced more borders than sentence gaps")
+		}
+		if tile == maxB && greedy == maxB {
+			t.Errorf("neither Tile nor Greedy merged anything on %d-sentence doc", d.Len())
+		}
+	}
+}
+
+func TestStepbyStepOverSegments(t *testing.T) {
+	// Fig 8(a): StepbyStep returns way more borders than the others.
+	d := NewDoc(threeIntentions)
+	sbs := len(StepbyStep{}.Segment(d).Borders)
+	greedy := len(Greedy{}.Segment(d).Borders)
+	if sbs < greedy {
+		t.Errorf("StepbyStep %d borders < Greedy %d borders", sbs, greedy)
+	}
+}
+
+func TestCharBorders(t *testing.T) {
+	d := NewDoc(docA)
+	seg := NewSegmentation([]int{2, 4}, d.Len())
+	chars := seg.CharBorders(d.Sents)
+	if len(chars) != 2 {
+		t.Fatalf("CharBorders length = %d", len(chars))
+	}
+	for i, off := range chars {
+		if off != d.Sents[seg.Borders[i]].Start {
+			t.Errorf("char border %d = %d, want sentence start %d", i, off, d.Sents[seg.Borders[i]].Start)
+		}
+	}
+}
+
+func TestScoreFuncsWellBehaved(t *testing.T) {
+	d := NewDoc(threeIntentions)
+	n := d.Len()
+	funcs := []ScoreFunc{
+		Shannon{}, Richness{}, Cosine, Euclidean, Manhattan,
+		Distance{Kind: cosineDist, OnTerms: true},
+	}
+	for _, f := range funcs {
+		for b := 1; b < n; b++ {
+			s := f.BorderScore(d, 0, b, n)
+			if s < 0 || s > 2 {
+				t.Errorf("%s: BorderScore(0,%d,%d) = %v out of range", f.Name(), b, n, s)
+			}
+		}
+		coh := f.SegCoherence(d, 0, n)
+		if coh < -1e-9 || coh > 1+1e-9 {
+			t.Errorf("%s: SegCoherence = %v out of [0,1]", f.Name(), coh)
+		}
+		switch f.(type) {
+		case Shannon, Richness:
+			// Diversity-based coherence of a single unit may be below 1.
+		default:
+			if got := f.SegCoherence(d, 2, 3); got != 1 {
+				t.Errorf("%s: single-unit coherence = %v, want 1", f.Name(), got)
+			}
+		}
+	}
+}
+
+func TestDistanceNames(t *testing.T) {
+	if Cosine.Name() != "Cos.Sim." || Euclidean.Name() != "Eucl.Dist." || Manhattan.Name() != "Manh.Dist." {
+		t.Error("distance names mismatch with Fig 9 labels")
+	}
+	if (Distance{Kind: cosineDist, OnTerms: true}).Name() != "Cos.Sim.(terms)" {
+		t.Error("terms variant name mismatch")
+	}
+	if (Shannon{}).Name() != "Shan.Div." || (Richness{}).Name() != "Richness" {
+		t.Error("diversity names mismatch")
+	}
+}
+
+func TestVectorDistanceProperties(t *testing.T) {
+	f := func(av, bv [6]uint8) bool {
+		a := map[int]float64{}
+		b := map[int]float64{}
+		for i := 0; i < 6; i++ {
+			if av[i]%7 > 0 {
+				a[i] = float64(av[i] % 7)
+			}
+			if bv[i]%7 > 0 {
+				b[i] = float64(bv[i] % 7)
+			}
+		}
+		for _, kind := range []distanceKind{cosineDist, euclideanDist, manhattanDist} {
+			d := vectorDistance(kind, a, b)
+			if d < -1e-9 || d > 1+1e-9 {
+				return false
+			}
+			// Symmetry.
+			if dd := vectorDistance(kind, b, a); dd-d > 1e-9 || d-dd > 1e-9 {
+				return false
+			}
+			// Identity: distance to itself is 0.
+			if self := vectorDistance(kind, a, a); self > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextTilingSegmentsTopicShift(t *testing.T) {
+	// Two topically distinct halves with cohesive vocabulary inside each.
+	text := "The printer jams on every printed page. The printer toner leaks on the paper. " +
+		"The paper tray of the printer sticks. The printer queue fills with paper errors. " +
+		"The hotel room faced the hotel pool. The hotel breakfast had fresh fruit. " +
+		"The pool of the hotel stayed warm. The hotel staff cleaned the room and pool."
+	d := NewDoc(text)
+	seg := TextTiling{}.Segment(d)
+	found := false
+	for _, b := range seg.Borders {
+		if b == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("TextTiling missed the topic shift at sentence 4: borders %v", seg.Borders)
+	}
+}
+
+func TestTopDownOnIntentionShift(t *testing.T) {
+	d := NewDoc(threeIntentions)
+	seg := TopDown{}.Segment(d)
+	if seg.N != d.Len() {
+		t.Fatalf("TopDown N mismatch")
+	}
+	// Should produce a plausible number of segments (not all-singletons).
+	if seg.NumSegments() > 6 {
+		t.Errorf("TopDown over-segmented: %d segments", seg.NumSegments())
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Errorf("meanStd = %v, %v, want 5, 2", mean, std)
+	}
+	mean, std = meanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Error("meanStd(nil) should be 0,0")
+	}
+}
+
+func BenchmarkGreedySegment(b *testing.B) {
+	d := NewDoc(threeIntentions)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Greedy{}.Segment(d)
+	}
+}
+
+func BenchmarkNewDoc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewDoc(docA)
+	}
+}
+
+func TestFStatScoreFunc(t *testing.T) {
+	d := NewDoc(threeIntentions)
+	f := FStat{}
+	if f.Name() != "F-stat" {
+		t.Error("name mismatch")
+	}
+	// Border between narrative and questions (position 3) should outscore a
+	// border inside the narrative (position 1).
+	inside := f.BorderScore(d, 0, 1, 3)
+	shift := f.BorderScore(d, 0, 3, 6)
+	if shift <= inside {
+		t.Errorf("F-stat at intention shift %.3f should exceed within-intention %.3f", shift, inside)
+	}
+	for b := 1; b < d.Len(); b++ {
+		s := f.BorderScore(d, 0, b, d.Len())
+		if s < 0 || s >= 1 {
+			t.Errorf("F-stat score %v out of [0,1)", s)
+		}
+	}
+	if got := f.SegCoherence(d, 2, 3); got != 1 {
+		t.Errorf("single-unit coherence = %v, want 1", got)
+	}
+	coh := f.SegCoherence(d, 0, d.Len())
+	if coh <= 0 || coh > 1 {
+		t.Errorf("segment coherence %v out of (0,1]", coh)
+	}
+	// Degenerate groups.
+	if got := f.BorderScore(d, 0, 1, 2); got != 0 {
+		t.Errorf("two-unit F-stat should be 0 (insufficient df), got %v", got)
+	}
+}
+
+func TestTileWithFStat(t *testing.T) {
+	d := NewDoc(threeIntentions)
+	seg := Tile{Score: FStat{}}.Segment(d)
+	if seg.N != d.Len() {
+		t.Fatal("bad segmentation")
+	}
+	if seg.NumSegments() < 2 {
+		t.Error("F-stat Tile found no borders in three-intention text")
+	}
+}

@@ -1,0 +1,422 @@
+package segment
+
+import (
+	"math"
+
+	"repro/internal/cm"
+)
+
+// This file implements the border-selection mechanisms of Sec 5.3. All
+// bottom-up strategies start from the finest segmentation (every sentence a
+// segment) and merge by deleting borders.
+
+// Tile iteratively removes every border whose score falls below a
+// threshold derived from the current score distribution (mean − C·stddev,
+// the TextTiling cutoff), until all surviving borders clear it. It is the
+// mechanism Hearst's thematic segmentation uses, here driven by
+// communication-means scores.
+type Tile struct {
+	// Score evaluates borders; Shannon{} when nil.
+	Score ScoreFunc
+	// C scales the standard deviation in the threshold. 1.1 when zero —
+	// calibrated on the synthetic corpora so Tile lands slightly above the
+	// human border count, as in Fig 8(a).
+	C float64
+	// Window caps how many sentence units on each side of a border take
+	// part in its score. The paper observes that comparing coherence
+	// across segments of very different lengths misleads border selection;
+	// a local window keeps scores comparable as segments grow. 1 when 0;
+	// negative disables capping.
+	Window int
+}
+
+// Name implements Strategy.
+func (t Tile) Name() string { return "Tile" }
+
+func (t Tile) score() ScoreFunc {
+	if t.Score == nil {
+		return Shannon{}
+	}
+	return t.Score
+}
+
+func (t Tile) c() float64 {
+	if t.C == 0 {
+		return 1.1
+	}
+	return t.C
+}
+
+// Segment implements Strategy.
+func (t Tile) Segment(d *Doc) Segmentation {
+	n := d.Len()
+	if n <= 1 {
+		return Segmentation{N: n}
+	}
+	sf := t.score()
+	w := windowOrDefault(t.Window)
+	borders := allBorders(n)
+	for {
+		scores := scoreBorders(d, sf, borders, n, w)
+		mean, std := meanStd(scores)
+		threshold := mean - t.c()*std
+		var kept []int
+		for i, b := range borders {
+			if scores[i] >= threshold {
+				kept = append(kept, b)
+			}
+		}
+		if len(kept) == len(borders) || len(kept) == 0 {
+			borders = kept
+			break
+		}
+		borders = kept
+	}
+	return Segmentation{Borders: borders, N: n}
+}
+
+// StepbyStep visits borders left to right; a border is deleted when the
+// segment accumulated on its left is less coherent than the document as a
+// whole, otherwise it is kept and a new segment starts.
+type StepbyStep struct {
+	// Score evaluates coherence; Shannon{} when nil.
+	Score ScoreFunc
+}
+
+// Name implements Strategy.
+func (s StepbyStep) Name() string { return "StepbyStep" }
+
+// Segment implements Strategy.
+func (s StepbyStep) Segment(d *Doc) Segmentation {
+	n := d.Len()
+	if n <= 1 {
+		return Segmentation{N: n}
+	}
+	sf := s.Score
+	if sf == nil {
+		sf = Shannon{}
+	}
+	docCoh := sf.SegCoherence(d, 0, n)
+	var borders []int
+	lo := 0
+	for b := 1; b < n; b++ {
+		if sf.SegCoherence(d, lo, b) < docCoh {
+			continue // delete border: left segment not yet coherent enough
+		}
+		borders = append(borders, b)
+		lo = b
+	}
+	return Segmentation{Borders: borders, N: n}
+}
+
+// Greedy removes one border per pass — the lowest-scoring one below a
+// threshold — until none qualifies. To avoid being misled by a single
+// communication mean, the paper's full mechanism runs one greedy pass per
+// CM, marks the borders each pass would delete, and actually deletes those
+// marked by a majority of the CMs. That voting variant is the default; set
+// Plain to run a single pass on the combined score instead.
+//
+// Eq 4 averages two coherences with the border depth, so in a perfectly
+// homogeneous document every border scores the same high value with zero
+// depth and zero variance; a purely distribution-relative threshold would
+// then keep them all. A border must therefore also exhibit at least
+// MinDepth of Eq 3 depth to survive.
+type Greedy struct {
+	// Plain disables per-CM voting and uses the combined Shannon score.
+	Plain bool
+	// C scales the stddev in the threshold mean + C·stddev (over the
+	// initial score distribution) that a border's score must stay above to
+	// survive. -0.25 when zero (slightly below the mean).
+	C float64
+	// MinDepth is the minimum border depth (Eq 3) a border needs to
+	// survive, and the signal threshold below which a communication mean
+	// abstains from the vote. 0.06 when zero; set negative to disable.
+	MinDepth float64
+	// Quorum is how many of the per-CM greedy passes must mark a border
+	// for it to be removed (voting mode only). 4 when 0 — a border
+	// survives if at least two communication means defend it.
+	Quorum int
+	// Window caps the per-side scoring context, as in Tile. 1 when 0.
+	Window int
+}
+
+// Name implements Strategy.
+func (g Greedy) Name() string { return "Greedy" }
+
+func (g Greedy) c() float64 {
+	if g.C == 0 {
+		return -0.25
+	}
+	return g.C
+}
+
+func (g Greedy) quorum() int {
+	if g.Quorum <= 0 {
+		return 4
+	}
+	return g.Quorum
+}
+
+func (g Greedy) minDepth() float64 {
+	if g.MinDepth == 0 {
+		return 0.06
+	}
+	if g.MinDepth < 0 {
+		return 0
+	}
+	return g.MinDepth
+}
+
+// Segment implements Strategy.
+func (g Greedy) Segment(d *Doc) Segmentation {
+	n := d.Len()
+	if n <= 1 {
+		return Segmentation{N: n}
+	}
+	w := windowOrDefault(g.Window)
+	if g.Plain {
+		borders := g.run(d, n, w, func(lo, b, hi int) (float64, float64) {
+			return scoreDepth(d.Range(lo, b), d.Range(b, hi), cm.ShannonIndex)
+		})
+		return Segmentation{Borders: borders, N: n}
+	}
+	// Voting: one greedy run per communication mean. A mean with no local
+	// depth signal at a border (its distribution simply does not change
+	// there) abstains rather than voting for removal — otherwise a border
+	// carried by a single strong mean (e.g. a pure tense shift) would
+	// always be outvoted by the indifferent means. Among the means that do
+	// see a shift, the border is kept when the defenders are not
+	// outnumbered; a border no mean defends is removed (and additionally a
+	// border marked by Quorum means is removed regardless).
+	minDepth := g.minDepth()
+	defends := make(map[int]int)
+	marks := make(map[int]int)
+	for m := cm.Mean(0); m < cm.NumMeans; m++ {
+		mean := m
+		kept := g.run(d, n, w, func(lo, b, hi int) (float64, float64) {
+			return meanScoreDepth(d, mean, lo, b, hi)
+		})
+		keptSet := make(map[int]bool, len(kept))
+		for _, b := range kept {
+			keptSet[b] = true
+		}
+		for b := 1; b < n; b++ {
+			// Signal test on the finest-resolution window around b.
+			lo, hi := clampWindow(0, b, n, w)
+			_, depth := meanScoreDepth(d, mean, lo, b, hi)
+			if depth < minDepth {
+				continue // abstain: this mean sees no shift at b
+			}
+			if keptSet[b] {
+				defends[b]++
+			} else {
+				marks[b]++
+			}
+		}
+	}
+	quorum := g.quorum()
+	var borders []int
+	for b := 1; b < n; b++ {
+		if defends[b] == 0 {
+			continue
+		}
+		if marks[b] >= quorum || marks[b] > defends[b] {
+			continue
+		}
+		borders = append(borders, b)
+	}
+	return Segmentation{Borders: borders, N: n}
+}
+
+// run performs greedy border elimination under a (score, depth) function
+// and returns the surviving borders. The acceptance threshold is frozen
+// from the initial (finest-segmentation) score distribution — a moving
+// threshold would chase its own mean and delete every border.
+func (g Greedy) run(d *Doc, n, w int, score func(lo, b, hi int) (float64, float64)) []int {
+	borders := allBorders(n)
+	initial := make([]float64, len(borders))
+	for i, b := range borders {
+		lo, hi := neighborhood(borders, i, n)
+		lo, hi = clampWindow(lo, b, hi, w)
+		initial[i], _ = score(lo, b, hi)
+	}
+	mean, std := meanStd(initial)
+	threshold := mean + g.c()*std
+	minDepth := g.minDepth()
+	for len(borders) > 0 {
+		// Re-score each border in the context of the current segmentation.
+		worst := -1
+		var worstScore float64
+		for i, b := range borders {
+			lo, hi := neighborhood(borders, i, n)
+			lo, hi = clampWindow(lo, b, hi, w)
+			s, depth := score(lo, b, hi)
+			if s >= threshold && depth >= minDepth {
+				continue
+			}
+			// Rank removal candidates primarily by depth so homogeneous
+			// borders (depth 0) fall first even when their Eq 4 score ties.
+			rank := s + depth
+			if worst < 0 || rank < worstScore {
+				worst, worstScore = i, rank
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		borders = append(borders[:worst], borders[worst+1:]...)
+	}
+	return borders
+}
+
+// scoreDepth computes the Eq 4 border score together with the Eq 3 depth.
+func scoreDepth(left, right cm.Annotation, div cm.DiversityFunc) (score, depth float64) {
+	merged := left.Add(right)
+	cl := cm.CoherenceWith(left, div)
+	cr := cm.CoherenceWith(right, div)
+	cd := cm.CoherenceWith(merged, div)
+	depth = cm.Depth(cl, cr, cd)
+	return cm.BorderScore(cl, cr, depth), depth
+}
+
+// meanScoreDepth computes the Eq 4 score and Eq 3 depth restricted to a
+// single communication mean, as used by Greedy's voting passes.
+func meanScoreDepth(d *Doc, m cm.Mean, lo, b, hi int) (score, depth float64) {
+	left := d.Range(lo, b)
+	right := d.Range(b, hi)
+	merged := left.Add(right)
+	cl := cm.CoherenceOfMean(left, m, cm.ShannonIndex)
+	cr := cm.CoherenceOfMean(right, m, cm.ShannonIndex)
+	cd := cm.CoherenceOfMean(merged, m, cm.ShannonIndex)
+	depth = cm.Depth(cl, cr, cd)
+	return cm.BorderScore(cl, cr, depth), depth
+}
+
+// TopDown recursively splits the document at the best-scoring internal
+// border as long as splitting improves on keeping the segment whole. The
+// paper discusses this approach and its weakness — comparing coherence
+// across segments of very different lengths — which is why the bottom-up
+// strategies are preferred; it is included for completeness and ablation.
+type TopDown struct {
+	// Score evaluates borders; Shannon{} when nil.
+	Score ScoreFunc
+	// MinGain is the minimum border score improvement over the unsplit
+	// segment's coherence required to accept a split. 0.02 when zero.
+	MinGain float64
+}
+
+// Name implements Strategy.
+func (t TopDown) Name() string { return "TopDown" }
+
+// Segment implements Strategy.
+func (t TopDown) Segment(d *Doc) Segmentation {
+	n := d.Len()
+	if n <= 1 {
+		return Segmentation{N: n}
+	}
+	sf := t.Score
+	if sf == nil {
+		sf = Shannon{}
+	}
+	gain := t.MinGain
+	if gain == 0 {
+		gain = 0.02
+	}
+	var borders []int
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for b := lo + 1; b < hi; b++ {
+			if s := sf.BorderScore(d, lo, b, hi); s > bestScore {
+				best, bestScore = b, s
+			}
+		}
+		if best < 0 || bestScore < sf.SegCoherence(d, lo, hi)+gain {
+			return
+		}
+		borders = append(borders, best)
+		split(lo, best)
+		split(best, hi)
+	}
+	split(0, n)
+	return NewSegmentation(borders, n)
+}
+
+// allBorders returns every internal border position 1..n-1.
+func allBorders(n int) []int {
+	out := make([]int, 0, n-1)
+	for b := 1; b < n; b++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// neighborhood returns the segment boundaries around border i in the
+// current border list: the previous border (or document start) and the next
+// border (or document end).
+func neighborhood(borders []int, i, n int) (lo, hi int) {
+	lo, hi = 0, n
+	if i > 0 {
+		lo = borders[i-1]
+	}
+	if i+1 < len(borders) {
+		hi = borders[i+1]
+	}
+	return lo, hi
+}
+
+// scoreBorders scores every border of the list in its current segmentation
+// context, with per-side windows capped at w units (w == 0: uncapped).
+func scoreBorders(d *Doc, sf ScoreFunc, borders []int, n, w int) []float64 {
+	scores := make([]float64, len(borders))
+	for i, b := range borders {
+		lo, hi := neighborhood(borders, i, n)
+		lo, hi = clampWindow(lo, b, hi, w)
+		scores[i] = sf.BorderScore(d, lo, b, hi)
+	}
+	return scores
+}
+
+// windowOrDefault resolves the Window option: 0 means the default of 1,
+// negative disables capping.
+func windowOrDefault(w int) int {
+	if w == 0 {
+		return 1
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// clampWindow restricts the scoring context of border b within segment
+// bounds [lo, hi) to at most w units per side (w == 0: unrestricted).
+func clampWindow(lo, b, hi, w int) (int, int) {
+	if w > 0 {
+		if b-w > lo {
+			lo = b - w
+		}
+		if b+w < hi {
+			hi = b + w
+		}
+	}
+	return lo, hi
+}
+
+// meanStd returns the mean and population standard deviation of xs.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

@@ -1,0 +1,94 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStripHTMLBasic(t *testing.T) {
+	got := StripHTML("<p>Hello <b>world</b></p>")
+	if !strings.Contains(got, "Hello") || !strings.Contains(got, "world") {
+		t.Fatalf("StripHTML lost content: %q", got)
+	}
+	if strings.ContainsAny(got, "<>") {
+		t.Fatalf("StripHTML left tags: %q", got)
+	}
+}
+
+func TestStripHTMLBlockBreaks(t *testing.T) {
+	got := StripHTML("<p>First para.</p><p>Second para.</p>")
+	if !strings.Contains(got, "\n") {
+		t.Fatalf("expected newline between paragraphs: %q", got)
+	}
+}
+
+func TestStripHTMLEntities(t *testing.T) {
+	cases := map[string]string{
+		"a &amp; b":      "a & b",
+		"x &lt; y":       "x < y",
+		"&quot;hi&quot;": `"hi"`,
+		"&#65;&#66;":     "AB",
+		"&#x41;":         "A",
+	}
+	for in, want := range cases {
+		if got := StripHTML(in); got != want {
+			t.Errorf("StripHTML(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStripHTMLScriptDropped(t *testing.T) {
+	got := StripHTML("before<script>var x = 'evil';</script>after")
+	if strings.Contains(got, "evil") {
+		t.Fatalf("script content leaked: %q", got)
+	}
+	if !strings.Contains(got, "before") || !strings.Contains(got, "after") {
+		t.Fatalf("surrounding text lost: %q", got)
+	}
+}
+
+func TestStripHTMLCodeKept(t *testing.T) {
+	got := StripHTML("Use <code>hdfs dfs -ls</code> to list.")
+	if !strings.Contains(got, "hdfs dfs -ls") {
+		t.Fatalf("code content lost: %q", got)
+	}
+}
+
+func TestStripHTMLUnclosedTag(t *testing.T) {
+	got := StripHTML("a < b and a <b")
+	if !strings.Contains(got, "a") {
+		t.Fatalf("content lost entirely: %q", got)
+	}
+}
+
+func TestStripHTMLInlineTagSpacing(t *testing.T) {
+	got := StripHTML("one<i>two</i>three")
+	words := strings.Fields(got)
+	if len(words) != 3 {
+		t.Fatalf("inline tags should separate words, got %v", words)
+	}
+}
+
+func TestStripHTMLMalformedEntity(t *testing.T) {
+	got := StripHTML("AT&T works & so on")
+	if !strings.Contains(got, "AT&T") {
+		t.Fatalf("literal ampersand mangled: %q", got)
+	}
+}
+
+func TestStripHTMLPlainTextUnchanged(t *testing.T) {
+	in := "No markup here. Just text."
+	if got := StripHTML(in); got != in {
+		t.Fatalf("plain text changed: %q -> %q", in, got)
+	}
+}
+
+func TestCollapseSpace(t *testing.T) {
+	got := StripHTML("a    b\n\n\n\nc")
+	if strings.Contains(got, "  ") {
+		t.Fatalf("double space survived: %q", got)
+	}
+	if strings.Contains(got, "\n\n\n") {
+		t.Fatalf("triple newline survived: %q", got)
+	}
+}

@@ -1,0 +1,213 @@
+package textproc
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Sentence is a contiguous span of the source text treated as a single text
+// unit by the segmentation layer (Sec 9.1.2.B of the paper: sentences are
+// the natural text units for intention segmentation). Start and End are byte
+// offsets into the source; Tokens are the word/punctuation tokens inside the
+// span with offsets still relative to the full source text.
+type Sentence struct {
+	Text   string
+	Start  int
+	End    int
+	Tokens []Token
+	Index  int // zero-based sentence index within the document
+}
+
+// Words returns the lower-cased word tokens of the sentence.
+func (s Sentence) Words() []string {
+	out := make([]string, 0, len(s.Tokens))
+	for _, t := range s.Tokens {
+		if t.IsWord() {
+			out = append(out, t.Lower())
+		}
+	}
+	return out
+}
+
+// EndsWith reports whether the sentence's final non-space rune equals r.
+func (s Sentence) EndsWith(r rune) bool {
+	text := strings.TrimRightFunc(s.Text, unicode.IsSpace)
+	last, _ := utf8.DecodeLastRuneInString(text)
+	return last == r
+}
+
+// abbreviations that should not terminate a sentence when followed by a
+// period. Lower-cased, without the trailing dot.
+var abbreviations = map[string]bool{
+	"mr": true, "mrs": true, "ms": true, "dr": true, "prof": true,
+	"sr": true, "jr": true, "st": true, "vs": true, "etc": true,
+	"e.g": true, "i.e": true, "eg": true, "ie": true, "cf": true,
+	"fig": true, "figs": true, "no": true, "nos": true, "vol": true,
+	"approx": true, "dept": true, "est": true, "min": true, "max": true,
+	"inc": true, "ltd": true, "co": true, "corp": true, "u.s": true,
+	"a.m": true, "p.m": true, "am": false, "pm": false,
+}
+
+// SplitSentences divides text into sentences. A sentence ends at '.', '!',
+// '?' (or a run of them) when the terminator is followed by whitespace and
+// the next word starts a new sentence, with guards for common abbreviations,
+// decimal numbers ("5.5"), version strings ("MySQL 5.5.3"), and initials.
+// Newline pairs (blank lines) always terminate a sentence.
+func SplitSentences(text string) []Sentence {
+	var sentences []Sentence
+	start := 0
+	n := len(text)
+	i := 0
+	flush := func(end int) {
+		seg := text[start:end]
+		trimmed := strings.TrimSpace(seg)
+		if trimmed == "" {
+			start = end
+			return
+		}
+		// Recompute offsets of the trimmed span.
+		lead := strings.Index(seg, trimmed)
+		s := Sentence{
+			Text:  trimmed,
+			Start: start + lead,
+			End:   start + lead + len(trimmed),
+			Index: len(sentences),
+		}
+		for _, t := range Tokenize(trimmed) {
+			t.Start += s.Start
+			t.End += s.Start
+			s.Tokens = append(s.Tokens, t)
+		}
+		sentences = append(sentences, s)
+		start = end
+	}
+	for i < n {
+		r, size := utf8.DecodeRuneInString(text[i:])
+		switch {
+		case r == '.' || r == '!' || r == '?':
+			// Consume the full terminator run (e.g. "?!", "...").
+			j := i + size
+			for j < n {
+				r2, s2 := utf8.DecodeRuneInString(text[j:])
+				if r2 == '.' || r2 == '!' || r2 == '?' {
+					j += s2
+					continue
+				}
+				break
+			}
+			if r == '.' && !isSentencePeriod(text, i, j) {
+				i = j
+				continue
+			}
+			// Include trailing closing quotes/parens in the sentence.
+			for j < n {
+				r2, s2 := utf8.DecodeRuneInString(text[j:])
+				if r2 == '"' || r2 == '\'' || r2 == ')' || r2 == '”' || r2 == '’' {
+					j += s2
+					continue
+				}
+				break
+			}
+			flush(j)
+			i = j
+		case r == '\n':
+			// A blank line (two newlines with only spaces between) ends a sentence.
+			j := i + size
+			sawSecond := false
+			for j < n {
+				r2, s2 := utf8.DecodeRuneInString(text[j:])
+				if r2 == '\n' {
+					sawSecond = true
+					j += s2
+					continue
+				}
+				if r2 == ' ' || r2 == '\t' || r2 == '\r' {
+					j += s2
+					continue
+				}
+				break
+			}
+			if sawSecond {
+				flush(i)
+				start = j
+			}
+			i = j
+		default:
+			i += size
+		}
+	}
+	if start < n {
+		flush(n)
+	}
+	return sentences
+}
+
+// isSentencePeriod decides whether the period at text[i] (with terminator run
+// ending at j) actually ends a sentence.
+func isSentencePeriod(text string, i, j int) bool {
+	// A run of periods ("...") is treated as a terminator.
+	if j-i > 1 {
+		return true
+	}
+	// Decimal or version number: digit on both sides.
+	if i > 0 && j < len(text) {
+		prev, _ := utf8.DecodeLastRuneInString(text[:i])
+		next, _ := utf8.DecodeRuneInString(text[j:])
+		if unicode.IsDigit(prev) && unicode.IsDigit(next) {
+			return false
+		}
+	}
+	// Not a terminator unless followed by space+capital/digit or end of text.
+	if j >= len(text) {
+		return true
+	}
+	next, _ := utf8.DecodeRuneInString(text[j:])
+	if !unicode.IsSpace(next) {
+		return false
+	}
+	// Peek at the next non-space rune; lowercase continuation suggests an
+	// abbreviation mid-sentence ("e.g. the disk").
+	k := j
+	for k < len(text) {
+		r2, s2 := utf8.DecodeRuneInString(text[k:])
+		if unicode.IsSpace(r2) {
+			k += s2
+			continue
+		}
+		break
+	}
+	// Preceding word an abbreviation?
+	word := lastWordBefore(text, i)
+	if abbreviations[strings.ToLower(word)] {
+		return false
+	}
+	// Single capital letter before the dot → an initial ("J. Smith").
+	if len(word) == 1 && unicode.IsUpper(rune(word[0])) {
+		return false
+	}
+	// A lowercase continuation ("S.M.A.R.T. alert", "e.g. the disk")
+	// signals an abbreviation the list does not know.
+	if k < len(text) {
+		r2, _ := utf8.DecodeRuneInString(text[k:])
+		if unicode.IsLower(r2) {
+			return false
+		}
+	}
+	return true
+}
+
+// lastWordBefore extracts the word immediately preceding byte offset i.
+func lastWordBefore(text string, i int) string {
+	end := i
+	k := i
+	for k > 0 {
+		r, size := utf8.DecodeLastRuneInString(text[:k])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '.' {
+			k -= size
+			continue
+		}
+		break
+	}
+	return strings.TrimSuffix(text[k:end], ".")
+}

@@ -1,0 +1,98 @@
+// Package textproc provides the low-level text processing substrate used by
+// the intention-based segmentation pipeline: word tokenization with byte
+// offsets, sentence splitting, HTML cleaning, stemming, and stopword
+// filtering.
+//
+// Forum posts arrive as raw user text (sometimes with embedded HTML). Every
+// stage downstream — POS tagging, communication-means annotation,
+// segmentation, indexing — consumes the Token and Sentence values produced
+// here, so offsets recorded in this package are the coordinate system for
+// the whole system (segment borders, annotator offsets, WinDiff windows).
+package textproc
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token is a single word-level text unit with its position in the original
+// text. Start and End are byte offsets into the source string such that
+// src[Start:End] == Text. Position is the zero-based token index.
+type Token struct {
+	Text     string
+	Start    int
+	End      int
+	Position int
+}
+
+// Lower returns the lower-cased token text.
+func (t Token) Lower() string { return strings.ToLower(t.Text) }
+
+// IsWord reports whether the token contains at least one letter or digit
+// (i.e., it is not pure punctuation).
+func (t Token) IsWord() bool {
+	for _, r := range t.Text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tokenize splits text into tokens. Words are maximal runs of letters,
+// digits, and internal apostrophes/hyphens (so "didn't" and "e-mail" are
+// single tokens); every other non-space rune becomes a single-rune
+// punctuation token. Offsets are byte offsets into text.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		r, size := decodeRune(text[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += size
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			start := i
+			i += size
+			for i < n {
+				r2, s2 := decodeRune(text[i:])
+				if unicode.IsLetter(r2) || unicode.IsDigit(r2) {
+					i += s2
+					continue
+				}
+				// Allow internal apostrophe or hyphen when followed by a letter:
+				// "don't", "state-of-the-art".
+				if (r2 == '\'' || r2 == '’' || r2 == '-') && i+s2 < n {
+					r3, _ := decodeRune(text[i+s2:])
+					if unicode.IsLetter(r3) || unicode.IsDigit(r3) {
+						i += s2
+						continue
+					}
+				}
+				break
+			}
+			tokens = append(tokens, Token{Text: text[start:i], Start: start, End: i, Position: len(tokens)})
+		default:
+			tokens = append(tokens, Token{Text: text[i : i+size], Start: i, End: i + size, Position: len(tokens)})
+			i += size
+		}
+	}
+	return tokens
+}
+
+// Words returns only the word tokens of text (punctuation removed),
+// lower-cased. It is the convenience entry point used by the indexing layer.
+func Words(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.IsWord() {
+			out = append(out, t.Lower())
+		}
+	}
+	return out
+}
+
+func decodeRune(s string) (rune, int) { return utf8.DecodeRuneInString(s) }

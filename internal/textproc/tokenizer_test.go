@@ -1,0 +1,156 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenizeSimple(t *testing.T) {
+	toks := Tokenize("I have an HP system.")
+	var got []string
+	for _, tok := range toks {
+		got = append(got, tok.Text)
+	}
+	want := []string{"I", "have", "an", "HP", "system", "."}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	src := "RAID 0, 320GB drive!"
+	for _, tok := range Tokenize(src) {
+		if src[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: src[%d:%d]=%q, token %q", tok.Start, tok.End, src[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeContractions(t *testing.T) {
+	cases := map[string][]string{
+		"didn't work":                    {"didn't", "work"},
+		"it's a state-of-the-art e-mail": {"it's", "a", "state-of-the-art", "e-mail"},
+		"end.'":                          {"end", ".", "'"},
+		"don't!":                         {"don't", "!"},
+	}
+	for in, want := range cases {
+		var got []string
+		for _, tok := range Tokenize(in) {
+			got = append(got, tok.Text)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks := Tokenize("a b c d")
+	for i, tok := range toks {
+		if tok.Position != i {
+			t.Errorf("token %d has Position %d", i, tok.Position)
+		}
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	toks := Tokenize("café naïve — test")
+	var words []string
+	for _, tok := range toks {
+		if tok.IsWord() {
+			words = append(words, tok.Text)
+		}
+	}
+	want := []string{"café", "naïve", "test"}
+	if !reflect.DeepEqual(words, want) {
+		t.Fatalf("words = %v, want %v", words, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Fatalf("Tokenize(\"\") = %v, want empty", toks)
+	}
+	if toks := Tokenize("   \n\t "); len(toks) != 0 {
+		t.Fatalf("Tokenize(whitespace) = %v, want empty", toks)
+	}
+}
+
+// Property: every token's offsets index back to its text, tokens are in
+// order, and no token is empty.
+func TestTokenizeOffsetsProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		prevEnd := 0
+		for _, tok := range toks {
+			if tok.Text == "" {
+				return false
+			}
+			if tok.Start < prevEnd || tok.End <= tok.Start || tok.End > len(s) {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			prevEnd = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concatenating tokens plus gaps reconstructs the non-space
+// content of the source.
+func TestTokenizeCoversNonSpace(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		var b strings.Builder
+		for _, tok := range toks {
+			b.WriteString(tok.Text)
+		}
+		stripped := strings.Map(func(r rune) rune {
+			if unicode.IsSpace(r) {
+				return -1
+			}
+			return r
+		}, s)
+		return b.String() == stripped
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words("Do you KNOW whether it would perform OK?")
+	want := []string{"do", "you", "know", "whether", "it", "would", "perform", "ok"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestContentWordsFiltersStopwords(t *testing.T) {
+	got := ContentWords("I have an HP system with a RAID controller")
+	want := []string{"hp", "system", "raid", "controller"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ContentWords = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "i", "we", "is", "wasn't"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"printer", "raid", "hotel"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}
