@@ -147,6 +147,64 @@ func benchRetrieval(b *testing.B, m core.Method) {
 	}
 }
 
+func BenchmarkConcurrentServe(b *testing.B) {
+	// Mixed read/write serving — the online phase under load: GOMAXPROCS
+	// goroutines issue Related queries with one Add folded in per 64
+	// operations, the pattern the MR locking model is built for. Query
+	// throughput should scale with GOMAXPROCS, and the writer share must
+	// not stall readers beyond its own commit time.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 1200, Seed: 42})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	const base = 1000
+	p, err := core.Build(texts[:base], core.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	extra := texts[base:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%64 == 63 {
+				if _, err := p.Add(extra[i%len(extra)]); err != nil {
+					b.Error(err)
+					return
+				}
+			} else {
+				p.Related(i%base, 5)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkConcurrentServeReadOnly(b *testing.B) {
+	// The same parallel serving load without writers — the upper bound the
+	// mixed benchmark is compared against.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 1000, Seed: 42})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	p, err := core.Build(texts, core.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p.Related(i%len(texts), 5)
+			i++
+		}
+	})
+}
+
 func BenchmarkTable6StackOverflowScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if out, _ := experiments.Table6(benchOpt); out == "" {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lda"
+	"repro/internal/par"
 )
 
 type record struct {
@@ -117,14 +118,38 @@ func main() {
 		return
 	}
 
-	for _, part := range strings.Split(*query, ",") {
+	answerQueries(p, *query, *k, texts)
+}
+
+// answerQueries serves the comma-separated reference ids concurrently —
+// the pipeline's online phase is safe for parallel queries — and prints
+// the result lists in input order. texts may be nil (loaded pipelines
+// keep segment terms, not post texts); then only ids and scores print.
+func answerQueries(p *core.Pipeline, query string, k int, texts []string) {
+	numDocs := p.Stats().NumDocs
+	parts := strings.Split(query, ",")
+	ids := make([]int, len(parts))
+	for i, part := range parts {
 		q, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || q < 0 || q >= len(texts) {
-			fatal(fmt.Errorf("bad query id %q (corpus has %d posts)", part, len(texts)))
+		if err != nil || q < 0 || q >= numDocs {
+			fatal(fmt.Errorf("bad query id %q (corpus has %d posts)", part, numDocs))
 		}
-		fmt.Printf("\nquery %d: %s\n", q, truncate(texts[q], 90))
-		for rank, r := range p.Related(q, *k) {
-			fmt.Printf("  %d. post %-5d score %.4f  %s\n", rank+1, r.DocID, r.Score, truncate(texts[r.DocID], 70))
+		ids[i] = q
+	}
+	results := make([][]core.Result, len(ids))
+	par.Do(len(ids), 0, func(i int) { results[i] = p.Related(ids[i], k) })
+	for i, q := range ids {
+		if texts != nil {
+			fmt.Printf("\nquery %d: %s\n", q, truncate(texts[q], 90))
+		} else {
+			fmt.Printf("query %d:\n", q)
+		}
+		for rank, r := range results[i] {
+			if texts != nil {
+				fmt.Printf("  %d. post %-5d score %.4f  %s\n", rank+1, r.DocID, r.Score, truncate(texts[r.DocID], 70))
+			} else {
+				fmt.Printf("  %d. post %-5d score %.4f\n", rank+1, r.DocID, r.Score)
+			}
 		}
 	}
 }
@@ -144,16 +169,7 @@ func servePipeline(path, query string, k int) {
 	}
 	st := p.Stats()
 	fmt.Printf("loaded %s: %d posts, %d clusters\n", p.Method(), st.NumDocs, st.NumClusters)
-	for _, part := range strings.Split(query, ",") {
-		q, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			fatal(fmt.Errorf("bad query id %q", part))
-		}
-		fmt.Printf("query %d:\n", q)
-		for rank, r := range p.Related(q, k) {
-			fmt.Printf("  %d. post %-5d score %.4f\n", rank+1, r.DocID, r.Score)
-		}
-	}
+	answerQueries(p, query, k, nil)
 }
 
 func truncate(s string, n int) string {

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/forum"
+)
+
+// Run these under -race: they exercise the documented serving contract —
+// Related, Add, Stats, and Doc interleaving freely on one Pipeline.
+
+func TestPipelineConcurrentAddAndRelated(t *testing.T) {
+	const basePosts, extraPosts, readers = 60, 16, 4
+	for _, method := range []Method{IntentIntentMR, ContentMR, SentIntentMR} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: basePosts + extraPosts, Seed: 81})
+			texts := make([]string, len(posts))
+			for i, p := range posts {
+				texts[i] = p.Text
+			}
+			p, err := Build(texts[:basePosts], Config{Method: method, Seed: 81})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			var rg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				rg.Add(1)
+				go func(r int) {
+					defer rg.Done()
+					for q := r; ; q = (q + 7) % basePosts {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						p.Related(q, 5)
+						p.Stats()
+						p.Doc(q)
+					}
+				}(r)
+			}
+			var ag sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				ag.Add(1)
+				go func(w int) {
+					defer ag.Done()
+					for i := w; i < extraPosts; i += 2 {
+						if _, err := p.Add(texts[basePosts+i]); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			ag.Wait()
+			close(stop)
+			rg.Wait()
+
+			if got := p.Stats().NumDocs; got != basePosts+extraPosts {
+				t.Fatalf("Stats().NumDocs = %d, want %d", got, basePosts+extraPosts)
+			}
+			// Doc and the matcher agree on every id, including added ones.
+			for id := 0; id < basePosts+extraPosts; id++ {
+				if p.Doc(id) == nil {
+					t.Fatalf("Doc(%d) = nil after concurrent adds", id)
+				}
+			}
+			if p.Doc(basePosts+extraPosts) != nil {
+				t.Fatal("Doc past the end is non-nil")
+			}
+		})
+	}
+}
+
+func TestPipelineStatsConsistentAfterConcurrentAdds(t *testing.T) {
+	posts := forum.Generate(forum.Config{Domain: forum.Travel, NumPosts: 50, Seed: 82})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	p, err := Build(texts[:30], Config{Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segsBefore := p.Stats().NumSegments
+
+	var wg sync.WaitGroup
+	ids := make([]int, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := p.Add(texts[30+i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = id
+		}(i)
+	}
+	wg.Wait()
+
+	st := p.Stats()
+	if st.NumDocs != 50 {
+		t.Errorf("NumDocs = %d, want 50", st.NumDocs)
+	}
+	if st.NumSegments < segsBefore {
+		t.Errorf("NumSegments shrank: %d -> %d", segsBefore, st.NumSegments)
+	}
+	// Ids are dense and unique, and each one resolves to a document whose
+	// text matches what was added under that id.
+	seen := map[int]bool{}
+	for i, id := range ids {
+		if id < 30 || id >= 50 || seen[id] {
+			t.Fatalf("bad/duplicate id %d (all: %v)", id, ids)
+		}
+		seen[id] = true
+		d := p.Doc(id)
+		if d == nil {
+			t.Fatalf("Doc(%d) = nil", id)
+		}
+		if d.Text != texts[30+i] {
+			t.Errorf("Doc(%d) holds the wrong document for add #%d", id, i)
+		}
+	}
+}
+
+func TestPipelineAddUnsupportedMethodsConcurrentSafe(t *testing.T) {
+	// Whole-post methods refuse Add; the refusal itself must be
+	// race-free against Related.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 40, Seed: 83})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	p, err := Build(texts, Config{Method: FullText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				if _, err := p.Add("new post"); err == nil {
+					t.Error("FullText Add succeeded, want error")
+				}
+				return
+			}
+			for q := 0; q < len(texts); q++ {
+				p.Related(q, 3)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func ExamplePipeline_concurrent() {
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 40, Seed: 84})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	p, _ := Build(texts[:30], Config{Seed: 84})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: stream in new posts
+		defer wg.Done()
+		for _, t := range texts[30:] {
+			p.Add(t)
+		}
+	}()
+	go func() { // reader: serve queries throughout
+		defer wg.Done()
+		for q := 0; q < 30; q++ {
+			p.Related(q, 5)
+		}
+	}()
+	wg.Wait()
+	fmt.Println(p.Stats().NumDocs)
+	// Output: 40
+}

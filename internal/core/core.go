@@ -13,15 +13,22 @@
 //
 // Build is the offline phase (the paper runs it as pre-processing);
 // Related is the online phase (sub-millisecond per query at 100k posts).
+//
+// A built Pipeline is safe for concurrent use: any number of goroutines
+// may interleave Related, Add, Stats, and Doc. Related never blocks on
+// the pipeline's own state; Add prepares the new document lock-free and
+// holds the write lock only for the final bookkeeping.
 package core
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/lda"
 	"repro/internal/match"
+	"repro/internal/par"
 	"repro/internal/segment"
 	"repro/internal/textproc"
 )
@@ -89,12 +96,19 @@ type Stats struct {
 }
 
 // Pipeline is a built related-post retrieval system over one collection.
+//
+// mu guards docs and stats, the pipeline's only mutable state; matcher,
+// mr, and cfg are frozen at Build time. Holding mu across the matcher
+// commit in Add keeps document ids aligned with the docs slice, so Doc
+// and Related agree on ids at all times.
 type Pipeline struct {
 	cfg     Config
 	matcher match.Matcher
 	mr      *match.MR // non-nil for the MR methods
-	docs    []*segment.Doc
-	stats   Stats
+
+	mu    sync.RWMutex
+	docs  []*segment.Doc
+	stats Stats
 }
 
 // Result is one related post.
@@ -108,7 +122,7 @@ func Build(texts []string, cfg Config) (*Pipeline, error) {
 	start := time.Now()
 	p.docs = make([]*segment.Doc, len(texts))
 	terms := make([][]string, len(texts))
-	parallelDo(len(texts), func(i int) {
+	par.Do(len(texts), 0, func(i int) {
 		p.docs[i] = segment.NewDoc(texts[i])
 		terms[i] = p.docTerms(p.docs[i])
 	})
@@ -175,8 +189,14 @@ func (p *Pipeline) Related(docID, k int) []Result {
 // Method returns the matcher's name.
 func (p *Pipeline) Method() string { return p.matcher.Name() }
 
-// Stats returns offline build statistics.
-func (p *Pipeline) Stats() Stats { return p.stats }
+// Stats returns offline build statistics (plus the running document
+// count, which Add maintains). The returned copy is internally
+// consistent even while adds are in flight.
+func (p *Pipeline) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.stats
+}
 
 // NumClusters returns the intention-cluster count (0 for whole-post
 // methods).
@@ -212,19 +232,30 @@ func (p *Pipeline) SegmentCounts() (before, after []int) {
 // assignment suffices between periodic rebuilds). It returns the new
 // post's document id, or an error for whole-post methods, which do not
 // support incremental addition.
+//
+// Add is safe to call concurrently with itself and with Related: the
+// expensive preparation (HTML cleaning, CM annotation, segmentation,
+// vectorization) runs outside every lock, and only the commit — a few
+// slice appends — serializes.
 func (p *Pipeline) Add(text string) (int, error) {
 	if p.mr == nil {
 		return 0, fmt.Errorf("core: %s does not support incremental addition", p.matcher.Name())
 	}
 	d := segment.NewDoc(text)
+	pending := p.mr.PrepareAdd(d)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := pending.Commit()
 	p.docs = append(p.docs, d)
 	p.stats.NumDocs++
-	return p.mr.Add(d), nil
+	return id, nil
 }
 
 // Doc exposes the prepared form of a document (sentences, annotations) for
 // inspection tools like cmd/segmentview.
 func (p *Pipeline) Doc(docID int) *segment.Doc {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if docID < 0 || docID >= len(p.docs) {
 		return nil
 	}
@@ -276,30 +307,3 @@ func SortByID(results []Result) {
 	sort.Slice(results, func(i, j int) bool { return results[i].DocID < results[j].DocID })
 }
 
-// parallelDo runs fn over [0,n) with GOMAXPROCS-bounded goroutines.
-func parallelDo(n int, fn func(i int)) {
-	const workers = 8
-	if n < 2 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	done := make(chan struct{})
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range next {
-				fn(i)
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
-}

@@ -8,24 +8,35 @@
 // document-id index; see Fig 6); the whole-collection FullText baseline is
 // the same structure with documents as units.
 //
-// The index is safe for concurrent use: additions take the write lock,
-// queries the read lock. Derived statistics (average unique-term count,
-// document frequencies) are maintained incrementally so queries never
-// rescan the collection.
+// Locking model: a single RWMutex guards all index state. Add (and
+// ReadFrom) take the write lock; Query and every read accessor take the
+// read lock for their full duration, so any number of queries proceed
+// concurrently and additions serialize against them. Derived statistics
+// (average unique-term count, document frequencies, per-posting log-TF
+// numerators) are maintained incrementally at insertion time, and per-term
+// pIDF values are memoized with their validity conditions (collection
+// size, document frequency), so the query hot path recomputes nothing that
+// insertion already knows.
 package index
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/topk"
 )
 
 // Posting records one term occurrence list entry: the unit that contains
-// the term and the term's frequency in it.
+// the term, the term's frequency in it, and the precomputed Eq 7 weight
+// numerator log(TF)+1 (stored at insertion so queries multiply instead of
+// calling math.Log per posting). Posting lists are ordered by ascending
+// unit id — Add assigns dense increasing ids — which Weight exploits for
+// binary search.
 type Posting struct {
-	Unit int32
-	TF   int32
+	Unit  int32
+	TF    int32
+	LogTF float64
 }
 
 // unitStats caches the per-unit quantities of Eq 7/8: the weight
@@ -36,12 +47,26 @@ type unitStats struct {
 	unique int32
 }
 
+// idfEntry memoizes one term's pIDF with the inputs it was computed from;
+// an entry is valid only while the collection size and the term's document
+// frequency still match, so additions invalidate implicitly.
+type idfEntry struct {
+	n, df int
+	v     float64
+}
+
 // Index is an inverted full-text index over integer-identified units.
 type Index struct {
 	mu          sync.RWMutex
 	postings    map[string][]Posting
 	units       []unitStats
 	totalUnique int64 // sum of unique-term counts, for the NU average
+
+	// idfCache memoizes per-term pIDF (term → idfEntry). It lives outside
+	// mu: queries populate it while holding only the read lock, and stale
+	// entries are rejected by the (n, df) validity check rather than
+	// cleared on Add.
+	idfCache sync.Map
 }
 
 // New returns an empty index.
@@ -49,9 +74,17 @@ func New() *Index {
 	return &Index{postings: make(map[string][]Posting)}
 }
 
+// scorePool recycles the per-query score accumulator maps; serving
+// workloads run Query at high rates and the map is the query's dominant
+// allocation.
+var scorePool = sync.Pool{
+	New: func() interface{} { return make(map[int32]float64, 64) },
+}
+
 // Add indexes a unit's terms and returns the unit id the index assigned
 // (dense, starting at 0). Term order is irrelevant; duplicates are counted
-// as term frequency.
+// as term frequency. Add is safe for concurrent use with itself and with
+// queries.
 func (ix *Index) Add(terms []string) int {
 	tf := make(map[string]int, len(terms))
 	for _, t := range terms {
@@ -62,8 +95,9 @@ func (ix *Index) Add(terms []string) int {
 	id := int32(len(ix.units))
 	var denom float64
 	for t, f := range tf {
-		ix.postings[t] = append(ix.postings[t], Posting{Unit: id, TF: int32(f)})
-		denom += math.Log(float64(f)) + 1
+		logTF := math.Log(float64(f)) + 1
+		ix.postings[t] = append(ix.postings[t], Posting{Unit: id, TF: int32(f), LogTF: logTF})
+		denom += logTF
 	}
 	ix.units = append(ix.units, unitStats{denom: denom, unique: int32(len(tf))})
 	ix.totalUnique += int64(len(tf))
@@ -114,14 +148,16 @@ func nu(unique int32, avgUnique float64) float64 {
 }
 
 // Weight computes the Eq 7/8 weight of a term within a unit. It returns 0
-// if the term does not occur in the unit.
+// if the term does not occur in the unit. The posting list is ordered by
+// unit id, so the lookup is a binary search rather than the former O(df)
+// scan.
 func (ix *Index) Weight(term string, unit int) float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	for _, p := range ix.postings[term] {
-		if int(p.Unit) == unit {
-			return ix.weightLocked(p, ix.avgUniqueLocked())
-		}
+	posts := ix.postings[term]
+	i := sort.Search(len(posts), func(i int) bool { return int(posts[i].Unit) >= unit })
+	if i < len(posts) && int(posts[i].Unit) == unit {
+		return ix.weightLocked(posts[i], ix.avgUniqueLocked())
 	}
 	return 0
 }
@@ -131,7 +167,7 @@ func (ix *Index) weightLocked(p Posting, avgUnique float64) float64 {
 	if u.denom == 0 {
 		return 0
 	}
-	return (math.Log(float64(p.TF)) + 1) / (u.denom * nu(u.unique, avgUnique))
+	return p.LogTF / (u.denom * nu(u.unique, avgUnique))
 }
 
 // IDF computes the smoothed probabilistic inverse document frequency of
@@ -140,7 +176,22 @@ func (ix *Index) weightLocked(p Posting, avgUnique float64) float64 {
 func (ix *Index) IDF(term string) float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return idf(len(ix.units), len(ix.postings[term]))
+	return ix.idfLocked(term, len(ix.postings[term]))
+}
+
+// idfLocked returns the memoized pIDF for a term with the given document
+// frequency. Callers must hold at least the read lock (which fixes n and
+// df for the duration, making the cached entry exact).
+func (ix *Index) idfLocked(term string, df int) float64 {
+	n := len(ix.units)
+	if e, ok := ix.idfCache.Load(term); ok {
+		if e := e.(idfEntry); e.n == n && e.df == df {
+			return e.v
+		}
+	}
+	v := idf(n, df)
+	ix.idfCache.Store(term, idfEntry{n: n, df: df, v: v})
+	return v
 }
 
 func idf(n, df int) float64 {
@@ -179,14 +230,18 @@ func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit i
 		terms = append(terms, term)
 	}
 	sort.Strings(terms)
-	scores := make(map[int32]float64)
+	scores := scorePool.Get().(map[int32]float64)
+	defer func() {
+		clear(scores)
+		scorePool.Put(scores)
+	}()
 	for _, term := range terms {
 		qf := queryTF[term]
 		posts := ix.postings[term]
 		if len(posts) == 0 {
 			continue
 		}
-		tIDF := idf(len(ix.units), len(posts))
+		tIDF := ix.idfLocked(term, len(posts))
 		if tIDF == 0 {
 			continue
 		}
@@ -195,8 +250,7 @@ func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit i
 		}
 	}
 
-	h := &resultHeap{}
-	heap.Init(h)
+	c := topk.New(topN)
 	for unit, score := range scores {
 		if score <= 0 {
 			continue
@@ -204,17 +258,12 @@ func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit i
 		if exclude != nil && exclude(int(unit)) {
 			continue
 		}
-		cand := Result{Unit: int(unit), Score: score}
-		if h.Len() < topN {
-			heap.Push(h, cand)
-		} else if beats(cand, (*h)[0]) {
-			(*h)[0] = cand
-			heap.Fix(h, 0)
-		}
+		c.Offer(int(unit), score)
 	}
-	out := make([]Result, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Result)
+	items := c.Results()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{Unit: it.ID, Score: it.Score}
 	}
 	return out
 }
@@ -227,35 +276,4 @@ func TermFrequencies(terms []string) map[string]float64 {
 		tf[t]++
 	}
 	return tf
-}
-
-// beats reports whether candidate a outranks b under the full ordering
-// (higher score first, lower unit id on ties) — used at the heap
-// replacement gate so ties never depend on map iteration order.
-func beats(a, b Result) bool {
-	if a.Score != b.Score {
-		return a.Score > b.Score
-	}
-	return a.Unit < b.Unit
-}
-
-// resultHeap is a min-heap on score (ties broken by unit id for
-// determinism), used to keep the running top-N.
-type resultHeap []Result
-
-func (h resultHeap) Len() int { return len(h) }
-func (h resultHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
-	}
-	return h[i].Unit > h[j].Unit
-}
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

@@ -3,6 +3,7 @@ package index
 import (
 	"encoding/gob"
 	"io"
+	"math"
 )
 
 // snapshot is the gob-serializable form of an Index. The paper performs
@@ -50,6 +51,14 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	}
 	if snap.Postings == nil {
 		snap.Postings = make(map[string][]Posting)
+	}
+	// The LogTF numerator is derived state; recompute it so snapshots
+	// written before the field existed (where gob leaves it zero) load
+	// correctly. TF >= 1 makes the true value >= 1, never 0.
+	for _, posts := range snap.Postings {
+		for i := range posts {
+			posts[i].LogTF = math.Log(float64(posts[i].TF)) + 1
+		}
 	}
 	ix.mu.Lock()
 	ix.postings = snap.Postings

@@ -14,19 +14,36 @@ import (
 // intention clusters by nearest-centroid assignment, deferring a full
 // re-clustering to the cheap offline re-build (Fig 11(b): minutes even at
 // millions of segments).
+//
+// Concurrency: ingestion is split into PrepareAdd — segmentation,
+// vectorization, and centroid assignment, which run without any lock —
+// and PendingAdd.Commit, which takes MR's write lock only for the cheap
+// appends. Add (= PrepareAdd + Commit) is therefore safe to call from any
+// number of goroutines, interleaved freely with Match and the accessors;
+// concurrent queries block only for the microseconds a commit holds the
+// write lock, not for the document processing.
 
-// Add segments a new document, assigns each segment to the nearest
-// existing intention centroid, applies the refinement rule, and indexes
-// the refined segments. It returns the document id assigned to the new
-// post. Add is not safe for concurrent use with itself; queries remain
-// safe throughout (the underlying indices take the write lock per
-// insertion).
-func (mr *MR) Add(d *segment.Doc) int {
-	docID := len(mr.docSegs)
+// PendingAdd is a document that has been segmented, vectorized, and
+// assigned to intention clusters but not yet committed into the matcher.
+// The split lets a serving layer do the expensive preparation outside any
+// lock (and outside any larger critical section of its own) and make the
+// matcher mutation itself near-instant.
+type PendingAdd struct {
+	mr        *MR
+	numRanges int
+	merged    map[int][]string // cluster → merged segment terms (refinement rule)
+}
+
+// PrepareAdd segments a new document, assigns each segment to the nearest
+// existing intention centroid, and applies the refinement rule, without
+// touching the matcher's serving state. It reads only immutable matcher
+// state (the configured strategy and the frozen centroids), so any number
+// of PrepareAdd calls may run concurrently with each other and with
+// queries. Call Commit on the result to assign a document id and index
+// the refined segments.
+func (mr *MR) PrepareAdd(d *segment.Doc) *PendingAdd {
 	seg := mr.cfg.Strategy.Segment(d)
 	ranges := seg.Segments()
-	mr.before = append(mr.before, len(ranges))
-	mr.stats.NumSegments += len(ranges)
 
 	// Assign each segment to its nearest centroid and merge per cluster
 	// (the refinement rule: at most one segment per document per cluster).
@@ -47,11 +64,24 @@ func (mr *MR) Add(d *segment.Doc) int {
 		}
 		merged[c] = append(merged[c], d.Terms(r[0], r[1])...)
 	}
+	return &PendingAdd{mr: mr, numRanges: len(ranges), merged: merged}
+}
+
+// Commit indexes the prepared segments under the matcher's write lock and
+// returns the document id assigned to the new post. Document ids are
+// assigned in commit order. Commit must be called at most once.
+func (pa *PendingAdd) Commit() int {
+	mr := pa.mr
+	mr.mu.Lock()
+	defer mr.mu.Unlock()
+	docID := len(mr.docSegs)
+	mr.before = append(mr.before, pa.numRanges)
+	mr.stats.NumSegments += pa.numRanges
 
 	mr.docSegs = append(mr.docSegs, nil)
 	after := 0
 	for c := 0; c < len(mr.clusters); c++ {
-		terms, ok := merged[c]
+		terms, ok := pa.merged[c]
 		if !ok {
 			continue
 		}
@@ -62,6 +92,16 @@ func (mr *MR) Add(d *segment.Doc) int {
 	}
 	mr.after = append(mr.after, after)
 	return docID
+}
+
+// Add segments a new document, assigns each segment to the nearest
+// existing intention centroid, applies the refinement rule, and indexes
+// the refined segments. It returns the document id assigned to the new
+// post. Add is safe for concurrent use with itself, with Match, and with
+// every accessor: the heavy preparation runs lock-free and only the final
+// commit takes the write lock (see PrepareAdd).
+func (mr *MR) Add(d *segment.Doc) int {
+	return mr.PrepareAdd(d).Commit()
 }
 
 // nearestCentroid returns the index of the closest centroid to vec under
@@ -89,6 +129,8 @@ func nearestCentroid(centroids [][]float64, vec []float64) int {
 // build time suggests a re-build (Sec 9.2: re-running clustering on the
 // whole updated collection is cheap).
 func (mr *MR) DriftStats() (minSize, maxSize int) {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
 	for _, ix := range mr.clusters {
 		n := ix.NumUnits()
 		if n == 0 {
@@ -106,4 +148,8 @@ func (mr *MR) DriftStats() (minSize, maxSize int) {
 
 // NumDocs returns the number of documents currently in the matcher,
 // including incrementally added ones.
-func (mr *MR) NumDocs() int { return len(mr.docSegs) }
+func (mr *MR) NumDocs() int {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	return len(mr.docSegs)
+}

@@ -9,11 +9,11 @@
 package match
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/index"
 	"repro/internal/lda"
+	"repro/internal/topk"
 )
 
 // Result is one related document with its matching score.
@@ -94,58 +94,21 @@ func (lm *LDAMatcher) Match(docID, k int) []Result {
 		return nil
 	}
 	q := lm.model.DocTopics(docID)
-	h := &resultHeap{}
-	heap.Init(h)
+	c := topk.New(k)
 	for d := 0; d < n; d++ {
 		if d == docID {
 			continue
 		}
-		cand := Result{DocID: d, Score: lda.Similarity(q, lm.model.DocTopics(d))}
-		if h.Len() < k {
-			heap.Push(h, cand)
-		} else if beats(cand, (*h)[0]) {
-			(*h)[0] = cand
-			heap.Fix(h, 0)
-		}
+		c.Offer(d, lda.Similarity(q, lm.model.DocTopics(d)))
 	}
-	return drain(h)
+	return toResults(c.Results())
 }
 
-// beats reports whether candidate a outranks b (higher score, then lower
-// document id) — the gate ordering that keeps top-k selection independent
-// of map iteration order.
-func beats(a, b Result) bool {
-	if a.Score != b.Score {
-		return a.Score > b.Score
-	}
-	return a.DocID < b.DocID
-}
-
-// resultHeap is a min-heap on score with deterministic tie-breaking.
-type resultHeap []Result
-
-func (h resultHeap) Len() int { return len(h) }
-func (h resultHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
-	}
-	return h[i].DocID > h[j].DocID
-}
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// drain empties the heap into a best-first slice.
-func drain(h *resultHeap) []Result {
-	out := make([]Result, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Result)
+// toResults converts the shared top-k helper's items into match results.
+func toResults(items []topk.Item) []Result {
+	out := make([]Result, len(items))
+	for i, it := range items {
+		out[i] = Result{DocID: it.ID, Score: it.Score}
 	}
 	return out
 }
@@ -153,19 +116,12 @@ func drain(h *resultHeap) []Result {
 // topK selects the k highest-scoring entries of a doc → score map, best
 // first, excluding docID.
 func topK(scores map[int]float64, k, docID int) []Result {
-	h := &resultHeap{}
-	heap.Init(h)
+	c := topk.New(k)
 	for d, s := range scores {
 		if d == docID || s <= 0 {
 			continue
 		}
-		cand := Result{DocID: d, Score: s}
-		if h.Len() < k {
-			heap.Push(h, cand)
-		} else if beats(cand, (*h)[0]) {
-			(*h)[0] = cand
-			heap.Fix(h, 0)
-		}
+		c.Offer(d, s)
 	}
-	return drain(h)
+	return toResults(c.Results())
 }

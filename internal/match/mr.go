@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cm"
 	"repro/internal/index"
+	"repro/internal/par"
 	"repro/internal/segment"
 )
 
@@ -135,9 +136,22 @@ type docSeg struct {
 }
 
 // MR is a built multi-ranking matcher.
+//
+// Locking model: mu guards the mutable serving state — docSegs, unitDoc,
+// before/after, and stats, which incremental Add appends to. Match,
+// WriteTo, and every accessor hold the read lock for their full duration;
+// Add commits its mutations under the write lock (the expensive
+// segmentation and vectorization happen before the lock is taken, see
+// PrepareAdd). The per-cluster indices carry their own RWMutex; the lock
+// order is always MR.mu before Index.mu, never the reverse. name, cfg,
+// clusters (the slice itself), and centroids are immutable once the
+// matcher is built or loaded — SetStrategy is the one exception and must
+// be called before concurrent use begins.
 type MR struct {
-	name      string
-	cfg       MRConfig
+	name string
+	cfg  MRConfig
+
+	mu        sync.RWMutex
 	clusters  []*index.Index
 	unitDoc   [][]int // unitDoc[c][u] = document owning unit u of cluster c
 	docSegs   [][]docSeg
@@ -271,9 +285,17 @@ func (mr *MR) Name() string { return mr.name }
 
 // Match implements Matcher: Algorithm 1 per intention cluster the reference
 // document appears in (top-n with n = NFactor·k), then Algorithm 2's score
-// summation and global top-k.
+// summation and global top-k. The per-intention-cluster queries run in
+// parallel over a Workers-bounded pool; the read lock held for Match's
+// full duration keeps the unit → document ownership tables consistent
+// with the cluster indices while a concurrent Add waits.
 func (mr *MR) Match(docID, k int) []Result {
-	if docID < 0 || docID >= len(mr.docSegs) || k <= 0 {
+	if k <= 0 {
+		return nil
+	}
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	if docID < 0 || docID >= len(mr.docSegs) {
 		return nil
 	}
 	n := mr.cfg.NFactor * k
@@ -281,12 +303,22 @@ func (mr *MR) Match(docID, k int) []Result {
 		// Threshold selection needs deeper lists to cut from.
 		n = 10 * k
 	}
-	scores := make(map[int]float64)
-	for _, seg := range mr.docSegs[docID] {
-		ix := mr.clusters[seg.cluster]
-		owners := mr.unitDoc[seg.cluster]
+	segs := mr.docSegs[docID]
+	// Algorithm 1: each intention list is an independent index query, so
+	// they fan out. Each list lands in its own slot and the merge below
+	// walks them in segment order — float summation is not associative, so
+	// merge order must not depend on goroutine scheduling.
+	lists := make([][]index.Result, len(segs))
+	par.Do(len(segs), mr.cfg.Workers, func(i int) {
+		seg := segs[i]
 		own := seg.unit
-		res := ix.Query(index.TermFrequencies(seg.terms), n, func(u int) bool { return u == own })
+		lists[i] = mr.clusters[seg.cluster].Query(
+			index.TermFrequencies(seg.terms), n, func(u int) bool { return u == own })
+	})
+	// Algorithm 2: sum the per-intention list scores per owning document.
+	scores := make(map[int]float64)
+	for i, seg := range segs {
+		res := lists[i]
 		if t := mr.cfg.ScoreThreshold; t > 0 && len(res) > 0 {
 			cut := t * res[0].Score
 			keep := res[:0]
@@ -301,6 +333,7 @@ func (mr *MR) Match(docID, k int) []Result {
 		if mr.cfg.NormalizeLists && len(res) > 0 && res[0].Score > 0 {
 			norm = res[0].Score
 		}
+		owners := mr.unitDoc[seg.cluster]
 		for _, r := range res {
 			scores[owners[r.Unit]] += r.Score / norm
 		}
@@ -309,21 +342,35 @@ func (mr *MR) Match(docID, k int) []Result {
 }
 
 // Stats returns the build-phase timing and size statistics.
-func (mr *MR) Stats() BuildStats { return mr.stats }
+func (mr *MR) Stats() BuildStats {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	return mr.stats
+}
 
 // NumClusters returns the number of intention clusters formed.
 func (mr *MR) NumClusters() int { return len(mr.clusters) }
 
 // Centroids returns the cluster centroids in the segment vector space —
-// the columns of Fig 3.
+// the columns of Fig 3. The centroids are frozen at build time (Add
+// assigns new segments to them but never moves them), so the returned
+// slices are safe to read concurrently.
 func (mr *MR) Centroids() [][]float64 { return mr.centroids }
 
 // SegmentCounts returns each document's segment count before grouping and
-// after the refinement step (the two halves of Table 3).
-func (mr *MR) SegmentCounts() (before, after []int) { return mr.before, mr.after }
+// after the refinement step (the two halves of Table 3). The returned
+// slices are point-in-time views: documents added after the call do not
+// appear in them.
+func (mr *MR) SegmentCounts() (before, after []int) {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	return mr.before, mr.after
+}
 
 // ClusterSizes returns the number of (refined) segments per cluster.
 func (mr *MR) ClusterSizes() []int {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
 	out := make([]int, len(mr.clusters))
 	for c, ix := range mr.clusters {
 		out[c] = ix.NumUnits()
@@ -372,28 +419,6 @@ func estimateEpsSampled(vectors [][]float64, k, maxSample int) float64 {
 	return cluster.EstimateEps(sample, k)
 }
 
-// parallelFor runs fn(i) for i in [0, n) over the given number of workers.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers <= 1 || n < 2 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
+// parallelFor runs fn(i) for i in [0, n) over the given number of workers
+// (the shared par.Do helper; kept as a local name for the build phases).
+func parallelFor(n, workers int, fn func(i int)) { par.Do(n, workers, fn) }

@@ -15,11 +15,14 @@ import (
 // (top-k matching); persistence lets the offline result be built once,
 // written to disk, and served by separate processes.
 //
-// The segmentation strategy itself is configuration, not state: the loaded
-// matcher reconstructs it from the saved MRConfig's zero-value defaults
-// unless the caller overrides it before calling Add. Everything the online
-// phase needs — the per-cluster indices, unit ownership, per-document
-// segment terms, centroids, and statistics — round-trips exactly.
+// The segmentation strategy itself is configuration, not state: ReadMR
+// reconstructs it from the persisted ContentVectors flag and matcher name
+// (TextTiling for Content-MR, Sentences for SentIntent-MR, Greedy
+// otherwise), so a loaded matcher segments incrementally added posts the
+// same way the offline build did. SetStrategy remains the override for
+// custom strategies. Everything the online phase needs — the per-cluster
+// indices, unit ownership, per-document segment terms, centroids, and
+// statistics — round-trips exactly.
 
 // mrSnapshot is the gob-serializable state of an MR matcher.
 type mrSnapshot struct {
@@ -58,8 +61,12 @@ type docSegSnapshot struct {
 }
 
 // WriteTo serializes the matcher: a header snapshot followed by each
-// cluster index. It implements io.WriterTo.
+// cluster index. It implements io.WriterTo. It holds the matcher's read
+// lock for the duration, so the snapshot is consistent even while Adds
+// are in flight (they commit before or after the write, never halfway).
 func (mr *MR) WriteTo(w io.Writer) (int64, error) {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
 	snap := mrSnapshot{
 		Name: mr.name,
 		Cfg: mrConfigSnapshot{
@@ -129,6 +136,7 @@ func ReadMR(r io.Reader) (*MR, error) {
 	mr := &MR{
 		name: snap.Name,
 		cfg: MRConfig{
+			Strategy:       strategyFor(snap.Name, snap.Cfg.ContentVectors),
 			ContentVectors: snap.Cfg.ContentVectors,
 			ContentK:       snap.Cfg.ContentK,
 			Eps:            snap.Cfg.Eps,
@@ -169,9 +177,29 @@ func ReadMR(r io.Reader) (*MR, error) {
 	return mr, nil
 }
 
+// strategyFor reconstructs the segmentation strategy a persisted matcher
+// was built with. The strategy is an interface and is not serialized, but
+// the matcher configuration determines it: Content-MR (ContentVectors) is
+// always built over TextTiling and SentIntent-MR over sentence units, so
+// a loaded matcher segments new posts the same way the offline build did
+// instead of silently falling back to Greedy. Matchers built under custom
+// names with custom strategies still need SetStrategy after loading.
+func strategyFor(name string, contentVectors bool) segment.Strategy {
+	switch {
+	case contentVectors:
+		return segment.TextTiling{}
+	case name == "SentIntent-MR":
+		return segment.Sentences{}
+	default:
+		return segment.Greedy{}
+	}
+}
+
 // SetStrategy replaces the segmentation strategy used by incremental Add
 // on a loaded matcher (the strategy itself is configuration and is not
-// serialized).
+// serialized; ReadMR infers the standard ones — see strategyFor). It must
+// be called before the matcher is shared across goroutines: the strategy
+// field is read without locking by PrepareAdd.
 func (mr *MR) SetStrategy(st segment.Strategy) { mr.cfg.Strategy = st }
 
 type countingWriter struct {

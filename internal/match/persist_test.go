@@ -92,6 +92,42 @@ func TestLoadedMRSupportsAdd(t *testing.T) {
 	}
 }
 
+func TestReadMRReconstructsStrategy(t *testing.T) {
+	// A loaded matcher must segment incrementally added posts with the
+	// strategy its build used, not silently fall back to Greedy.
+	cases := []struct {
+		name string
+		cfg  MRConfig
+		want segment.Strategy
+	}{
+		{"IntentIntent-MR", MRConfig{}, segment.Greedy{}},
+		{"SentIntent-MR", MRConfig{Strategy: segment.Sentences{}}, segment.Sentences{}},
+		{"Content-MR", MRConfig{Strategy: segment.TextTiling{}, ContentVectors: true}, segment.TextTiling{}},
+	}
+	tc := buildCorpus(t, forum.TechSupport, 40, 53)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mr := NewMR(c.name, tc.docs, c.cfg)
+			var buf bytes.Buffer
+			if _, err := mr.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := ReadMR(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := loaded.cfg.Strategy; got != c.want {
+				t.Errorf("loaded strategy = %T, want %T", got, c.want)
+			}
+			// SetStrategy still overrides.
+			loaded.SetStrategy(segment.Greedy{})
+			if got := loaded.cfg.Strategy; got != (segment.Greedy{}) {
+				t.Errorf("SetStrategy override ignored, strategy = %T", got)
+			}
+		})
+	}
+}
+
 func TestReadMRGarbage(t *testing.T) {
 	if _, err := ReadMR(strings.NewReader("not a gob stream")); err == nil {
 		t.Fatal("garbage input should fail")

@@ -1,0 +1,51 @@
+// Package par provides the bounded-parallelism helper shared by the
+// offline build (segmentation, vectorization, preprocessing) and the
+// online serving layer (per-intention-cluster queries, batch serving).
+// It exists so the fan-out semantics live in exactly one place: callers
+// that hard-code their own worker counts drift out of sync with the
+// machine (an earlier core helper pinned 8 workers while documenting
+// GOMAXPROCS).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(i) for every i in [0, n) across at most workers goroutines
+// and returns when all calls have completed. workers <= 0 sizes the pool
+// from runtime.GOMAXPROCS(0); with one worker (or fewer than two items)
+// the calls run inline on the caller's goroutine. Iterations are handed
+// out dynamically, so uneven per-item cost does not idle workers. fn must
+// be safe for concurrent invocation when workers > 1.
+func Do(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

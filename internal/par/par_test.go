@@ -1,0 +1,52 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 16, 100} {
+		const n = 250
+		counts := make([]int32, n)
+		Do(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoSmallN(t *testing.T) {
+	ran := false
+	Do(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("Do(0, ...) invoked fn")
+	}
+	var got int32
+	Do(1, 4, func(i int) { atomic.AddInt32(&got, int32(i)+1) })
+	if got != 1 {
+		t.Errorf("Do(1, ...) ran fn %v times/indices, want exactly i=0 once", got)
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak int32
+	Do(64, workers, func(int) {
+		a := atomic.AddInt32(&active, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if a <= p || atomic.CompareAndSwapInt32(&peak, p, a) {
+				break
+			}
+		}
+		atomic.AddInt32(&active, -1)
+	})
+	if peak > workers {
+		t.Errorf("observed %d concurrent calls, want <= %d", peak, workers)
+	}
+}

@@ -1,0 +1,93 @@
+// Package topk provides the top-k selection helper shared by the index
+// and matching layers. Both layers keep a running best-k over a stream of
+// scored candidates (Algorithm 1's per-cluster lists, Algorithm 2's final
+// ranking, the FullText and LDA baselines); this package holds the single
+// min-heap implementation with the tie-breaking rule that keeps rankings
+// deterministic — higher score first, lower id on equal scores — so
+// results never depend on map iteration order.
+package topk
+
+import "container/heap"
+
+// Item is one scored candidate: an opaque integer id (a unit id inside an
+// index, or a document id at the matching layer) with its score.
+type Item struct {
+	ID    int
+	Score float64
+}
+
+// beats reports whether candidate a outranks b under the full ordering
+// (higher score first, lower id on ties) — used at the heap replacement
+// gate so ties never depend on insertion order.
+func beats(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// Collector accumulates scored candidates and retains the k best under
+// the deterministic ordering. The zero value is unusable; call New. A
+// Collector is not safe for concurrent use.
+type Collector struct {
+	k int
+	h itemHeap
+}
+
+// New returns a Collector that keeps the k highest-scoring items. k <= 0
+// collects nothing.
+func New(k int) *Collector {
+	c := &Collector{k: k}
+	if k > 0 {
+		c.h = make(itemHeap, 0, k)
+	}
+	return c
+}
+
+// Offer submits one candidate. It is kept only while it ranks among the
+// k best seen so far.
+func (c *Collector) Offer(id int, score float64) {
+	if c.k <= 0 {
+		return
+	}
+	cand := Item{ID: id, Score: score}
+	if len(c.h) < c.k {
+		heap.Push(&c.h, cand)
+	} else if beats(cand, c.h[0]) {
+		c.h[0] = cand
+		heap.Fix(&c.h, 0)
+	}
+}
+
+// Results drains the collector and returns the retained items best first
+// (descending score, ascending id on ties). The Collector is empty
+// afterwards and may be reused.
+func (c *Collector) Results() []Item {
+	out := make([]Item, len(c.h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&c.h).(Item)
+	}
+	return out
+}
+
+// itemHeap is a min-heap on score; the worst retained item sits at the
+// root so it can be evicted in O(log k). Ties order worse-id-first (the
+// inverse of beats) so the eviction victim matches the full ordering.
+type itemHeap []Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].ID > h[j].ID
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,94 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestResultsBestFirst(t *testing.T) {
+	c := New(3)
+	for id, s := range []float64{0.1, 0.9, 0.5, 0.7, 0.3} {
+		c.Offer(id, s)
+	}
+	want := []Item{{ID: 1, Score: 0.9}, {ID: 3, Score: 0.7}, {ID: 2, Score: 0.5}}
+	if got := c.Results(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Results() = %v, want %v", got, want)
+	}
+}
+
+func TestTiesPreferLowerID(t *testing.T) {
+	// All candidates share one score: the k retained must be the k lowest
+	// ids, ascending, regardless of insertion order.
+	ids := []int{7, 2, 9, 4, 1, 8, 3}
+	c := New(3)
+	for _, id := range ids {
+		c.Offer(id, 1.0)
+	}
+	want := []Item{{ID: 1, Score: 1}, {ID: 2, Score: 1}, {ID: 3, Score: 1}}
+	if got := c.Results(); !reflect.DeepEqual(got, want) {
+		t.Errorf("tied Results() = %v, want %v", got, want)
+	}
+}
+
+func TestDeterministicAcrossInsertionOrders(t *testing.T) {
+	// Mixed ties and distinct scores, offered in 50 shuffled orders, must
+	// always produce the identical ranking.
+	items := []Item{
+		{0, 0.5}, {1, 0.5}, {2, 0.5}, {3, 0.8}, {4, 0.8},
+		{5, 0.2}, {6, 0.9}, {7, 0.5}, {8, 0.1}, {9, 0.8},
+	}
+	var want []Item
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]Item(nil), items...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		c := New(5)
+		for _, it := range shuffled {
+			c.Offer(it.ID, it.Score)
+		}
+		got := c.Results()
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Results() = %v, want %v", trial, got, want)
+		}
+	}
+	expect := []Item{{6, 0.9}, {3, 0.8}, {4, 0.8}, {9, 0.8}, {0, 0.5}}
+	if !reflect.DeepEqual(want, expect) {
+		t.Errorf("ranking = %v, want %v", want, expect)
+	}
+}
+
+func TestFewerCandidatesThanK(t *testing.T) {
+	c := New(10)
+	c.Offer(5, 2)
+	c.Offer(3, 1)
+	want := []Item{{ID: 5, Score: 2}, {ID: 3, Score: 1}}
+	if got := c.Results(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Results() = %v, want %v", got, want)
+	}
+}
+
+func TestZeroK(t *testing.T) {
+	c := New(0)
+	c.Offer(1, 1)
+	if got := c.Results(); len(got) != 0 {
+		t.Errorf("New(0).Results() = %v, want empty", got)
+	}
+}
+
+func TestReuseAfterResults(t *testing.T) {
+	c := New(2)
+	c.Offer(1, 1)
+	c.Results()
+	c.Offer(2, 5)
+	c.Offer(3, 4)
+	c.Offer(4, 9)
+	want := []Item{{ID: 4, Score: 9}, {ID: 2, Score: 5}}
+	if got := c.Results(); !reflect.DeepEqual(got, want) {
+		t.Errorf("reused Results() = %v, want %v", got, want)
+	}
+}
