@@ -112,6 +112,23 @@ func BenchmarkFig11bClustering(b *testing.B) {
 	}
 }
 
+func BenchmarkMRBuild(b *testing.B) {
+	// The MR offline build in isolation (segmentation → grouping →
+	// indexing) with the paper's DBSCAN grouper at 600 posts — the unit of
+	// work the Fig 11a/b sweeps repeat at increasing scale, and the
+	// configuration that exercises the indexed region queries.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 600, Seed: 42})
+	docs := make([]*segment.Doc, len(posts))
+	for i, p := range posts {
+		docs[i] = segment.NewDoc(p.Text)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.NewMR("bench", docs, match.MRConfig{Grouper: match.GroupDBSCAN, Seed: 42})
+	}
+}
+
 func BenchmarkFig11cRetrievalIntent(b *testing.B) {
 	benchRetrieval(b, core.IntentIntentMR)
 }

@@ -117,7 +117,7 @@ func TestDBSCANLabelRangeProperty(t *testing.T) {
 
 func TestEstimateEps(t *testing.T) {
 	pts, _ := twoBlobs(25, 3)
-	eps := EstimateEps(pts, 3)
+	eps := EstimateEps(pts, 3, 0)
 	if eps <= 0 || eps > 0.2 {
 		t.Fatalf("EstimateEps = %v, want small positive for tight blobs", eps)
 	}
@@ -126,7 +126,7 @@ func TestEstimateEps(t *testing.T) {
 		t.Fatalf("DBSCAN with estimated eps found %d clusters, want 2 (eps=%v)", k, eps)
 	}
 	_ = labels
-	if EstimateEps(nil, 3) != 0 {
+	if EstimateEps(nil, 3, 0) != 0 {
 		t.Error("EstimateEps(nil) != 0")
 	}
 }
@@ -134,7 +134,7 @@ func TestEstimateEps(t *testing.T) {
 func TestSampledMatchesExactOnSmallInput(t *testing.T) {
 	pts, _ := twoBlobs(20, 4)
 	exactLabels, exactK := DBSCAN(pts, 0.1, 3)
-	sampLabels, sampK := Sampled(pts, 0.1, 3, 1000)
+	sampLabels, sampK := Sampled(pts, 0.1, 3, 1000, 0)
 	if exactK != sampK {
 		t.Fatalf("Sampled k=%d, exact k=%d", sampK, exactK)
 	}
@@ -147,7 +147,7 @@ func TestSampledMatchesExactOnSmallInput(t *testing.T) {
 
 func TestSampledLargeInput(t *testing.T) {
 	pts, want := twoBlobs(600, 5)
-	labels, k := Sampled(pts, 0.1, 3, 100)
+	labels, k := Sampled(pts, 0.1, 3, 100, 0)
 	if k != 2 {
 		t.Fatalf("Sampled found %d clusters, want 2", k)
 	}
@@ -166,7 +166,7 @@ func TestSampledLargeInput(t *testing.T) {
 func TestCentroids(t *testing.T) {
 	pts := [][]float64{{0, 0}, {2, 2}, {10, 10}, {12, 12}, {100, 100}}
 	labels := []int{0, 0, 1, 1, Noise}
-	cents := Centroids(pts, labels, 2)
+	cents := Centroids(pts, labels, 2, 0)
 	if len(cents) != 2 {
 		t.Fatalf("got %d centroids", len(cents))
 	}
@@ -176,7 +176,7 @@ func TestCentroids(t *testing.T) {
 	if cents[1][0] != 11 || cents[1][1] != 11 {
 		t.Errorf("centroid 1 = %v, want [11 11]", cents[1])
 	}
-	if Centroids(nil, nil, 0) != nil {
+	if Centroids(nil, nil, 0, 0) != nil {
 		t.Error("Centroids of nothing should be nil")
 	}
 }
@@ -185,14 +185,14 @@ func TestAssignNoise(t *testing.T) {
 	pts := [][]float64{{0, 0}, {10, 10}, {1, 1}, {9, 9}}
 	labels := []int{0, 1, Noise, Noise}
 	cents := [][]float64{{0, 0}, {10, 10}}
-	moved := AssignNoise(pts, labels, cents)
+	moved := AssignNoise(pts, labels, cents, 0)
 	if moved != 2 {
 		t.Fatalf("moved = %d, want 2", moved)
 	}
 	if labels[2] != 0 || labels[3] != 1 {
 		t.Errorf("labels after AssignNoise = %v", labels)
 	}
-	if AssignNoise(pts, labels, nil) != 0 {
+	if AssignNoise(pts, labels, nil, 0) != 0 {
 		t.Error("AssignNoise with no centroids should move nothing")
 	}
 }
@@ -206,7 +206,7 @@ func TestSizes(t *testing.T) {
 
 func TestKMeansTwoClusters(t *testing.T) {
 	pts, want := twoBlobs(40, 6)
-	labels := KMeans(pts, 2, 42, 0)
+	labels := KMeans(pts, 2, 42, 0, 0)
 	// Same-blob points share a label; blobs differ.
 	for i := 1; i < 40; i++ {
 		if labels[i] != labels[0] {
@@ -221,8 +221,8 @@ func TestKMeansTwoClusters(t *testing.T) {
 
 func TestKMeansDeterministic(t *testing.T) {
 	pts, _ := twoBlobs(30, 7)
-	a := KMeans(pts, 3, 99, 0)
-	b := KMeans(pts, 3, 99, 0)
+	a := KMeans(pts, 3, 99, 0, 0)
+	b := KMeans(pts, 3, 99, 0, 0)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("KMeans with same seed differs across runs")
@@ -231,12 +231,12 @@ func TestKMeansDeterministic(t *testing.T) {
 }
 
 func TestKMeansEdgeCases(t *testing.T) {
-	if got := KMeans(nil, 3, 1, 0); len(got) != 0 {
+	if got := KMeans(nil, 3, 1, 0, 0); len(got) != 0 {
 		t.Error("KMeans(nil) should be empty")
 	}
 	// k > n clamps to n.
 	pts := [][]float64{{0}, {1}}
-	labels := KMeans(pts, 5, 1, 0)
+	labels := KMeans(pts, 5, 1, 0, 0)
 	for _, l := range labels {
 		if l < 0 || l >= 2 {
 			t.Errorf("label %d out of range after clamp", l)
@@ -244,7 +244,7 @@ func TestKMeansEdgeCases(t *testing.T) {
 	}
 	// Identical points: must terminate and label everything.
 	same := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
-	labels = KMeans(same, 2, 1, 0)
+	labels = KMeans(same, 2, 1, 0, 0)
 	if len(labels) != 4 {
 		t.Error("KMeans on identical points broke")
 	}
@@ -271,6 +271,6 @@ func BenchmarkSampled10000(b *testing.B) {
 	pts, _ := twoBlobs(5000, 9)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Sampled(pts, 0.1, 4, 500)
+		Sampled(pts, 0.1, 4, 500, 0)
 	}
 }

@@ -4,12 +4,19 @@
 // k-means is provided for comparison, along with the k-distance heuristic
 // for choosing DBSCAN's eps, centroid computation (Fig 3), and a sampled
 // variant that scales to millions of segments the way the paper's ELKI
-// library run does.
+// library run does. Region queries run through a cell-list spatial index
+// (Grid) the way ELKI's indexed DBSCAN does, and the embarrassingly
+// parallel pieces (k-distance estimation, centroid sums, noise
+// reassignment, k-means assignment) fan out over a bounded worker pool;
+// every parallel path produces output identical to its serial form.
 package cluster
 
 import (
 	"math"
 	"sort"
+	"sync/atomic"
+
+	"repro/internal/par"
 )
 
 // Noise is the label DBSCAN assigns to points that belong to no cluster.
@@ -18,9 +25,62 @@ const Noise = -1
 // DBSCAN clusters points (dense vectors of equal dimension) with the
 // classic density-based algorithm of Ester et al. (1996) under Euclidean
 // distance. It returns one label per point — 0..k-1 for cluster members,
-// Noise for outliers — and the number of clusters k. The implementation is
-// the exact O(n²) region-query form; use Sampled for large collections.
+// Noise for outliers — and the number of clusters k. Region queries run
+// through a Grid cell-list index with a reused neighbor buffer, dropping
+// the per-query cost from an O(n) scan to the candidate cells around the
+// query point; the labeling is identical to the naive quadratic form
+// (DBSCANNaive, kept as the test oracle). Use Sampled for collections
+// where even near-linear passes per point are too slow.
 func DBSCAN(points [][]float64, eps float64, minPts int) (labels []int, k int) {
+	n := len(points)
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = Noise - 1 // unvisited
+	}
+	const unvisited = Noise - 1
+
+	grid := NewGrid(points, eps)
+	var nb []int32    // reused region-query buffer
+	var queue []int32 // reused expansion frontier
+
+	k = 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb = grid.Radius(points[i], eps, i, nb)
+		if len(nb)+1 < minPts {
+			labels[i] = Noise
+			continue
+		}
+		// Start a new cluster and expand it over the density-reachable set.
+		labels[i] = k
+		queue = append(queue[:0], nb...)
+		for head := 0; head < len(queue); head++ {
+			j := int(queue[head])
+			if labels[j] == Noise {
+				labels[j] = k // border point
+				continue
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = k
+			nb = grid.Radius(points[j], eps, j, nb)
+			if len(nb)+1 >= minPts {
+				queue = append(queue, nb...)
+			}
+		}
+		k++
+	}
+	return labels, k
+}
+
+// DBSCANNaive is the exact O(n²) region-query form of DBSCAN — the
+// reference implementation the indexed DBSCAN is property-tested against.
+// It exists as the oracle: any labeling disagreement between the two is a
+// bug in the index, never a modeling choice.
+func DBSCANNaive(points [][]float64, eps float64, minPts int) (labels []int, k int) {
 	n := len(points)
 	labels = make([]int, n)
 	for i := range labels {
@@ -49,7 +109,6 @@ func DBSCAN(points [][]float64, eps float64, minPts int) (labels []int, k int) {
 			labels[i] = Noise
 			continue
 		}
-		// Start a new cluster and expand it over the density-reachable set.
 		labels[i] = k
 		queue := append([]int(nil), nb...)
 		for len(queue) > 0 {
@@ -77,8 +136,10 @@ func DBSCAN(points [][]float64, eps float64, minPts int) (labels []int, k int) {
 // percentile of every point's distance to its k-th nearest neighbor (the
 // "knee" of the sorted k-distance plot, approximated, with headroom so that
 // uniform within-cluster spread does not fragment a cluster into density
-// islands). k is typically minPts−1.
-func EstimateEps(points [][]float64, k int) float64 {
+// islands). k is typically minPts−1. The per-point k-distance pass is
+// independent across points and runs over at most `workers` goroutines
+// (GOMAXPROCS when <= 0); the result is identical for any worker count.
+func EstimateEps(points [][]float64, k, workers int) float64 {
 	n := len(points)
 	if n == 0 || k <= 0 {
 		return 0
@@ -86,28 +147,47 @@ func EstimateEps(points [][]float64, k int) float64 {
 	if k >= n {
 		k = n - 1
 	}
-	kd := make([]float64, 0, n)
-	dists := make([]float64, 0, n-1)
-	for i := 0; i < n; i++ {
-		dists = dists[:0]
-		for j := 0; j < n; j++ {
-			if i != j {
-				dists = append(dists, sqDist(points[i], points[j]))
+	kd := make([]float64, n)
+	par.Chunks(n, workers, func(lo, hi int) {
+		dists := make([]float64, 0, n-1)
+		for i := lo; i < hi; i++ {
+			dists = dists[:0]
+			for j := 0; j < n; j++ {
+				if i != j {
+					dists = append(dists, sqDist(points[i], points[j]))
+				}
 			}
+			sort.Float64s(dists)
+			kd[i] = math.Sqrt(dists[k-1])
 		}
-		sort.Float64s(dists)
-		kd = append(kd, math.Sqrt(dists[k-1]))
-	}
+	})
 	sort.Float64s(kd)
 	return 2 * kd[int(float64(len(kd))*0.9)]
 }
 
+// EstimateEpsSampled runs the k-distance eps heuristic on a deterministic
+// systematic sample of at most maxSample points (the exact heuristic is
+// quadratic in the sample size).
+func EstimateEpsSampled(points [][]float64, k, maxSample, workers int) float64 {
+	if maxSample <= 0 || len(points) <= maxSample {
+		return EstimateEps(points, k, workers)
+	}
+	stride := len(points) / maxSample
+	sample := make([][]float64, 0, maxSample)
+	for i := 0; i < len(points) && len(sample) < maxSample; i += stride {
+		sample = append(sample, points[i])
+	}
+	return EstimateEps(sample, k, workers)
+}
+
 // Sampled runs DBSCAN on a deterministic sample of at most sampleSize
 // points, derives centroids, and assigns every remaining point to the
-// nearest centroid within assignEps (Noise otherwise). It trades exactness
+// nearest centroid within 2·eps (Noise otherwise). It trades exactness
 // for linear scaling, which is what makes the Table 6 StackOverflow-scale
-// grouping run in minutes instead of hours.
-func Sampled(points [][]float64, eps float64, minPts, sampleSize int) (labels []int, k int) {
+// grouping run in minutes instead of hours. The per-point assignment runs
+// its candidate lookup through the same Grid index DBSCAN queries, in
+// parallel over at most `workers` goroutines.
+func Sampled(points [][]float64, eps float64, minPts, sampleSize, workers int) (labels []int, k int) {
 	n := len(points)
 	if n <= sampleSize {
 		return DBSCAN(points, eps, minPts)
@@ -119,48 +199,106 @@ func Sampled(points [][]float64, eps float64, minPts, sampleSize int) (labels []
 		sample = append(sample, points[i])
 	}
 	sampleLabels, k := DBSCAN(sample, eps, minPts)
-	cents := Centroids(sample, sampleLabels, k)
+	cents := Centroids(sample, sampleLabels, k, workers)
 
 	labels = make([]int, n)
-	assignEpsSq := eps * eps * 4 // looser radius for assignment to centroids
-	for i, p := range points {
-		best, bestD := Noise, math.Inf(1)
-		for c, cent := range cents {
-			if d := sqDist(p, cent); d < bestD {
-				best, bestD = c, d
+	assignEps := eps * 2 // looser radius for assignment to centroids
+	assignEpsSq := assignEps * assignEps
+	// Candidate lookup goes through the same cell-list index DBSCAN
+	// queries once the centroid set is large enough for cell pruning to
+	// beat a direct scan; below that, enumerating ~3^3 cells costs more
+	// than comparing against every centroid. Both paths pick the same
+	// centroid: the nearest within assignEps, lowest index on ties.
+	const gridAssignMin = 32
+	var grid *Grid
+	if k >= gridAssignMin {
+		grid = NewGrid(cents, assignEps)
+	}
+	par.Chunks(n, workers, func(lo, hi int) {
+		var buf []int32
+		for i := lo; i < hi; i++ {
+			best, bestD := Noise, math.Inf(1)
+			if grid != nil {
+				buf = grid.Radius(points[i], assignEps, -1, buf)
+				for _, c := range buf {
+					if d := sqDist(points[i], cents[c]); d < bestD {
+						best, bestD = int(c), d
+					}
+				}
+			} else {
+				for c, cent := range cents {
+					if d := sqDist(points[i], cent); d < bestD && d <= assignEpsSq {
+						best, bestD = c, d
+					}
+				}
 			}
-		}
-		if best == Noise || bestD > assignEpsSq {
-			labels[i] = Noise
-		} else {
 			labels[i] = best
 		}
-	}
+	})
 	return labels, k
 }
 
+// centroidChunks fixes the number of partial sums the parallel centroid
+// reduction folds together. It is a constant — not the worker count — so
+// the floating-point summation order, and therefore the result, is
+// identical on every machine regardless of GOMAXPROCS.
+const centroidChunks = 16
+
 // Centroids computes the mean vector of each cluster. Noise points are
-// excluded. Clusters with no members yield zero vectors.
-func Centroids(points [][]float64, labels []int, k int) [][]float64 {
+// excluded. Clusters with no members yield zero vectors. Large inputs
+// accumulate per-chunk partial sums over at most `workers` goroutines
+// (small inputs run serially, producing bit-identical results to the
+// original single-pass form).
+func Centroids(points [][]float64, labels []int, k, workers int) [][]float64 {
 	if k == 0 || len(points) == 0 {
 		return nil
 	}
 	dim := len(points[0])
 	cents := make([][]float64, k)
-	counts := make([]int, k)
 	for i := range cents {
 		cents[i] = make([]float64, dim)
 	}
-	for i, p := range points {
-		c := labels[i]
-		if c < 0 || c >= k {
-			continue
-		}
-		counts[c]++
-		for d, v := range p {
-			cents[c][d] += v
+	counts := make([]int, k)
+	n := len(points)
+
+	accumulate := func(cents [][]float64, counts []int, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := labels[i]
+			if c < 0 || c >= k {
+				continue
+			}
+			counts[c]++
+			for d, v := range points[i] {
+				cents[c][d] += v
+			}
 		}
 	}
+
+	if n < centroidChunks*64 {
+		accumulate(cents, counts, 0, n)
+	} else {
+		partials := make([][][]float64, centroidChunks)
+		partialCounts := make([][]int, centroidChunks)
+		par.Do(centroidChunks, workers, func(ci int) {
+			p := make([][]float64, k)
+			for i := range p {
+				p[i] = make([]float64, dim)
+			}
+			pc := make([]int, k)
+			accumulate(p, pc, ci*n/centroidChunks, (ci+1)*n/centroidChunks)
+			partials[ci], partialCounts[ci] = p, pc
+		})
+		// Reduce in fixed chunk order: deterministic float summation.
+		for ci := 0; ci < centroidChunks; ci++ {
+			for c := 0; c < k; c++ {
+				counts[c] += partialCounts[ci][c]
+				for d := range cents[c] {
+					cents[c][d] += partials[ci][c][d]
+				}
+			}
+		}
+	}
+
 	for c := range cents {
 		if counts[c] == 0 {
 			continue
@@ -174,26 +312,32 @@ func Centroids(points [][]float64, labels []int, k int) [][]float64 {
 
 // AssignNoise relabels every Noise point to its nearest cluster centroid,
 // so that all segments can participate in matching. It returns the number
-// of points reassigned. With k == 0 nothing changes.
-func AssignNoise(points [][]float64, labels []int, centroids [][]float64) int {
+// of points reassigned. With no centroids nothing changes. Points are
+// independent, so the pass runs over at most `workers` goroutines; labels
+// are identical for any worker count.
+func AssignNoise(points [][]float64, labels []int, centroids [][]float64, workers int) int {
 	if len(centroids) == 0 {
 		return 0
 	}
-	moved := 0
-	for i, l := range labels {
-		if l != Noise {
-			continue
-		}
-		best, bestD := 0, math.Inf(1)
-		for c, cent := range centroids {
-			if d := sqDist(points[i], cent); d < bestD {
-				best, bestD = c, d
+	var moved atomic.Int64
+	par.Chunks(len(labels), workers, func(lo, hi int) {
+		chunkMoved := 0
+		for i := lo; i < hi; i++ {
+			if labels[i] != Noise {
+				continue
 			}
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(points[i], cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			labels[i] = best
+			chunkMoved++
 		}
-		labels[i] = best
-		moved++
-	}
-	return moved
+		moved.Add(int64(chunkMoved))
+	})
+	return int(moved.Load())
 }
 
 // Sizes returns the member count of each cluster label (ignoring noise).

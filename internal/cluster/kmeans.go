@@ -3,6 +3,9 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/par"
 )
 
 // KMeans clusters points into k groups with Lloyd's algorithm and
@@ -10,8 +13,12 @@ import (
 // contrasts DBSCAN against (Sec 6) and the grouper used by the Content-MR
 // baseline on TF/IDF vectors. The seed makes runs reproducible; maxIter
 // bounds Lloyd iterations (25 covers convergence on segment vectors).
-// It returns one cluster label per point, always in 0..k-1.
-func KMeans(points [][]float64, k int, seed int64, maxIter int) []int {
+// The assignment step (every point against every centroid — the dominant
+// cost) and the k-means++ D² pass run over at most `workers` goroutines;
+// all random draws stay on the caller's goroutine, so the labeling for a
+// given seed is identical for any worker count. It returns one cluster
+// label per point, always in 0..k-1.
+func KMeans(points [][]float64, k int, seed int64, maxIter, workers int) []int {
 	n := len(points)
 	labels := make([]int, n)
 	if n == 0 || k <= 0 {
@@ -24,47 +31,59 @@ func KMeans(points [][]float64, k int, seed int64, maxIter int) []int {
 		maxIter = 25
 	}
 	rng := rand.New(rand.NewSource(seed))
-	cents := seedPlusPlus(points, k, rng)
+	cents := seedPlusPlus(points, k, rng, workers)
 
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c := range cents {
-				if d := sqDist(p, cents[c]); d < bestD {
-					best, bestD = c, d
+		var changed atomic.Bool
+		par.Chunks(n, workers, func(lo, hi int) {
+			chunkChanged := false
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, math.Inf(1)
+				for c := range cents {
+					if d := sqDist(points[i], cents[c]); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if labels[i] != best {
+					labels[i] = best
+					chunkChanged = true
 				}
 			}
-			if labels[i] != best {
-				labels[i] = best
-				changed = true
+			if chunkChanged {
+				changed.Store(true)
 			}
-		}
-		if !changed && iter > 0 {
+		})
+		if !changed.Load() && iter > 0 {
 			break
 		}
-		cents = recompute(points, labels, k, rng)
+		cents = recompute(points, labels, k, rng, workers)
 	}
 	return labels
 }
 
 // seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
-func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+// The D² distances are computed in parallel, then summed and sampled in
+// index order on the caller's goroutine, so the seeding is deterministic.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand, workers int) [][]float64 {
 	n := len(points)
 	cents := make([][]float64, 0, k)
 	cents = append(cents, clone(points[rng.Intn(n)]))
 	d2 := make([]float64, n)
 	for len(cents) < k {
-		var total float64
-		for i, p := range points {
-			best := math.Inf(1)
-			for _, c := range cents {
-				if d := sqDist(p, c); d < best {
-					best = d
+		par.Chunks(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best := math.Inf(1)
+				for _, c := range cents {
+					if d := sqDist(points[i], c); d < best {
+						best = d
+					}
 				}
+				d2[i] = best
 			}
-			d2[i] = best
-			total += best
+		})
+		var total float64
+		for _, d := range d2 {
+			total += d
 		}
 		if total == 0 {
 			// All remaining points coincide with centroids; duplicate one.
@@ -87,8 +106,8 @@ func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 
 // recompute derives new centroids from the labeling; an emptied cluster is
 // re-seeded with a random point to keep k stable.
-func recompute(points [][]float64, labels []int, k int, rng *rand.Rand) [][]float64 {
-	cents := Centroids(points, labels, k)
+func recompute(points [][]float64, labels []int, k int, rng *rand.Rand, workers int) [][]float64 {
+	cents := Centroids(points, labels, k, workers)
 	sizes := Sizes(labels, k)
 	for c := range cents {
 		if sizes[c] == 0 {

@@ -11,9 +11,31 @@ import "math"
 // 1 − div of Eq 2 stays inside (0, 1], matching the paper's remark that
 // coherence "takes values less than one".
 
+// shannonTabMax bounds the precomputed p·log10(p) lookup below. CM counts
+// are small integers (feature observations per span), so almost every
+// ShannonIndex call during segmentation hits the table instead of math.Log10.
+const shannonTabMax = 96
+
+// shannonTab[all][c] = (c/all)·log10(c/all), precomputed with exactly the
+// arithmetic the slow path uses so table hits are bit-identical to it.
+var shannonTab = func() [][]float64 {
+	tab := make([][]float64, shannonTabMax)
+	for all := 1; all < shannonTabMax; all++ {
+		row := make([]float64, all+1)
+		for c := 1; c <= all; c++ {
+			p := float64(c) / float64(all)
+			row[c] = p * math.Log10(p)
+		}
+		tab[all] = row
+	}
+	return tab
+}()
+
 // ShannonIndex computes Shannon's diversity index (Eq 1) of a distribution
 // table: −Σ p_j·log10(p_j) over the non-zero cells. An empty table has
-// diversity 0 (a vacuously even, minimal-richness distribution).
+// diversity 0 (a vacuously even, minimal-richness distribution). Tables of
+// small integer counts — the segmentation hot path — resolve through a
+// precomputed lookup with results bit-identical to the direct computation.
 func ShannonIndex(table []float64) float64 {
 	var all float64
 	for _, c := range table {
@@ -21,6 +43,9 @@ func ShannonIndex(table []float64) float64 {
 	}
 	if all == 0 {
 		return 0
+	}
+	if div, ok := shannonSmallInt(table, all); ok {
+		return div
 	}
 	var div float64
 	for _, c := range table {
@@ -31,6 +56,30 @@ func ShannonIndex(table []float64) float64 {
 		div -= p * math.Log10(p)
 	}
 	return div
+}
+
+// shannonSmallInt resolves ShannonIndex through the precomputed table when
+// every count is a small non-negative integer. The second return is false
+// when any cell falls outside the table's domain (caller falls back to the
+// direct computation).
+func shannonSmallInt(table []float64, all float64) (float64, bool) {
+	ai := int(all)
+	if float64(ai) != all || ai < 1 || ai >= shannonTabMax {
+		return 0, false
+	}
+	row := shannonTab[ai]
+	var div float64
+	for _, c := range table {
+		if c <= 0 {
+			continue
+		}
+		ci := int(c)
+		if float64(ci) != c || ci > ai {
+			return 0, false
+		}
+		div -= row[ci]
+	}
+	return div, true
 }
 
 // RichnessIndex is the normalized richness of a distribution table: the
@@ -51,12 +100,16 @@ func RichnessIndex(table []float64) float64 {
 
 // DiversityFunc maps a distribution table to a diversity value in [0, 1).
 // ShannonIndex and RichnessIndex are the two instances studied in Fig 9.
+// The table an implementation receives is a read-only view into the caller's
+// annotation, valid only for the duration of the call — implementations must
+// not modify or retain it.
 type DiversityFunc func(table []float64) float64
 
 // Diversity computes the diversity of mean m within the annotated span
 // using Shannon's index.
 func Diversity(a Annotation, m Mean) float64 {
-	return ShannonIndex(a.Table(m))
+	lo, hi := FeaturesOf(m)
+	return ShannonIndex(a.Counts[lo:hi])
 }
 
 // Coherence computes the segment coherence of Eq 2 with Shannon diversity:
@@ -69,7 +122,8 @@ func Coherence(a Annotation) float64 {
 func CoherenceWith(a Annotation, div DiversityFunc) float64 {
 	var sum float64
 	for m := Mean(0); m < NumMeans; m++ {
-		sum += 1.0 - div(a.Table(m))
+		lo, hi := FeaturesOf(m)
+		sum += 1.0 - div(a.Counts[lo:hi])
 	}
 	return sum / float64(NumMeans)
 }
@@ -78,7 +132,29 @@ func CoherenceWith(a Annotation, div DiversityFunc) float64 {
 // the Greedy border-selection strategy that votes one communication mean at
 // a time.
 func CoherenceOfMean(a Annotation, m Mean, div DiversityFunc) float64 {
-	return 1.0 - div(a.Table(m))
+	lo, hi := FeaturesOf(m)
+	return 1.0 - div(a.Counts[lo:hi])
+}
+
+// ShannonCoherence is the direct form of CoherenceWith(a, ShannonIndex) for
+// the segmentation hot loop: the pointer argument and concrete diversity
+// call keep the ~240-byte Annotation out of both the copy path and the heap
+// (an indirect DiversityFunc forces the receiver to escape). Results are
+// bit-identical to the generic form.
+func ShannonCoherence(a *Annotation) float64 {
+	var sum float64
+	for m := Mean(0); m < NumMeans; m++ {
+		lo, hi := FeaturesOf(m)
+		sum += 1.0 - ShannonIndex(a.Counts[lo:hi])
+	}
+	return sum / float64(NumMeans)
+}
+
+// ShannonCoherenceOfMean is the direct form of
+// CoherenceOfMean(a, m, ShannonIndex); see ShannonCoherence.
+func ShannonCoherenceOfMean(a *Annotation, m Mean) float64 {
+	lo, hi := FeaturesOf(m)
+	return 1.0 - ShannonIndex(a.Counts[lo:hi])
 }
 
 // Depth computes the border depth of Eq 3 from the coherences of the left
@@ -106,6 +182,19 @@ func ScoreBorder(left, right Annotation, div DiversityFunc) (score, depth float6
 	cl := CoherenceWith(left, div)
 	cr := CoherenceWith(right, div)
 	cd := CoherenceWith(merged, div)
+	d := Depth(cl, cr, cd)
+	return BorderScore(cl, cr, d), d
+}
+
+// ShannonScoreBorder is the direct form of
+// ScoreBorder(left, right, ShannonIndex); see ShannonCoherence. The merged
+// annotation stays on the caller's stack.
+func ShannonScoreBorder(left, right *Annotation) (score, depth float64) {
+	var merged Annotation
+	left.AddInto(right, &merged)
+	cl := ShannonCoherence(left)
+	cr := ShannonCoherence(right)
+	cd := ShannonCoherence(&merged)
 	d := Depth(cl, cr, cd)
 	return BorderScore(cl, cr, d), d
 }

@@ -2,6 +2,7 @@ package cm
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -152,5 +153,91 @@ func TestCoherenceOfMean(t *testing.T) {
 	want := 1 - math.Log10(2)
 	if math.Abs(got-want) > 1e-12 {
 		t.Errorf("two-tense coherence = %v, want %v", got, want)
+	}
+}
+
+// shannonIndexDirect is the pre-lookup-table ShannonIndex: the reference
+// the table fast path must match bit for bit.
+func shannonIndexDirect(table []float64) float64 {
+	var all float64
+	for _, c := range table {
+		all += c
+	}
+	if all == 0 {
+		return 0
+	}
+	var div float64
+	for _, c := range table {
+		if c <= 0 {
+			continue
+		}
+		p := c / all
+		div -= p * math.Log10(p)
+	}
+	return div
+}
+
+// TestShannonIndexTableBitIdentical locks in that the small-integer lookup
+// path returns exactly what the direct computation returns — on integer
+// tables inside and outside the table's domain, and on fractional tables
+// that must fall through to the slow path.
+func TestShannonIndexTableBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(6)
+		table := make([]float64, n)
+		for i := range table {
+			switch trial % 3 {
+			case 0: // small integers: table hits
+				table[i] = float64(rng.Intn(8))
+			case 1: // large integers: overflow the table domain
+				table[i] = float64(rng.Intn(200))
+			default: // fractional: slow path
+				table[i] = math.Floor(rng.Float64()*40) / 4
+			}
+		}
+		got := ShannonIndex(table)
+		want := shannonIndexDirect(table)
+		if got != want {
+			t.Fatalf("trial %d table %v: ShannonIndex = %v, direct = %v", trial, table, got, want)
+		}
+	}
+}
+
+// TestShannonFastPathsMatchGeneric locks in that the pointer-based direct
+// Shannon scorers are bit-identical to the generic DiversityFunc forms.
+func TestShannonFastPathsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 500; trial++ {
+		var a, b Annotation
+		for i := range a.Counts {
+			a.Counts[i] = float64(rng.Intn(10))
+			b.Counts[i] = float64(rng.Intn(10))
+		}
+		a.Words, b.Words = rng.Intn(40), rng.Intn(40)
+		if got, want := ShannonCoherence(&a), CoherenceWith(a, ShannonIndex); got != want {
+			t.Fatalf("ShannonCoherence = %v, generic = %v", got, want)
+		}
+		for m := Mean(0); m < NumMeans; m++ {
+			if got, want := ShannonCoherenceOfMean(&a, m), CoherenceOfMean(a, m, ShannonIndex); got != want {
+				t.Fatalf("mean %d: ShannonCoherenceOfMean = %v, generic = %v", m, got, want)
+			}
+		}
+		gs, gd := ShannonScoreBorder(&a, &b)
+		ws, wd := ScoreBorder(a, b, ShannonIndex)
+		if gs != ws || gd != wd {
+			t.Fatalf("ShannonScoreBorder = (%v, %v), generic = (%v, %v)", gs, gd, ws, wd)
+		}
+		var sum, sum2 Annotation
+		a.AddInto(&b, &sum)
+		sum2 = a.Add(b)
+		if sum != sum2 {
+			t.Fatalf("AddInto != Add")
+		}
+		var diff Annotation
+		sum.SubInto(&b, &diff)
+		if diff != sum.Sub(b) {
+			t.Fatalf("SubInto != Sub")
+		}
 	}
 }

@@ -131,6 +131,26 @@ func (a Annotation) Add(b Annotation) Annotation {
 	return out
 }
 
+// AddInto stores the annotation of the concatenation a+b into out without
+// copying either operand — the in-place form hot loops use (Add moves three
+// ~240-byte values per call). out may alias a or b. The summation order is
+// identical to Add's.
+func (a *Annotation) AddInto(b, out *Annotation) {
+	for i := range a.Counts {
+		out.Counts[i] = a.Counts[i] + b.Counts[i]
+	}
+	out.Words = a.Words + b.Words
+}
+
+// SubInto stores a−b into out; the in-place form of Sub (see AddInto).
+// out may alias a or b.
+func (a *Annotation) SubInto(b, out *Annotation) {
+	for i := range a.Counts {
+		out.Counts[i] = a.Counts[i] - b.Counts[i]
+	}
+	out.Words = a.Words - b.Words
+}
+
 // Sub returns the annotation of a with b removed. It is the inverse of Add
 // and enables O(1) range queries over prefix-sum annotation tables.
 func (a Annotation) Sub(b Annotation) Annotation {

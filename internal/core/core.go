@@ -82,17 +82,30 @@ type Config struct {
 	LDA lda.Config
 	// Seed drives every randomized component.
 	Seed int64
+	// Workers bounds offline build parallelism — document preprocessing,
+	// segmentation, vectorization, the clustering internals, and
+	// per-cluster index construction all fan out over this many
+	// goroutines. 0 sizes the pool from the machine (GOMAXPROCS); results
+	// are identical for any worker count. It also seeds MR.Workers when
+	// that is unset, so the online per-query fan-out follows the same
+	// knob.
+	Workers int
 }
 
 // Stats describes where offline build time went (Fig 11 and Table 6).
+// Grouping is the Fig 11(b) total; Vectorization, Clustering, and
+// Refinement break it down into its sub-phases.
 type Stats struct {
-	Preprocess   time.Duration // HTML cleaning, sentence split, CM annotation
-	Segmentation time.Duration
-	Grouping     time.Duration
-	Indexing     time.Duration
-	NumDocs      int
-	NumSegments  int
-	NumClusters  int
+	Preprocess    time.Duration // HTML cleaning, sentence split, CM annotation
+	Segmentation  time.Duration
+	Vectorization time.Duration // segment weight vectors (Eq 5/6)
+	Clustering    time.Duration // eps estimation + DBSCAN/k-means + centroids
+	Refinement    time.Duration // (doc, cluster) grouping
+	Grouping      time.Duration // vectorization + clustering + refinement
+	Indexing      time.Duration
+	NumDocs       int
+	NumSegments   int
+	NumClusters   int
 }
 
 // Pipeline is a built related-post retrieval system over one collection.
@@ -122,7 +135,7 @@ func Build(texts []string, cfg Config) (*Pipeline, error) {
 	start := time.Now()
 	p.docs = make([]*segment.Doc, len(texts))
 	terms := make([][]string, len(texts))
-	par.Do(len(texts), 0, func(i int) {
+	par.Do(len(texts), cfg.Workers, func(i int) {
 		p.docs[i] = segment.NewDoc(texts[i])
 		terms[i] = p.docTerms(p.docs[i])
 	})
@@ -147,6 +160,9 @@ func Build(texts []string, cfg Config) (*Pipeline, error) {
 		if mrCfg.Seed == 0 {
 			mrCfg.Seed = cfg.Seed
 		}
+		if mrCfg.Workers == 0 {
+			mrCfg.Workers = cfg.Workers
+		}
 		switch cfg.Method {
 		case ContentMR:
 			if mrCfg.Strategy == nil {
@@ -160,6 +176,9 @@ func Build(texts []string, cfg Config) (*Pipeline, error) {
 		p.matcher = p.mr
 		bs := p.mr.Stats()
 		p.stats.Segmentation = bs.Segmentation
+		p.stats.Vectorization = bs.Vectorization
+		p.stats.Clustering = bs.Clustering
+		p.stats.Refinement = bs.Refinement
 		p.stats.Grouping = bs.Grouping
 		p.stats.Indexing = bs.Indexing
 		p.stats.NumSegments = bs.NumSegments

@@ -28,8 +28,8 @@ func newDataset(d forum.Domain, n int, seed int64) dataset {
 	return ds
 }
 
-func (ds dataset) build(m core.Method, seed int64) (*core.Pipeline, error) {
-	cfg := core.Config{Method: m, Seed: seed}
+func (ds dataset) build(m core.Method, seed int64, workers int) (*core.Pipeline, error) {
+	cfg := core.Config{Method: m, Seed: seed, Workers: workers}
 	if m == core.LDA {
 		cfg.LDA = lda.Config{K: 8, Iterations: 60, Seed: seed}
 	}
@@ -50,7 +50,7 @@ func Table3(opt Options) (string, map[forum.Domain][2]map[string]float64) {
 	dists := map[forum.Domain][2]map[string]float64{}
 	for _, d := range allDomains {
 		ds := newDataset(d, opt.Scale, opt.Seed)
-		p, err := ds.build(core.IntentIntentMR, opt.Seed)
+		p, err := ds.build(core.IntentIntentMR, opt.Seed, opt.Workers)
 		if err != nil {
 			return err.Error(), nil
 		}
@@ -78,7 +78,7 @@ func Table3(opt Options) (string, map[forum.Domain][2]map[string]float64) {
 func Fig3(opt Options) string {
 	opt = opt.withDefaults()
 	ds := newDataset(forum.TechSupport, opt.Scale, opt.Seed)
-	p, err := ds.build(core.IntentIntentMR, opt.Seed)
+	p, err := ds.build(core.IntentIntentMR, opt.Seed, opt.Workers)
 	if err != nil {
 		return err.Error()
 	}
@@ -134,7 +134,7 @@ func Table4(opt Options) (string, []Table4Result) {
 			seed := opt.Seed + int64(rep)*101
 			ds := newDataset(d, opt.Scale, seed)
 			for _, m := range table4Methods {
-				p, err := ds.build(m, seed)
+				p, err := ds.build(m, seed, opt.Workers)
 				if err != nil {
 					return err.Error(), nil
 				}
@@ -178,7 +178,7 @@ func Fig10(opt Options) string {
 		ds := newDataset(d, opt.Scale, opt.Seed)
 		var rows [][]string
 		for _, m := range []core.Method{core.FullText, core.IntentIntentMR} {
-			p, err := ds.build(m, opt.Seed)
+			p, err := ds.build(m, opt.Seed, opt.Workers)
 			if err != nil {
 				return err.Error()
 			}

@@ -45,7 +45,7 @@ func Fig11(opt Options) (string, []Fig11Result) {
 			Retrieval:    map[string]time.Duration{},
 		}
 		for _, m := range fig11Methods {
-			cfg := core.Config{Method: m, Seed: opt.Seed}
+			cfg := core.Config{Method: m, Seed: opt.Seed, Workers: opt.Workers}
 			if m == core.LDA {
 				// Fig 11(c) times retrieval, not model training; keep the
 				// fit short so large sizes stay tractable.
@@ -133,7 +133,7 @@ type Table6Result struct {
 func Table6(opt Options) (string, Table6Result) {
 	opt = opt.withDefaults()
 	ds := newDataset(forum.Programming, opt.Table6Posts, opt.Seed)
-	p, err := core.Build(ds.texts, core.Config{Seed: opt.Seed})
+	p, err := core.Build(ds.texts, core.Config{Seed: opt.Seed, Workers: opt.Workers})
 	if err != nil {
 		return err.Error(), Table6Result{}
 	}

@@ -83,20 +83,28 @@ var scorePool = sync.Pool{
 
 // Add indexes a unit's terms and returns the unit id the index assigned
 // (dense, starting at 0). Term order is irrelevant; duplicates are counted
-// as term frequency. Add is safe for concurrent use with itself and with
-// queries.
+// as term frequency. The Eq 7 weight denominator is summed in sorted term
+// order — float summation is not associative, so accumulating in map
+// iteration order would make two builds of the same collection differ at
+// the ULP level and break score-identical rebuilds. Add is safe for
+// concurrent use with itself and with queries.
 func (ix *Index) Add(terms []string) int {
 	tf := make(map[string]int, len(terms))
 	for _, t := range terms {
 		tf[t]++
 	}
+	unique := make([]string, 0, len(tf))
+	for t := range tf {
+		unique = append(unique, t)
+	}
+	sort.Strings(unique)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	id := int32(len(ix.units))
 	var denom float64
-	for t, f := range tf {
-		logTF := math.Log(float64(f)) + 1
-		ix.postings[t] = append(ix.postings[t], Posting{Unit: id, TF: int32(f), LogTF: logTF})
+	for _, t := range unique {
+		logTF := math.Log(float64(tf[t])) + 1
+		ix.postings[t] = append(ix.postings[t], Posting{Unit: id, TF: int32(tf[t]), LogTF: logTF})
 		denom += logTF
 	}
 	ix.units = append(ix.units, unitStats{denom: denom, unique: int32(len(tf))})

@@ -241,25 +241,6 @@ func TestMREmptyAndTinyCorpus(t *testing.T) {
 	checkResults(t, "tiny", res, 0, 5)
 }
 
-func TestParallelForCoversAll(t *testing.T) {
-	for _, workers := range []int{0, 1, 3, 8} {
-		n := 100
-		seen := make([]bool, n)
-		var mu chan struct{} = make(chan struct{}, 1)
-		mu <- struct{}{}
-		parallelFor(n, workers, func(i int) {
-			<-mu
-			seen[i] = true
-			mu <- struct{}{}
-		})
-		for i, s := range seen {
-			if !s {
-				t.Fatalf("workers=%d: index %d not visited", workers, i)
-			}
-		}
-	}
-}
-
 func TestHashedTermVector(t *testing.T) {
 	v := hashedTermVector([]string{"raid", "disk", "raid"})
 	var norm float64
@@ -321,20 +302,49 @@ func TestMatcherNames(t *testing.T) {
 	}
 }
 
-func TestEstimateEpsSampled(t *testing.T) {
-	// Large vector sets route through the sampled estimator. Points spread
-	// along a line so nearest-neighbor distances are nonzero.
-	var vecs [][]float64
-	for i := 0; i < 1200; i++ {
-		vecs = append(vecs, []float64{float64(i) / 100, float64(i%13) / 10})
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	// The build fan-out must not change the result: a DBSCAN-grouped MR
+	// built with 1 worker and with many workers must agree on clusters,
+	// unit ownership, and match results (the -race run of this test also
+	// covers the parallel clustering and parallel Phase-3 indexing paths).
+	tc := buildCorpus(t, forum.TechSupport, 60, 17)
+	for _, grouper := range []Grouping{GroupDBSCAN, GroupKMeans} {
+		serial := NewMR("serial", tc.docs, MRConfig{Grouper: grouper, Seed: 42, Workers: 1})
+		parallel := NewMR("parallel", tc.docs, MRConfig{Grouper: grouper, Seed: 42, Workers: 8})
+		if s, p := serial.NumClusters(), parallel.NumClusters(); s != p {
+			t.Fatalf("grouper %d: cluster count %d (serial) != %d (parallel)", grouper, s, p)
+		}
+		ss, ps := serial.ClusterSizes(), parallel.ClusterSizes()
+		for c := range ss {
+			if ss[c] != ps[c] {
+				t.Fatalf("grouper %d: cluster %d size %d (serial) != %d (parallel)", grouper, c, ss[c], ps[c])
+			}
+		}
+		for q := 0; q < 10; q++ {
+			sr, pr := serial.Match(q, 5), parallel.Match(q, 5)
+			if len(sr) != len(pr) {
+				t.Fatalf("grouper %d query %d: %d results (serial) != %d (parallel)", grouper, q, len(sr), len(pr))
+			}
+			for i := range sr {
+				if sr[i].DocID != pr[i].DocID || sr[i].Score != pr[i].Score {
+					t.Fatalf("grouper %d query %d rank %d: serial %+v != parallel %+v", grouper, q, i, sr[i], pr[i])
+				}
+			}
+		}
 	}
-	eps := estimateEpsSampled(vecs, 3, 500)
-	if eps <= 0 {
-		t.Errorf("sampled eps = %v, want > 0", eps)
+}
+
+func TestNoiseCountsReported(t *testing.T) {
+	// With KeepNoise=false every counted noise point must be reassigned
+	// (post-assignment remaining = 0); with KeepNoise=true none may be.
+	tc := buildCorpus(t, forum.TechSupport, 80, 23)
+	folded := NewMR("folded", tc.docs, MRConfig{Grouper: GroupDBSCAN, Seed: 42})
+	st := folded.Stats()
+	if st.NumClusters > 0 && st.NoiseReassigned != st.NoiseCount {
+		t.Errorf("KeepNoise=false: reassigned %d of %d noise points, want all", st.NoiseReassigned, st.NoiseCount)
 	}
-	// Small sets use the exact estimator; both paths must agree on scale.
-	exact := estimateEpsSampled(vecs[:400], 3, 500)
-	if exact <= 0 {
-		t.Errorf("exact eps = %v", exact)
+	kept := NewMR("kept", tc.docs, MRConfig{Grouper: GroupDBSCAN, Seed: 42, KeepNoise: true})
+	if st := kept.Stats(); st.NoiseReassigned != 0 {
+		t.Errorf("KeepNoise=true: NoiseReassigned = %d, want 0", st.NoiseReassigned)
 	}
 }

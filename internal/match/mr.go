@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -116,14 +117,31 @@ func (c MRConfig) withDefaults() MRConfig {
 }
 
 // BuildStats reports where offline preprocessing time went — the
-// quantities behind Fig 11(a,b) and Table 6.
+// quantities behind Fig 11(a,b) and Table 6. Grouping is the Fig 11(b)
+// total; Vectorization, Clustering, and Refinement are its sub-phases
+// (Refinement covers the sort-based (doc, cluster) grouping; the merged
+// term materialization happens inside the parallel per-cluster indexing
+// pass and is accounted under Indexing).
 type BuildStats struct {
-	Segmentation time.Duration // total, all documents
-	Grouping     time.Duration // vectorization + clustering + refinement
-	Indexing     time.Duration // per-cluster index construction
-	NumSegments  int           // before refinement
-	NumClusters  int
-	NoiseCount   int // DBSCAN noise points before reassignment
+	Segmentation  time.Duration // total, all documents — Fig 11(a)
+	Vectorization time.Duration // segment weight vectors (Eq 5/6)
+	Clustering    time.Duration // eps estimation + DBSCAN/k-means + centroids
+	Refinement    time.Duration // sort-based (doc, cluster) grouping
+	Grouping      time.Duration // vectorization + clustering + refinement — Fig 11(b)
+	Indexing      time.Duration // per-cluster index construction
+	NumSegments   int           // before refinement
+	NumClusters   int
+	// NoiseCount is the number of DBSCAN noise labels as clustered, before
+	// any reassignment — the outlier count of the grouping step (it feeds
+	// the Table 3 granularity shift: noise segments drop out of the
+	// refined counts only when KeepNoise is set). NoiseReassigned is how
+	// many of those the KeepNoise=false path folded into their nearest
+	// centroid afterwards; NoiseCount−NoiseReassigned segments remain
+	// outside every intention cluster. Earlier versions reported only the
+	// pre-reassignment count, which overstated surviving noise whenever
+	// KeepNoise was false.
+	NoiseCount      int
+	NoiseReassigned int
 }
 
 // docSeg is one refined segment of a document: its intention cluster, its
@@ -161,9 +179,30 @@ type MR struct {
 	stats     BuildStats
 }
 
+// rawSeg is one pre-refinement segment: its owning document and sentence
+// range.
+type rawSeg struct {
+	doc    int
+	lo, hi int
+}
+
+// segRef keys one non-noise segment for the sort-based refinement
+// grouping: its intention cluster, owning document, and index into the
+// flat segment list. Sorting refs by (cluster, doc, seg) makes every
+// refined (doc, cluster) group a contiguous run, every cluster a
+// contiguous run of groups in ascending-doc order (the unit-id order the
+// previous document-walk produced), and the whole grouping
+// allocation-lean: no per-segment map values growing through repeated
+// term copies.
+type segRef struct {
+	cluster, doc, seg int
+}
+
 // NewMR builds the full offline pipeline of Sec 4 over prepared documents:
 // segmentation → segment weight vectors → grouping → refinement →
-// per-cluster indexing.
+// per-cluster indexing. Segmentation, vectorization, the clustering
+// internals, and the per-cluster index construction all fan out over
+// cfg.Workers goroutines; the output is identical for any worker count.
 func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 	cfg = cfg.withDefaults()
 	mr := &MR{name: name, cfg: cfg}
@@ -171,17 +210,13 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 	// Phase 1: segmentation (parallel; per-document work is independent).
 	start := time.Now()
 	segmentations := make([]segment.Segmentation, len(docs))
-	parallelFor(len(docs), cfg.Workers, func(i int) {
+	par.Do(len(docs), cfg.Workers, func(i int) {
 		segmentations[i] = cfg.Strategy.Segment(docs[i])
 	})
 	mr.stats.Segmentation = time.Since(start)
 
 	// Phase 2: vectors + clustering + refinement.
 	start = time.Now()
-	type rawSeg struct {
-		doc    int
-		lo, hi int
-	}
 	var segs []rawSeg
 	mr.before = make([]int, len(docs))
 	for i, s := range segmentations {
@@ -193,8 +228,9 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 	}
 	mr.stats.NumSegments = len(segs)
 
+	phase := time.Now()
 	vectors := make([][]float64, len(segs))
-	parallelFor(len(segs), cfg.Workers, func(i int) {
+	par.Do(len(segs), cfg.Workers, func(i int) {
 		d := docs[segs[i].doc]
 		switch {
 		case cfg.ContentVectors:
@@ -205,25 +241,27 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 			vectors[i] = cm.WithinSegmentWeights(d.Range(segs[i].lo, segs[i].hi))
 		}
 	})
+	mr.stats.Vectorization = time.Since(phase)
 
+	phase = time.Now()
 	var labels []int
 	var k int
 	switch {
 	case cfg.ContentVectors:
 		k = cfg.ContentK
-		labels = cluster.KMeans(vectors, k, cfg.Seed, 0)
+		labels = cluster.KMeans(vectors, k, cfg.Seed, 0, cfg.Workers)
 	case cfg.Grouper == GroupKMeans:
 		k = cfg.KMeansK
 		if k > len(vectors) && len(vectors) > 0 {
 			k = len(vectors)
 		}
-		labels = cluster.KMeans(vectors, k, cfg.Seed, 0)
+		labels = cluster.KMeans(vectors, k, cfg.Seed, 0, cfg.Workers)
 	default:
 		eps := cfg.Eps
 		if eps == 0 {
-			eps = estimateEpsSampled(vectors, cfg.MinPts-1, 500)
+			eps = cluster.EstimateEpsSampled(vectors, cfg.MinPts-1, 500, cfg.Workers)
 		}
-		labels, k = cluster.Sampled(vectors, eps, cfg.MinPts, cfg.SampleSize)
+		labels, k = cluster.Sampled(vectors, eps, cfg.MinPts, cfg.SampleSize, cfg.Workers)
 		for _, l := range labels {
 			if l == cluster.Noise {
 				mr.stats.NoiseCount++
@@ -236,48 +274,109 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 				labels[i] = 0
 			}
 		} else if !cfg.KeepNoise {
-			cluster.AssignNoise(vectors, labels, cluster.Centroids(vectors, labels, k))
+			cents := cluster.Centroids(vectors, labels, k, cfg.Workers)
+			mr.stats.NoiseReassigned = cluster.AssignNoise(vectors, labels, cents, cfg.Workers)
 		}
 	}
-	mr.centroids = cluster.Centroids(vectors, labels, k)
+	mr.centroids = cluster.Centroids(vectors, labels, k, cfg.Workers)
 	mr.stats.NumClusters = k
+	mr.stats.Clustering = time.Since(phase)
 
-	// Refinement (Sec 6): at most one segment per document per cluster.
-	type key struct{ doc, cluster int }
-	merged := make(map[key][]string)
+	// Refinement (Sec 6): at most one segment per document per cluster,
+	// derived by sorting a flat slice instead of growing map values.
+	phase = time.Now()
+	refs := make([]segRef, 0, len(segs))
 	for i, s := range segs {
-		c := labels[i]
-		if c == cluster.Noise {
-			continue
+		if labels[i] != cluster.Noise {
+			refs = append(refs, segRef{cluster: labels[i], doc: s.doc, seg: i})
 		}
-		mk := key{doc: s.doc, cluster: c}
-		merged[mk] = append(merged[mk], docs[s.doc].Terms(s.lo, s.hi)...)
 	}
+	sort.Slice(refs, func(a, b int) bool {
+		ra, rb := refs[a], refs[b]
+		if ra.cluster != rb.cluster {
+			return ra.cluster < rb.cluster
+		}
+		if ra.doc != rb.doc {
+			return ra.doc < rb.doc
+		}
+		return ra.seg < rb.seg
+	})
+	// One group per refined (doc, cluster) pair: refs[lo:hi].
+	type group struct{ cluster, doc, lo, hi int }
+	var groups []group
+	for i := 0; i < len(refs); {
+		j := i + 1
+		for j < len(refs) && refs[j].cluster == refs[i].cluster && refs[j].doc == refs[i].doc {
+			j++
+		}
+		groups = append(groups, group{cluster: refs[i].cluster, doc: refs[i].doc, lo: i, hi: j})
+		i = j
+	}
+	// Contiguous group range [lo, hi) of each cluster.
+	clusterGroups := make([][2]int, k)
+	for gi := 0; gi < len(groups); {
+		gj := gi + 1
+		for gj < len(groups) && groups[gj].cluster == groups[gi].cluster {
+			gj++
+		}
+		clusterGroups[groups[gi].cluster] = [2]int{gi, gj}
+		gi = gj
+	}
+	mr.stats.Refinement = time.Since(phase)
 	mr.stats.Grouping = time.Since(start)
 
-	// Phase 3: per-cluster indexing. Deterministic order: walk documents.
+	// Phase 3: per-cluster indexing. Index construction is independent
+	// across clusters, so clusters fan out; within one cluster, groups run
+	// in ascending-doc order, reproducing the unit ids the former serial
+	// document walk assigned.
 	start = time.Now()
 	mr.clusters = make([]*index.Index, k)
 	mr.unitDoc = make([][]int, k)
-	for c := range mr.clusters {
-		mr.clusters[c] = index.New()
-	}
+	groupUnit := make([]int, len(groups))
+	groupTerms := make([][]string, len(groups))
+	par.Do(k, cfg.Workers, func(c int) {
+		ix := index.New()
+		lo, hi := clusterGroups[c][0], clusterGroups[c][1]
+		owners := make([]int, 0, hi-lo)
+		for gi := lo; gi < hi; gi++ {
+			g := groups[gi]
+			terms := mergedTerms(docs, segs, refs[g.lo:g.hi])
+			groupTerms[gi] = terms
+			groupUnit[gi] = ix.Add(terms)
+			owners = append(owners, g.doc)
+		}
+		mr.clusters[c] = ix
+		mr.unitDoc[c] = owners
+	})
 	mr.docSegs = make([][]docSeg, len(docs))
 	mr.after = make([]int, len(docs))
-	for d := range docs {
-		for c := 0; c < k; c++ {
-			terms, ok := merged[key{doc: d, cluster: c}]
-			if !ok {
-				continue
-			}
-			unit := mr.clusters[c].Add(terms)
-			mr.unitDoc[c] = append(mr.unitDoc[c], d)
-			mr.docSegs[d] = append(mr.docSegs[d], docSeg{cluster: c, unit: unit, terms: terms})
-			mr.after[d]++
-		}
+	for gi, g := range groups { // cluster-major: per-doc segs stay cluster-ascending
+		mr.docSegs[g.doc] = append(mr.docSegs[g.doc], docSeg{cluster: g.cluster, unit: groupUnit[gi], terms: groupTerms[gi]})
+		mr.after[g.doc]++
 	}
 	mr.stats.Indexing = time.Since(start)
 	return mr
+}
+
+// mergedTerms materializes the refined segment of one (doc, cluster)
+// group — the concatenated terms of its member segments in segment order —
+// in a single exact-capacity allocation.
+func mergedTerms(docs []*segment.Doc, segs []rawSeg, group []segRef) []string {
+	if len(group) == 1 {
+		s := segs[group[0].seg]
+		return docs[s.doc].Terms(s.lo, s.hi)
+	}
+	total := 0
+	for _, r := range group {
+		s := segs[r.seg]
+		total += docs[s.doc].TermCount(s.lo, s.hi)
+	}
+	out := make([]string, 0, total)
+	for _, r := range group {
+		s := segs[r.seg]
+		out = docs[s.doc].AppendTerms(out, s.lo, s.hi)
+	}
+	return out
 }
 
 // Name implements Matcher.
@@ -404,21 +503,3 @@ func hashedTermVector(terms []string) []float64 {
 	}
 	return v
 }
-
-// estimateEpsSampled runs the k-distance eps heuristic on a bounded sample
-// (the exact heuristic is quadratic).
-func estimateEpsSampled(vectors [][]float64, k, maxSample int) float64 {
-	if len(vectors) <= maxSample {
-		return cluster.EstimateEps(vectors, k)
-	}
-	stride := len(vectors) / maxSample
-	sample := make([][]float64, 0, maxSample)
-	for i := 0; i < len(vectors) && len(sample) < maxSample; i += stride {
-		sample = append(sample, vectors[i])
-	}
-	return cluster.EstimateEps(sample, k)
-}
-
-// parallelFor runs fn(i) for i in [0, n) over the given number of workers
-// (the shared par.Do helper; kept as a local name for the build phases).
-func parallelFor(n, workers int, fn func(i int)) { par.Do(n, workers, fn) }

@@ -49,3 +49,39 @@ func Do(n, workers int, fn func(i int)) {
 	}
 	wg.Wait()
 }
+
+// Chunks splits [0, n) into at most `workers` contiguous ranges and runs
+// fn(lo, hi) for each on its own goroutine. It is the blocked counterpart
+// of Do for loop bodies that amortize per-worker scratch (distance
+// buffers, partial sums) across many cheap iterations: each range sees one
+// fn call, so the callee can allocate once per range instead of once per
+// index. workers <= 0 sizes from runtime.GOMAXPROCS(0); with one worker
+// (or n < 2) fn runs inline on the caller's goroutine.
+func Chunks(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

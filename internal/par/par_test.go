@@ -33,6 +33,45 @@ func TestDoSmallN(t *testing.T) {
 	}
 }
 
+func TestChunksCoverEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 16, 100} {
+		const n = 250
+		counts := make([]int32, n)
+		chunkCalls := int32(0)
+		Chunks(n, workers, func(lo, hi int) {
+			atomic.AddInt32(&chunkCalls, 1)
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("workers=%d: bad range [%d, %d)", workers, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times, want 1", workers, i, c)
+			}
+		}
+		if workers > 0 && int(chunkCalls) > workers && workers <= n {
+			t.Errorf("workers=%d: %d chunks, want <= workers", workers, chunkCalls)
+		}
+	}
+}
+
+func TestChunksSmallN(t *testing.T) {
+	ran := false
+	Chunks(0, 4, func(int, int) { ran = true })
+	if ran {
+		t.Error("Chunks(0, ...) invoked fn")
+	}
+	var lo, hi int
+	Chunks(1, 4, func(l, h int) { lo, hi = l, h })
+	if lo != 0 || hi != 1 {
+		t.Errorf("Chunks(1, ...) gave [%d, %d), want [0, 1)", lo, hi)
+	}
+}
+
 func TestDoBoundsConcurrency(t *testing.T) {
 	const workers = 3
 	var active, peak int32

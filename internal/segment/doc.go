@@ -82,14 +82,39 @@ func (d *Doc) Range(lo, hi int) cm.Annotation {
 	return d.prefix[hi].Sub(d.prefix[lo])
 }
 
+// rangeInto stores the merged annotation of sentence units [lo, hi) into
+// out — the copy-free form of Range the border-scoring loops use (Range
+// moves three ~240-byte Annotation values per call).
+func (d *Doc) rangeInto(out *cm.Annotation, lo, hi int) {
+	d.prefix[hi].SubInto(&d.prefix[lo], out)
+}
+
 // Terms returns the stemmed, stopword-filtered content terms of sentence
-// units [lo, hi).
+// units [lo, hi) in a freshly allocated slice of exact capacity.
 func (d *Doc) Terms(lo, hi int) []string {
-	var out []string
+	return d.AppendTerms(make([]string, 0, d.TermCount(lo, hi)), lo, hi)
+}
+
+// TermCount returns the number of content terms in sentence units
+// [lo, hi) — the capacity Terms/AppendTerms will fill — without
+// materializing them.
+func (d *Doc) TermCount(lo, hi int) int {
+	n := 0
 	for i := lo; i < hi; i++ {
-		out = append(out, d.terms[i]...)
+		n += len(d.terms[i])
 	}
-	return out
+	return n
+}
+
+// AppendTerms appends the content terms of sentence units [lo, hi) to dst
+// and returns the extended slice. It lets callers that merge several
+// segments size one buffer up front (see TermCount) instead of growing
+// through repeated copies.
+func (d *Doc) AppendTerms(dst []string, lo, hi int) []string {
+	for i := lo; i < hi; i++ {
+		dst = append(dst, d.terms[i]...)
+	}
+	return dst
 }
 
 // Segmentation is a division of a Doc into consecutive segments

@@ -31,13 +31,18 @@ func (Shannon) Name() string { return "Shan.Div." }
 
 // BorderScore implements ScoreFunc.
 func (Shannon) BorderScore(d *Doc, lo, b, hi int) float64 {
-	score, _ := cm.ScoreBorder(d.Range(lo, b), d.Range(b, hi), cm.ShannonIndex)
+	var left, right cm.Annotation
+	d.rangeInto(&left, lo, b)
+	d.rangeInto(&right, b, hi)
+	score, _ := cm.ShannonScoreBorder(&left, &right)
 	return score
 }
 
 // SegCoherence implements ScoreFunc.
 func (Shannon) SegCoherence(d *Doc, lo, hi int) float64 {
-	return cm.CoherenceWith(d.Range(lo, hi), cm.ShannonIndex)
+	var ann cm.Annotation
+	d.rangeInto(&ann, lo, hi)
+	return cm.ShannonCoherence(&ann)
 }
 
 // Richness scores like Shannon but measures diversity as the fraction of

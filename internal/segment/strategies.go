@@ -176,7 +176,7 @@ func (g Greedy) Segment(d *Doc) Segmentation {
 	w := windowOrDefault(g.Window)
 	if g.Plain {
 		borders := g.run(d, n, w, func(lo, b, hi int) (float64, float64) {
-			return scoreDepth(d.Range(lo, b), d.Range(b, hi), cm.ShannonIndex)
+			return shannonScoreDepth(d, lo, b, hi)
 		})
 		return Segmentation{Borders: borders, N: n}
 	}
@@ -269,25 +269,26 @@ func (g Greedy) run(d *Doc, n, w int, score func(lo, b, hi int) (float64, float6
 	return borders
 }
 
-// scoreDepth computes the Eq 4 border score together with the Eq 3 depth.
-func scoreDepth(left, right cm.Annotation, div cm.DiversityFunc) (score, depth float64) {
-	merged := left.Add(right)
-	cl := cm.CoherenceWith(left, div)
-	cr := cm.CoherenceWith(right, div)
-	cd := cm.CoherenceWith(merged, div)
-	depth = cm.Depth(cl, cr, cd)
-	return cm.BorderScore(cl, cr, depth), depth
+// shannonScoreDepth computes the Eq 4 border score together with the Eq 3
+// depth under Shannon diversity. It goes through the copy-free annotation
+// path — the border-elimination loops call it O(n²) times per document.
+func shannonScoreDepth(d *Doc, lo, b, hi int) (score, depth float64) {
+	var left, right cm.Annotation
+	d.rangeInto(&left, lo, b)
+	d.rangeInto(&right, b, hi)
+	return cm.ShannonScoreBorder(&left, &right)
 }
 
 // meanScoreDepth computes the Eq 4 score and Eq 3 depth restricted to a
 // single communication mean, as used by Greedy's voting passes.
 func meanScoreDepth(d *Doc, m cm.Mean, lo, b, hi int) (score, depth float64) {
-	left := d.Range(lo, b)
-	right := d.Range(b, hi)
-	merged := left.Add(right)
-	cl := cm.CoherenceOfMean(left, m, cm.ShannonIndex)
-	cr := cm.CoherenceOfMean(right, m, cm.ShannonIndex)
-	cd := cm.CoherenceOfMean(merged, m, cm.ShannonIndex)
+	var left, right, merged cm.Annotation
+	d.rangeInto(&left, lo, b)
+	d.rangeInto(&right, b, hi)
+	left.AddInto(&right, &merged)
+	cl := cm.ShannonCoherenceOfMean(&left, m)
+	cr := cm.ShannonCoherenceOfMean(&right, m)
+	cd := cm.ShannonCoherenceOfMean(&merged, m)
 	depth = cm.Depth(cl, cr, cd)
 	return cm.BorderScore(cl, cr, depth), depth
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench.sh — run the Fig 11 / offline-build benchmarks and write a
+# machine-readable snapshot so the repo keeps a perf trajectory across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, writes BENCH_PR2.json
+#   scripts/bench.sh -smoke          # 1-iteration smoke (CI: bench code must compile and run)
+#   BENCH_OUT=perf.json scripts/bench.sh
+#
+# The JSON output maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
+# plus a "meta" block (go version, GOMAXPROCS, benchtime, count).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_PR2.json}"
+PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkMRBuild|BenchmarkPipelineBuild1k'
+BENCHTIME="${BENCH_TIME:-3x}"
+COUNT="${BENCH_COUNT:-3}"
+
+if [[ "${1:-}" == "-smoke" ]]; then
+    # CI smoke: one iteration of the two acceptance benchmarks, no JSON.
+    exec go test -run '^$' -bench 'BenchmarkFig11bClustering|BenchmarkPipelineBuild1k' -benchtime 1x .
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test -bench '$PATTERN' -benchmem -benchtime $BENCHTIME -count $COUNT ." >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW" >&2
+
+# Reduce repeated -count runs to the median ns/op (allocs are deterministic).
+go_version="$(go version | awk '{print $3}')"
+awk -v out="$OUT" -v gover="$go_version" -v benchtime="$BENCHTIME" -v count="$COUNT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
+    ns[name] = ns[name] " " $3
+    bytes[name] = $5
+    allocs[name] = $7
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+function median(list,   m, arr, i, j, tmp) {
+    m = split(list, arr, " ")
+    for (i = 2; i <= m; i++)
+        for (j = i; j > 1 && arr[j-1] + 0 > arr[j] + 0; j--) {
+            tmp = arr[j]; arr[j] = arr[j-1]; arr[j-1] = tmp
+        }
+    return arr[int((m + 1) / 2)]
+}
+END {
+    printf "{\n  \"meta\": {\"go\": \"%s\", \"benchtime\": \"%s\", \"count\": %s},\n", gover, benchtime, count > out
+    printf "  \"benchmarks\": {\n" > out
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, median(ns[name]), bytes[name], allocs[name], (i < n ? "," : "") > out
+    }
+    printf "  }\n}\n" > out
+}' "$RAW"
+
+echo "wrote $OUT" >&2
+cat "$OUT"
