@@ -18,6 +18,7 @@ import (
 	"repro/internal/forum"
 	"repro/internal/lda"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/segment"
 )
 
@@ -130,6 +131,17 @@ func BenchmarkMRBuild(b *testing.B) {
 }
 
 func BenchmarkFig11cRetrievalIntent(b *testing.B) {
+	benchRetrieval(b, core.IntentIntentMR)
+}
+
+func BenchmarkFig11cRetrievalIntentObserved(b *testing.B) {
+	// The acceptance gate for the obs layer: the same hot path as
+	// BenchmarkFig11cRetrievalIntent but with metrics recording enabled
+	// (spans, per-query histograms, pool counters all live). The delta
+	// between the two is the full observability tax on Fig 11(c); it
+	// must stay within a few percent (see EXPERIMENTS.md).
+	obs.Enable()
+	defer obs.Disable()
 	benchRetrieval(b, core.IntentIntentMR)
 }
 

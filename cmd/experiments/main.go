@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,7 +33,11 @@ func main() {
 	table6 := flag.Int("table6", 0, "Table 6 collection size (default 20000; paper used 1.5M)")
 	seed := flag.Int64("seed", 0, "random seed (default 42)")
 	workers := flag.Int("workers", 0, "offline-build parallelism (0 = GOMAXPROCS; results identical for any count)")
+	obsReport := flag.Bool("obs", true, "record obs metrics during the run and append the snapshot to the report")
 	flag.Parse()
+	if *obsReport {
+		obs.Enable()
+	}
 
 	opt := experiments.Options{
 		Scale:             *scale,
@@ -60,4 +65,15 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println(out)
+
+	if *obsReport {
+		// The same per-phase spans cmd/serve exposes on /metrics, here as
+		// an end-of-run digest: build.segment is Fig 11(a), build.vectorize
+		// + build.cluster + build.refine are Fig 11(b), match.query /
+		// core.related are Fig 11(c). See EXPERIMENTS.md, "obs span names".
+		fmt.Println("## obs snapshot")
+		for _, line := range obs.Default.Snapshot().SummaryLines() {
+			fmt.Println(line)
+		}
+	}
 }

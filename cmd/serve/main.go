@@ -1,0 +1,140 @@
+// Command serve runs the related-post pipeline as a long-running HTTP
+// service: it builds the offline phases over a corpus at startup, then
+// answers online queries and ingests new posts concurrently, with the
+// obs metrics registry and pprof exposed for operations. See the
+// "Serving over HTTP" section of README.md for the endpoint reference
+// and a metrics glossary.
+//
+// Usage:
+//
+//	serve -addr :8080 -domain tech -n 1000 -seed 42
+//	serve -corpus corpus.jsonl                 # cmd/gencorpus output
+//	curl -s localhost:8080/related -d '{"doc_id": 3, "k": 5}'
+//	curl -s localhost:8080/metrics | jq .spans
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forum"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	corpus := flag.String("corpus", "", "JSONL corpus file (cmd/gencorpus output); empty generates synthetically")
+	domain := flag.String("domain", "tech", "synthetic domain: tech, travel, prog, or health")
+	n := flag.Int("n", 1000, "synthetic corpus size")
+	seed := flag.Int64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "offline-build parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	// Enable metrics before the build so the build.* spans of this
+	// process's offline phase are already on /metrics at first scrape.
+	obs.Enable()
+
+	texts, err := loadCorpus(*corpus, *domain, *n, *seed)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("building pipeline over %d posts...", len(texts))
+	start := time.Now()
+	p, err := core.Build(texts, core.Config{Seed: *seed, Workers: *workers})
+	if err != nil {
+		log.Fatalf("serve: build: %v", err)
+	}
+	st := p.Stats()
+	log.Printf("built in %v: %d docs, %d segments, %d clusters (segment %v, group %v, index %v)",
+		time.Since(start).Round(time.Millisecond), st.NumDocs, st.NumSegments, st.NumClusters,
+		st.Segmentation.Round(time.Millisecond), st.Grouping.Round(time.Millisecond),
+		st.Indexing.Round(time.Millisecond))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(p).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		log.Printf("serving on %s (POST /related, POST /add, GET /stats, GET /metrics, GET /debug/pprof/)", *addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("serve: shutdown: %v", err)
+	}
+}
+
+// loadCorpus reads post texts from a cmd/gencorpus JSONL file, or
+// generates a synthetic corpus when path is empty.
+func loadCorpus(path, domain string, n int, seed int64) ([]string, error) {
+	if path == "" {
+		d, err := parseDomain(domain)
+		if err != nil {
+			return nil, err
+		}
+		posts := forum.Generate(forum.Config{Domain: d, NumPosts: n, Seed: seed})
+		texts := make([]string, len(posts))
+		for i, p := range posts {
+			texts[i] = p.Text
+		}
+		return texts, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var texts []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // generated posts are small; allow 16MB lines anyway
+	for sc.Scan() {
+		var rec struct {
+			Text string `json:"text"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		texts = append(texts, rec.Text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("%s: empty corpus", path)
+	}
+	return texts, nil
+}
+
+func parseDomain(name string) (forum.Domain, error) {
+	switch name {
+	case "tech":
+		return forum.TechSupport, nil
+	case "travel":
+		return forum.Travel, nil
+	case "prog", "programming":
+		return forum.Programming, nil
+	case "health":
+		return forum.Health, nil
+	}
+	return 0, fmt.Errorf("unknown domain %q (tech, travel, prog, health)", name)
+}

@@ -28,9 +28,24 @@ import (
 
 	"repro/internal/lda"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/segment"
 	"repro/internal/textproc"
+)
+
+// Observability instruments for the pipeline's outer surface.
+// build.preprocess covers HTML cleaning + sentence split + CM
+// annotation (the part of the offline phase that runs before
+// match.NewMR's build.* spans); core.related and core.add time the two
+// public online operations end to end, and core.docs tracks the
+// current collection size. Recording costs nothing while obs is
+// disabled.
+var (
+	spanBuildPreprocess = obs.NewSpan("build.preprocess")
+	spanRelated         = obs.NewSpan("core.related")
+	spanAdd             = obs.NewSpan("core.add")
+	gaugeDocs           = obs.NewGauge("core.docs")
 )
 
 // Method selects a matching method from Sec 9.2 of the paper.
@@ -132,15 +147,16 @@ type Result = match.Result
 // Related.
 func Build(texts []string, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{cfg: cfg}
-	start := time.Now()
+	tm := spanBuildPreprocess.StartAlways()
 	p.docs = make([]*segment.Doc, len(texts))
 	terms := make([][]string, len(texts))
 	par.Do(len(texts), cfg.Workers, func(i int) {
 		p.docs[i] = segment.NewDoc(texts[i])
 		terms[i] = p.docTerms(p.docs[i])
 	})
-	p.stats.Preprocess = time.Since(start)
+	p.stats.Preprocess = tm.Stop()
 	p.stats.NumDocs = len(texts)
+	gaugeDocs.Set(int64(len(texts)))
 
 	switch cfg.Method {
 	case FullText:
@@ -202,7 +218,10 @@ func (p *Pipeline) docTerms(d *segment.Doc) []string {
 // Related returns the top-k posts related to document docID (Sec 7's
 // online matching). Results never include docID and arrive best first.
 func (p *Pipeline) Related(docID, k int) []Result {
-	return p.matcher.Match(docID, k)
+	tm := spanRelated.Start()
+	out := p.matcher.Match(docID, k)
+	tm.Stop()
+	return out
 }
 
 // Method returns the matcher's name.
@@ -236,9 +255,12 @@ func (p *Pipeline) Centroids() [][]float64 {
 }
 
 // SegmentCounts returns each document's segment count before grouping and
-// after refinement (Table 3), or nils for whole-post methods.
+// after refinement (Table 3), or nils for whole-post methods. The
+// returned slices are snapshots copied under the matcher's read lock
+// (see match.MR.SegmentCounts): safe to retain and mutate while
+// concurrent Adds grow the live counts.
 func (p *Pipeline) SegmentCounts() (before, after []int) {
-	if p.mr == nil {
+	if p.mr == nil { // p.mr is frozen at Build time — no lock needed
 		return nil, nil
 	}
 	return p.mr.SegmentCounts()
@@ -260,18 +282,25 @@ func (p *Pipeline) Add(text string) (int, error) {
 	if p.mr == nil {
 		return 0, fmt.Errorf("core: %s does not support incremental addition", p.matcher.Name())
 	}
+	tm := spanAdd.Start()
 	d := segment.NewDoc(text)
 	pending := p.mr.PrepareAdd(d)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	id := pending.Commit()
 	p.docs = append(p.docs, d)
 	p.stats.NumDocs++
+	gaugeDocs.Set(int64(p.stats.NumDocs))
+	p.mu.Unlock()
+	tm.Stop()
 	return id, nil
 }
 
 // Doc exposes the prepared form of a document (sentences, annotations) for
-// inspection tools like cmd/segmentview.
+// inspection tools like cmd/segmentview and the serve layer's id
+// validation. The docs slice is read under the pipeline lock (Add
+// appends under the write lock); the returned *segment.Doc itself is
+// immutable after construction, so it is safe to use after the lock is
+// released.
 func (p *Pipeline) Doc(docID int) *segment.Doc {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -325,4 +354,3 @@ func TopIDs(results []Result) []int {
 func SortByID(results []Result) {
 	sort.Slice(results, func(i, j int) bool { return results[i].DocID < results[j].DocID })
 }
-

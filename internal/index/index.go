@@ -24,7 +24,20 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/topk"
+)
+
+// Observability instruments for the per-cluster query internals. The
+// candidate/result histograms size the scoring stage (how many units a
+// query touches, how many survive the top-n heap); the scorepool
+// counters expose the pooled score-map hit rate (hits = get − new).
+// All recording is gated on the obs enabled flag and free otherwise.
+var (
+	histQueryCandidates = obs.NewCountHistogram("index.query.candidates")
+	histQueryResults    = obs.NewCountHistogram("index.query.results")
+	ctrScorePoolGet     = obs.NewCounter("index.scorepool.get")
+	ctrScorePoolNew     = obs.NewCounter("index.scorepool.new")
 )
 
 // Posting records one term occurrence list entry: the unit that contains
@@ -78,7 +91,10 @@ func New() *Index {
 // workloads run Query at high rates and the map is the query's dominant
 // allocation.
 var scorePool = sync.Pool{
-	New: func() interface{} { return make(map[int32]float64, 64) },
+	New: func() interface{} {
+		ctrScorePoolNew.Inc()
+		return make(map[int32]float64, 64)
+	},
 }
 
 // Add indexes a unit's terms and returns the unit id the index assigned
@@ -238,6 +254,7 @@ func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit i
 		terms = append(terms, term)
 	}
 	sort.Strings(terms)
+	ctrScorePoolGet.Inc()
 	scores := scorePool.Get().(map[int32]float64)
 	defer func() {
 		clear(scores)
@@ -258,6 +275,7 @@ func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit i
 		}
 	}
 
+	histQueryCandidates.Observe(int64(len(scores)))
 	c := topk.New(topN)
 	for unit, score := range scores {
 		if score <= 0 {
@@ -269,6 +287,7 @@ func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit i
 		c.Offer(int(unit), score)
 	}
 	items := c.Results()
+	histQueryResults.Observe(int64(len(items)))
 	out := make([]Result, len(items))
 	for i, it := range items {
 		out[i] = Result{Unit: it.ID, Score: it.Score}

@@ -42,6 +42,8 @@ type PendingAdd struct {
 // queries. Call Commit on the result to assign a document id and index
 // the refined segments.
 func (mr *MR) PrepareAdd(d *segment.Doc) *PendingAdd {
+	tm := spanAddPrepare.Start()
+	defer tm.Stop()
 	seg := mr.cfg.Strategy.Segment(d)
 	ranges := seg.Segments()
 
@@ -72,6 +74,10 @@ func (mr *MR) PrepareAdd(d *segment.Doc) *PendingAdd {
 // assigned in commit order. Commit must be called at most once.
 func (pa *PendingAdd) Commit() int {
 	mr := pa.mr
+	// The commit span measures write-lock hold time — the stall a commit
+	// imposes on concurrent queries — so Start sits before the Lock.
+	tm := spanAddCommit.Start()
+	defer tm.Stop()
 	mr.mu.Lock()
 	defer mr.mu.Unlock()
 	docID := len(mr.docSegs)

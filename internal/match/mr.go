@@ -11,8 +11,32 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cm"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/segment"
+)
+
+// Observability instruments for the offline build and the online query
+// path. The build.* spans are the primary measurement of the per-phase
+// build timings — BuildStats is derived from the same StartAlways/Stop
+// pair, so the phase accounting works with any obs sink state — and map
+// onto the paper's Fig 11 phases (see EXPERIMENTS.md, "obs span names"):
+// build.segment is Fig 11(a), build.vectorize + build.cluster +
+// build.refine make up Fig 11(b), and match.query is the per-query
+// latency behind Fig 11(c). Recording is free when obs is disabled.
+var (
+	spanBuildSegment   = obs.NewSpan("build.segment")
+	spanBuildVectorize = obs.NewSpan("build.vectorize")
+	spanBuildCluster   = obs.NewSpan("build.cluster")
+	spanBuildRefine    = obs.NewSpan("build.refine")
+	spanBuildIndex     = obs.NewSpan("build.index")
+
+	spanQuery           = obs.NewSpan("match.query")
+	histQueryLists      = obs.NewCountHistogram("match.query.lists")
+	histQueryCandidates = obs.NewCountHistogram("match.query.candidates")
+
+	spanAddPrepare = obs.NewSpan("match.add.prepare")
+	spanAddCommit  = obs.NewSpan("match.add.commit")
 )
 
 // MRConfig configures a multi-ranking matcher (the "MR" of the method
@@ -208,15 +232,17 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 	mr := &MR{name: name, cfg: cfg}
 
 	// Phase 1: segmentation (parallel; per-document work is independent).
-	start := time.Now()
+	// Each phase is timed by its obs span; the span measurement is also
+	// the BuildStats duration, so the two never disagree.
+	phase := spanBuildSegment.StartAlways()
 	segmentations := make([]segment.Segmentation, len(docs))
 	par.Do(len(docs), cfg.Workers, func(i int) {
 		segmentations[i] = cfg.Strategy.Segment(docs[i])
 	})
-	mr.stats.Segmentation = time.Since(start)
+	mr.stats.Segmentation = phase.Stop()
 
 	// Phase 2: vectors + clustering + refinement.
-	start = time.Now()
+	start := time.Now()
 	var segs []rawSeg
 	mr.before = make([]int, len(docs))
 	for i, s := range segmentations {
@@ -228,7 +254,7 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 	}
 	mr.stats.NumSegments = len(segs)
 
-	phase := time.Now()
+	phase = spanBuildVectorize.StartAlways()
 	vectors := make([][]float64, len(segs))
 	par.Do(len(segs), cfg.Workers, func(i int) {
 		d := docs[segs[i].doc]
@@ -241,9 +267,9 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 			vectors[i] = cm.WithinSegmentWeights(d.Range(segs[i].lo, segs[i].hi))
 		}
 	})
-	mr.stats.Vectorization = time.Since(phase)
+	mr.stats.Vectorization = phase.Stop()
 
-	phase = time.Now()
+	phase = spanBuildCluster.StartAlways()
 	var labels []int
 	var k int
 	switch {
@@ -280,11 +306,11 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 	}
 	mr.centroids = cluster.Centroids(vectors, labels, k, cfg.Workers)
 	mr.stats.NumClusters = k
-	mr.stats.Clustering = time.Since(phase)
+	mr.stats.Clustering = phase.Stop()
 
 	// Refinement (Sec 6): at most one segment per document per cluster,
 	// derived by sorting a flat slice instead of growing map values.
-	phase = time.Now()
+	phase = spanBuildRefine.StartAlways()
 	refs := make([]segRef, 0, len(segs))
 	for i, s := range segs {
 		if labels[i] != cluster.Noise {
@@ -322,14 +348,14 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 		clusterGroups[groups[gi].cluster] = [2]int{gi, gj}
 		gi = gj
 	}
-	mr.stats.Refinement = time.Since(phase)
+	mr.stats.Refinement = phase.Stop()
 	mr.stats.Grouping = time.Since(start)
 
 	// Phase 3: per-cluster indexing. Index construction is independent
 	// across clusters, so clusters fan out; within one cluster, groups run
 	// in ascending-doc order, reproducing the unit ids the former serial
 	// document walk assigned.
-	start = time.Now()
+	phase = spanBuildIndex.StartAlways()
 	mr.clusters = make([]*index.Index, k)
 	mr.unitDoc = make([][]int, k)
 	groupUnit := make([]int, len(groups))
@@ -354,7 +380,7 @@ func NewMR(name string, docs []*segment.Doc, cfg MRConfig) *MR {
 		mr.docSegs[g.doc] = append(mr.docSegs[g.doc], docSeg{cluster: g.cluster, unit: groupUnit[gi], terms: groupTerms[gi]})
 		mr.after[g.doc]++
 	}
-	mr.stats.Indexing = time.Since(start)
+	mr.stats.Indexing = phase.Stop()
 	return mr
 }
 
@@ -392,6 +418,7 @@ func (mr *MR) Match(docID, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
+	tm := spanQuery.Start()
 	mr.mu.RLock()
 	defer mr.mu.RUnlock()
 	if docID < 0 || docID >= len(mr.docSegs) {
@@ -437,7 +464,11 @@ func (mr *MR) Match(docID, k int) []Result {
 			scores[owners[r.Unit]] += r.Score / norm
 		}
 	}
-	return topK(scores, k, docID)
+	histQueryLists.Observe(int64(len(segs)))
+	histQueryCandidates.Observe(int64(len(scores)))
+	out := topK(scores, k, docID)
+	tm.Stop()
+	return out
 }
 
 // Stats returns the build-phase timing and size statistics.
@@ -458,12 +489,17 @@ func (mr *MR) Centroids() [][]float64 { return mr.centroids }
 
 // SegmentCounts returns each document's segment count before grouping and
 // after the refinement step (the two halves of Table 3). The returned
-// slices are point-in-time views: documents added after the call do not
-// appear in them.
+// slices are fresh copies taken under the read lock: documents added
+// after the call do not appear in them, callers may retain or mutate
+// them freely, and a concurrent Add can never write into their backing
+// arrays (the live mr.before/mr.after grow in place under the write
+// lock, so handing those out would alias writer-owned memory).
 func (mr *MR) SegmentCounts() (before, after []int) {
 	mr.mu.RLock()
 	defer mr.mu.RUnlock()
-	return mr.before, mr.after
+	before = append([]int(nil), mr.before...)
+	after = append([]int(nil), mr.after...)
+	return before, after
 }
 
 // ClusterSizes returns the number of (refined) segments per cluster.

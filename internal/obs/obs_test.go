@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Test metrics are registered once for the whole package test binary —
+// the registry forbids duplicate names, so tests share these handles.
+var (
+	testCounter = NewCounter("test.counter")
+	testGauge   = NewGauge("test.gauge")
+	testHist    = NewHistogram("test.hist", []int64{10, 100, 1000})
+	testSpan    = NewSpan("test.span")
+)
+
+func withEnabled(t *testing.T) {
+	t.Helper()
+	Enable()
+	t.Cleanup(Disable)
+}
+
+func TestDisabledRecordingIsNoOp(t *testing.T) {
+	Disable()
+	before := testCounter.Value()
+	testCounter.Inc()
+	testCounter.Add(5)
+	if got := testCounter.Value(); got != before {
+		t.Fatalf("disabled counter moved: %d -> %d", before, got)
+	}
+	gBefore := testGauge.Value()
+	testGauge.Set(99)
+	testGauge.Add(1)
+	if got := testGauge.Value(); got != gBefore {
+		t.Fatalf("disabled gauge moved: %d -> %d", gBefore, got)
+	}
+	hBefore := testHist.Snapshot().Count
+	testHist.Observe(5)
+	if got := testHist.Snapshot().Count; got != hBefore {
+		t.Fatalf("disabled histogram observed: %d -> %d", hBefore, got)
+	}
+	tm := testSpan.Start()
+	if d := tm.Stop(); d != 0 {
+		t.Fatalf("disabled span timing returned %v, want 0", d)
+	}
+}
+
+func TestCounterMonotoneAndNegativeIgnored(t *testing.T) {
+	withEnabled(t)
+	before := testCounter.Value()
+	testCounter.Add(3)
+	testCounter.Add(-7) // ignored: counters are monotone by contract
+	testCounter.Inc()
+	if got := testCounter.Value(); got != before+4 {
+		t.Fatalf("counter = %d, want %d", got, before+4)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	withEnabled(t)
+	testGauge.Set(42)
+	testGauge.Add(-2)
+	if got := testGauge.Value(); got != 40 {
+		t.Fatalf("gauge = %d, want 40", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	withEnabled(t)
+	h := NewHistogram("test.hist.quant", []int64{10, 100, 1000})
+	// 100 observations uniform in (0,10]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i%10 + 1))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if s.P50 <= 0 || s.P50 > 10 {
+		t.Fatalf("p50 = %v, want in (0,10]", s.P50)
+	}
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99) {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v", s.P50, s.P90, s.P99)
+	}
+	if s.Max != 10 {
+		t.Fatalf("max bound = %d, want 10", s.Max)
+	}
+
+	// Overflow bucket: observations above every bound.
+	h.Observe(5000)
+	s = h.Snapshot()
+	if s.Max != math.MaxInt64 {
+		t.Fatalf("max bound = %d, want MaxInt64 (overflow bucket)", s.Max)
+	}
+	if s.P99 > float64(math.MaxInt64) || s.P99 < 0 {
+		t.Fatalf("p99 out of range: %v", s.P99)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	withEnabled(t)
+	h := NewHistogram("test.hist.interp", []int64{100})
+	for i := 0; i < 100; i++ {
+		h.Observe(50)
+	}
+	s := h.Snapshot()
+	// All mass in [0,100]; interpolated p50 must be mid-bucket.
+	if s.P50 < 25 || s.P50 > 75 {
+		t.Fatalf("p50 = %v, want around 50", s.P50)
+	}
+	if s.Mean != 50 {
+		t.Fatalf("mean = %v, want 50", s.Mean)
+	}
+}
+
+func TestSpanRecordsDurations(t *testing.T) {
+	withEnabled(t)
+	before := testSpan.Snapshot().Count
+	tm := testSpan.Start()
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d < time.Millisecond {
+		t.Fatalf("span duration %v < 1ms", d)
+	}
+	s := testSpan.Snapshot()
+	if s.Count != before+1 {
+		t.Fatalf("span count = %d, want %d", s.Count, before+1)
+	}
+	testSpan.Record(2 * time.Millisecond)
+	if got := testSpan.Snapshot().Count; got != before+2 {
+		t.Fatalf("span count after Record = %d, want %d", got, before+2)
+	}
+}
+
+func TestStartAlwaysMeasuresWhileDisabled(t *testing.T) {
+	Disable()
+	countBefore := testSpan.Snapshot().Count
+	tm := testSpan.StartAlways()
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d < time.Millisecond {
+		t.Fatalf("StartAlways duration %v < 1ms while disabled", d)
+	}
+	if got := testSpan.Snapshot().Count; got != countBefore {
+		t.Fatalf("disabled StartAlways recorded into the histogram")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	NewCounter("test.counter")
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	withEnabled(t)
+	testCounter.Inc()
+	testHist.Observe(50)
+	testSpan.Record(time.Millisecond)
+	raw, err := json.Marshal(Default.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if _, ok := decoded.Counters["test.counter"]; !ok {
+		t.Fatal("snapshot missing test.counter")
+	}
+	if _, ok := decoded.Spans["test.span"]; !ok {
+		t.Fatal("snapshot missing test.span")
+	}
+	if len(Default.Snapshot().SummaryLines()) == 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestConcurrentSnapshotConsistency hammers one histogram from many
+// goroutines while snapshotting, asserting every snapshot satisfies the
+// count == Σ buckets identity and monotone counts — the "no torn
+// snapshot" property the serve stress test rechecks over HTTP.
+func TestConcurrentSnapshotConsistency(t *testing.T) {
+	withEnabled(t)
+	h := NewHistogram("test.hist.torn", DurationBounds())
+	c := NewCounter("test.counter.torn")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Observe((v >> 33) & 0xFFFFF)
+				c.Inc()
+			}
+		}(int64(w + 1))
+	}
+	var lastCount, lastCounter int64
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var bucketSum int64
+		for _, b := range s.Buckets {
+			bucketSum += b.Count
+		}
+		if bucketSum != s.Count {
+			t.Fatalf("torn snapshot: bucket sum %d != count %d", bucketSum, s.Count)
+		}
+		if s.Count < lastCount {
+			t.Fatalf("histogram count went backwards: %d -> %d", lastCount, s.Count)
+		}
+		lastCount = s.Count
+		if cv := c.Value(); cv < lastCounter {
+			t.Fatalf("counter went backwards: %d -> %d", lastCounter, cv)
+		} else {
+			lastCounter = cv
+		}
+		if s.Count > 0 && !(s.P50 <= s.P90 && s.P90 <= s.P99) {
+			t.Fatalf("quantiles not monotone under load: %v %v %v", s.P50, s.P90, s.P99)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

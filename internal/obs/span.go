@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span names a repeatedly-executed region of code — one offline build
+// phase, one online query — and records each execution's wall duration
+// into a latency histogram. A span is the unit the /metrics endpoint
+// and the experiments report aggregate over; EXPERIMENTS.md maps the
+// build.* span names onto the paper's Fig 11 phases.
+type Span struct {
+	hist *Histogram
+}
+
+// NewSpan creates and registers a span. The backing histogram appears
+// in snapshots under the span's name with DurationBounds bucketing,
+// listed in the snapshot's "spans" section rather than "histograms".
+func NewSpan(name string) *Span {
+	bounds := DurationBounds()
+	h := &Histogram{name: name, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	s := &Span{hist: h}
+	Default.register(name, func(r *Registry) { r.spans = append(r.spans, s) })
+	return s
+}
+
+// Timing is an in-flight span execution. The zero Timing is inert:
+// Stop on it returns 0 and records nothing, which is how the disabled
+// fast path costs neither a clock read nor an allocation.
+type Timing struct {
+	span  *Span
+	start time.Time
+}
+
+// Start begins timing one execution if recording is enabled; otherwise
+// it returns the inert zero Timing. Use it on hot paths where the
+// duration is only wanted for observability.
+func (s *Span) Start() Timing {
+	if !enabled.Load() {
+		return Timing{}
+	}
+	return Timing{span: s, start: time.Now()}
+}
+
+// StartAlways begins timing unconditionally: Stop will return the real
+// elapsed duration even while recording is disabled (recording itself
+// still only happens when enabled). The offline build uses it so
+// match.BuildStats keeps its per-phase durations with any sink state —
+// the span is the measurement; BuildStats is derived from it.
+func (s *Span) StartAlways() Timing {
+	return Timing{span: s, start: time.Now()}
+}
+
+// Stop ends the execution, records its duration (when recording is
+// enabled and the Timing is live), and returns the elapsed duration
+// (0 for the inert zero Timing).
+func (t Timing) Stop() time.Duration {
+	if t.span == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.span.hist.Observe(int64(d))
+	return d
+}
+
+// Record adds one execution with an externally measured duration.
+func (s *Span) Record(d time.Duration) { s.hist.Observe(int64(d)) }
+
+// Name returns the span's registered name.
+func (s *Span) Name() string { return s.hist.name }
+
+// Snapshot returns the span's latency distribution.
+func (s *Span) Snapshot() HistogramSnapshot { return s.hist.Snapshot() }

@@ -1,0 +1,236 @@
+// Package serve is the long-running HTTP face of the pipeline: the
+// PR 1 RWMutex serving layer (core.Pipeline.Related/Add interleaving
+// freely) exposed as JSON endpoints, with the obs registry scrapeable
+// at runtime and net/http/pprof wired in. cmd/serve is the thin binary
+// around it; the handler is separated here so the -race stress test can
+// drive it through httptest.
+//
+// Endpoints:
+//
+//	POST /related        {"doc_id": 3, "k": 5}  → top-k related posts
+//	POST /add            {"text": "<raw post>"} → new document id
+//	GET  /stats          offline BuildStats + Table 3 granularity
+//	GET  /metrics        obs registry snapshot (counters, gauges,
+//	                     histograms, spans) as JSON
+//	GET  /healthz        liveness probe
+//	GET  /debug/pprof/   net/http/pprof profiles
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// HTTP-surface metrics. The core.related/core.add spans time the
+// pipeline operations themselves; these counters track the protocol
+// layer around them (request counts by endpoint, error responses), the
+// monotone quantities the stress test asserts across /metrics scrapes.
+var (
+	ctrRelatedRequests = obs.NewCounter("http.related.requests")
+	ctrAddRequests     = obs.NewCounter("http.add.requests")
+	ctrMetricsRequests = obs.NewCounter("http.metrics.requests")
+	ctrStatsRequests   = obs.NewCounter("http.stats.requests")
+	ctrErrors          = obs.NewCounter("http.errors")
+)
+
+// maxBodyBytes bounds request bodies; forum posts are kilobytes, so a
+// megabyte leaves two orders of magnitude of headroom.
+const maxBodyBytes = 1 << 20
+
+// Server serves one built pipeline over HTTP. All handlers are safe for
+// arbitrary concurrency: they only touch the pipeline through its
+// locked public surface and the obs registry through atomic snapshots.
+type Server struct {
+	p   *core.Pipeline
+	mux *http.ServeMux
+}
+
+// New wraps a built pipeline in an HTTP server. The pprof handlers are
+// registered on the server's own mux (not http.DefaultServeMux), so
+// binaries embedding several servers do not collide.
+func New(p *core.Pipeline) *Server {
+	s := &Server{p: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /related", s.handleRelated)
+	s.mux.HandleFunc("POST /add", s.handleAdd)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RelatedRequest is the POST /related payload.
+type RelatedRequest struct {
+	DocID int `json:"doc_id"`
+	K     int `json:"k"` // 0 → default 5, capped at 100
+}
+
+// RelatedResult is one entry of a RelatedResponse.
+type RelatedResult struct {
+	DocID int     `json:"doc_id"`
+	Score float64 `json:"score"`
+}
+
+// RelatedResponse is the POST /related reply.
+type RelatedResponse struct {
+	DocID   int             `json:"doc_id"`
+	K       int             `json:"k"`
+	Results []RelatedResult `json:"results"`
+}
+
+// AddRequest is the POST /add payload: one raw post (may contain HTML).
+type AddRequest struct {
+	Text string `json:"text"`
+}
+
+// AddResponse is the POST /add reply.
+type AddResponse struct {
+	DocID int `json:"doc_id"`
+}
+
+// StatsResponse is the GET /stats reply: the offline build breakdown
+// (core.Stats, durations in nanoseconds) plus the Table 3 segment
+// granularity distribution of the current collection.
+type StatsResponse struct {
+	Method      string            `json:"method"`
+	NumDocs     int               `json:"num_docs"`
+	NumSegments int               `json:"num_segments"`
+	NumClusters int               `json:"num_clusters"`
+	PhaseNS     map[string]int64  `json:"phase_ns"`
+	Granularity GranularityReport `json:"granularity"`
+}
+
+// GranularityReport carries the Table 3 rows: the share of posts with
+// 1, 2, 3, 4, and 5+ segments, before grouping and after refinement.
+type GranularityReport struct {
+	Buckets []string           `json:"buckets"`
+	Before  map[string]float64 `json:"before,omitempty"`
+	After   map[string]float64 `json:"after,omitempty"`
+}
+
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	ctrRelatedRequests.Inc()
+	var req RelatedRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.K == 0 {
+		req.K = 5
+	}
+	if req.K < 0 || req.K > 100 {
+		writeError(w, http.StatusBadRequest, "k must be in [1,100]")
+		return
+	}
+	// Doc validates the id under the pipeline lock, distinguishing a
+	// 404 from an empty (but valid) result list.
+	if s.p.Doc(req.DocID) == nil {
+		writeError(w, http.StatusNotFound, "unknown doc_id")
+		return
+	}
+	results := s.p.Related(req.DocID, req.K)
+	resp := RelatedResponse{DocID: req.DocID, K: req.K, Results: make([]RelatedResult, len(results))}
+	for i, res := range results {
+		resp.Results[i] = RelatedResult{DocID: res.DocID, Score: res.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	ctrAddRequests.Inc()
+	var req AddRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		writeError(w, http.StatusBadRequest, "text must be non-empty")
+		return
+	}
+	id, err := s.p.Add(req.Text)
+	if err != nil {
+		// Whole-post methods cannot ingest incrementally; the request is
+		// well-formed but unsupported by this pipeline configuration.
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, AddResponse{DocID: id})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ctrMetricsRequests.Inc()
+	writeJSON(w, http.StatusOK, obs.Default.Snapshot())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ctrStatsRequests.Inc()
+	st := s.p.Stats()
+	before, after := s.p.SegmentCounts()
+	resp := StatsResponse{
+		Method:      s.p.Method(),
+		NumDocs:     st.NumDocs,
+		NumSegments: st.NumSegments,
+		NumClusters: s.p.NumClusters(),
+		PhaseNS: map[string]int64{
+			"preprocess":    int64(st.Preprocess),
+			"segmentation":  int64(st.Segmentation),
+			"vectorization": int64(st.Vectorization),
+			"clustering":    int64(st.Clustering),
+			"refinement":    int64(st.Refinement),
+			"grouping":      int64(st.Grouping),
+			"indexing":      int64(st.Indexing),
+		},
+		Granularity: GranularityReport{
+			Buckets: core.GranularityBuckets(),
+			Before:  core.GranularityDistribution(before),
+			After:   core.GranularityDistribution(after),
+		},
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decodeJSON parses the request body into v, answering 400 (or 413 for
+// an oversized body) itself. It reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds 1MB")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client went away; nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	ctrErrors.Inc()
+	writeJSON(w, status, map[string]string{"error": msg})
+}

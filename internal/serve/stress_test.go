@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/forum"
+	"repro/internal/obs"
+)
+
+// TestServeStress is the serve-layer half of the PR 1 concurrency
+// guarantee, proved over HTTP: concurrent POST /related and POST /add
+// against the handler while scrapers hammer GET /metrics and
+// GET /stats. Run under -race (CI does). The scrapers assert the obs
+// contract — counters monotone across scrapes, histogram snapshots
+// never torn (count == Σ bucket counts, quantiles monotone and within
+// the bucket range) — while the write path grows the collection.
+func TestServeStress(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 220, Seed: 11})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	const base = 160
+	p, err := core.Build(texts[:base], core.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := texts[base:]
+
+	ts := httptest.NewServer(New(p).Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const (
+		queryWorkers  = 6
+		addWorkers    = 2
+		scrapeWorkers = 2
+		queriesEach   = 120
+		addsEach      = 25
+		scrapesEach   = 60
+	)
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int32
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	post := func(path, body string) (*http.Response, error) {
+		return client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	}
+
+	// Query workers: every response must be well-formed regardless of
+	// how many adds have landed.
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				doc := (w*queriesEach + i*7) % base
+				resp, err := post("/related", fmt.Sprintf(`{"doc_id": %d, "k": 5}`, doc))
+				if err != nil {
+					fail("related: %v", err)
+					return
+				}
+				var rr RelatedResponse
+				err = json.NewDecoder(resp.Body).Decode(&rr)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("related: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				for _, r := range rr.Results {
+					if r.DocID == doc || r.Score < 0 || math.IsNaN(r.Score) {
+						fail("related: bad result %+v for doc %d", r, doc)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Add workers: ids must come back unique and dense-ish (every add
+	// succeeds, ids strictly above the base collection).
+	var seenIDs sync.Map
+	for w := 0; w < addWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < addsEach; i++ {
+				text := extra[(w*addsEach+i)%len(extra)]
+				resp, err := post("/add", fmt.Sprintf(`{"text": %q}`, text))
+				if err != nil {
+					fail("add: %v", err)
+					return
+				}
+				var ar AddResponse
+				err = json.NewDecoder(resp.Body).Decode(&ar)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("add: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				if ar.DocID < base {
+					fail("add: id %d below base %d", ar.DocID, base)
+					return
+				}
+				if _, dup := seenIDs.LoadOrStore(ar.DocID, true); dup {
+					fail("add: duplicate id %d", ar.DocID)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Metrics scrapers: the observability contract under concurrency.
+	monotone := []string{"http.related.requests", "http.add.requests", "http.metrics.requests", "index.scorepool.get"}
+	for w := 0; w < scrapeWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := map[string]int64{}
+			var lastQueryCount int64
+			for i := 0; i < scrapesEach; i++ {
+				resp, err := client.Get(ts.URL + "/metrics")
+				if err != nil {
+					fail("metrics: %v", err)
+					return
+				}
+				var snap obs.Snapshot
+				err = json.NewDecoder(resp.Body).Decode(&snap)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("metrics: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				for _, name := range monotone {
+					v, ok := snap.Counters[name]
+					if !ok {
+						fail("metrics: counter %q missing", name)
+						return
+					}
+					if v < last[name] {
+						fail("metrics: counter %q went backwards: %d -> %d", name, last[name], v)
+						return
+					}
+					last[name] = v
+				}
+				checkHist := func(section string, h obs.HistogramSnapshot) {
+					var sum int64
+					for _, b := range h.Buckets {
+						sum += b.Count
+						if b.Count < 0 {
+							fail("metrics: %s negative bucket", section)
+						}
+					}
+					if sum != h.Count {
+						fail("metrics: torn %s snapshot: Σbuckets=%d count=%d", section, sum, h.Count)
+					}
+					if h.Count > 0 && !(h.P50 <= h.P90 && h.P90 <= h.P99) {
+						fail("metrics: %s quantiles not monotone: %v %v %v", section, h.P50, h.P90, h.P99)
+					}
+				}
+				for name, h := range snap.Histograms {
+					checkHist("histogram "+name, h)
+				}
+				for name, h := range snap.Spans {
+					checkHist("span "+name, h)
+				}
+				if q := snap.Spans["match.query"].Count; q < lastQueryCount {
+					fail("metrics: match.query count went backwards: %d -> %d", lastQueryCount, q)
+				} else {
+					lastQueryCount = q
+				}
+				// Interleave a /stats read: granularity and doc counts must
+				// stay internally consistent while adds land.
+				var st StatsResponse
+				sresp, err := client.Get(ts.URL + "/stats")
+				if err != nil {
+					fail("stats: %v", err)
+					return
+				}
+				err = json.NewDecoder(sresp.Body).Decode(&st)
+				sresp.Body.Close()
+				if err != nil {
+					fail("stats: %v", err)
+					return
+				}
+				if st.NumDocs < base {
+					fail("stats: NumDocs %d below base %d", st.NumDocs, base)
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failures under concurrent serve load", failures.Load())
+	}
+
+	// Post-conditions: the counters reflect the full load.
+	snap := obs.Default.Snapshot()
+	wantQueries := int64(queryWorkers * queriesEach)
+	if got := snap.Counters["http.related.requests"]; got < wantQueries {
+		t.Errorf("http.related.requests = %d, want ≥ %d", got, wantQueries)
+	}
+	wantAdds := int64(addWorkers * addsEach)
+	if got := snap.Counters["http.add.requests"]; got < wantAdds {
+		t.Errorf("http.add.requests = %d, want ≥ %d", got, wantAdds)
+	}
+	if got := snap.Spans["match.add.commit"].Count; got < wantAdds {
+		t.Errorf("match.add.commit count = %d, want ≥ %d", got, wantAdds)
+	}
+	var st core.Stats = p.Stats()
+	if st.NumDocs != base+int(wantAdds) {
+		t.Errorf("final NumDocs = %d, want %d", st.NumDocs, base+int(wantAdds))
+	}
+}

@@ -43,10 +43,12 @@ func StripHTML(raw string) string {
 		name := tagName(tag)
 		switch name {
 		case "script", "style":
-			// Drop everything through the matching close tag.
-			closeTag := "</" + name
-			rest := strings.ToLower(raw[i:])
-			ci := strings.Index(rest, closeTag)
+			// Drop everything through the matching close tag. The search
+			// must be case-insensitive without lowering the haystack:
+			// ToLower changes byte lengths (multi-byte case mappings,
+			// invalid bytes becoming U+FFFD), which would corrupt the
+			// offset math on hostile input.
+			ci := indexCloseTag(raw[i:], name)
 			if ci < 0 {
 				i = n
 				break
@@ -65,6 +67,19 @@ func StripHTML(raw string) string {
 		}
 	}
 	return collapseSpace(b.String())
+}
+
+// indexCloseTag returns the byte offset of the first "</name" in s,
+// ASCII-case-insensitively (name is a lower-case ASCII element name),
+// or -1. Offsets refer to s itself, so they are safe to add to a
+// position in the original text.
+func indexCloseTag(s, name string) int {
+	for j := 0; j+2+len(name) <= len(s); j++ {
+		if s[j] == '<' && s[j+1] == '/' && strings.EqualFold(s[j+2:j+2+len(name)], name) {
+			return j
+		}
+	}
+	return -1
 }
 
 // tagName returns the lower-cased element name of a tag body like

@@ -3,24 +3,28 @@
 # machine-readable snapshot so the repo keeps a perf trajectory across PRs.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, writes BENCH_PR2.json
+#   scripts/bench.sh                 # full run, writes BENCH_PR3.json
 #   scripts/bench.sh -smoke          # 1-iteration smoke (CI: bench code must compile and run)
 #   BENCH_OUT=perf.json scripts/bench.sh
 #
 # The JSON output maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
 # plus a "meta" block (go version, GOMAXPROCS, benchtime, count).
+#
+# The Fig11cRetrievalIntent / Fig11cRetrievalIntentObserved pair tracks
+# the observability tax on the query hot path (obs disabled vs enabled);
+# the pair must stay within a few percent of each other.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR2.json}"
-PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkMRBuild|BenchmarkPipelineBuild1k'
+OUT="${BENCH_OUT:-BENCH_PR3.json}"
+PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntent$|BenchmarkFig11cRetrievalIntentObserved|BenchmarkMRBuild|BenchmarkPipelineBuild1k'
 BENCHTIME="${BENCH_TIME:-3x}"
 COUNT="${BENCH_COUNT:-3}"
 
 if [[ "${1:-}" == "-smoke" ]]; then
     # CI smoke: one iteration of the two acceptance benchmarks, no JSON.
-    exec go test -run '^$' -bench 'BenchmarkFig11bClustering|BenchmarkPipelineBuild1k' -benchtime 1x .
+    exec go test -run '^$' -bench 'BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntentObserved|BenchmarkPipelineBuild1k' -benchtime 1x .
 fi
 
 RAW="$(mktemp)"

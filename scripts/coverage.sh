@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# coverage.sh — run the test suite with coverage and enforce a floor.
+#
+# Usage:
+#   scripts/coverage.sh                  # gate at the default floor
+#   COVER_MIN=90.0 scripts/coverage.sh   # custom floor
+#   COVER_OUT=cov.out scripts/coverage.sh
+#
+# The gate measures the library surface (./internal/... plus the root
+# package with the experiment benchmarks) — cmd/ and examples/ are thin
+# mains around it and would only dilute the number. The floor is set
+# just under the value at the time the gate was introduced (95.1%), so
+# a PR that lands meaningfully under-tested code fails CI.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN="${COVER_MIN:-94.0}"
+OUT="${COVER_OUT:-coverage.out}"
+
+go test -count=1 -coverprofile="$OUT" ./internal/... .
+
+total="$(go tool cover -func="$OUT" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+echo "total coverage: ${total}% (floor ${MIN}%)" >&2
+
+awk -v total="$total" -v min="$MIN" 'BEGIN { exit (total + 0 < min + 0) ? 1 : 0 }' || {
+    echo "FAIL: coverage ${total}% is below the ${MIN}% floor" >&2
+    exit 1
+}
+echo "coverage gate passed" >&2
