@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -143,6 +144,32 @@ func BenchmarkFig11cRetrievalIntentObserved(b *testing.B) {
 	obs.Enable()
 	defer obs.Disable()
 	benchRetrieval(b, core.IntentIntentMR)
+}
+
+func BenchmarkFig11cRetrievalIntentTraced(b *testing.B) {
+	// The worst-case tracing tax: every query carries a live obs.Trace
+	// (the serve layer's SlowQuery=0 / rate-sampled configuration), so
+	// each per-cluster index scan, merge, and top-k records a locked
+	// event. Steady-state serving traces a small fraction of requests;
+	// the delta vs BenchmarkFig11cRetrievalIntent bounds what a traced
+	// one costs (see EXPERIMENTS.md).
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 1000, Seed: 42})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	p, err := core.Build(texts, core.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.TracerConfig{SlowQuery: 0})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.Start()
+		p.RelatedContext(obs.WithTrace(context.Background(), tr), i%len(texts), 5)
+		tracer.Finish(tr)
+	}
 }
 
 func BenchmarkFig11cRetrievalFullText(b *testing.B) {

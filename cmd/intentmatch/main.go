@@ -7,6 +7,7 @@
 //
 //	gencorpus -domain tech -n 500 | intentmatch -query 0 -k 5
 //	intentmatch -corpus corpus.jsonl -query 0,7,42 -k 5 -method fulltext
+//	intentmatch -corpus corpus.jsonl -query 0 -explain      # Eq 7–9 breakdown
 //	intentmatch -corpus corpus.jsonl -save built.idx        # offline build
 //	intentmatch -load built.idx -query 0,7 -k 5             # online serving
 package main
@@ -17,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/lda"
+	"repro/internal/match"
 	"repro/internal/par"
 )
 
@@ -39,10 +43,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	save := flag.String("save", "", "write the built pipeline to this file and exit")
 	load := flag.String("load", "", "load a previously saved pipeline instead of building")
+	explain := flag.Bool("explain", false,
+		"print each result's Eq 7–9 score decomposition (per-cluster contributions and top terms)")
 	flag.Parse()
 
 	if *load != "" {
-		servePipeline(*load, *query, *k)
+		servePipeline(*load, *query, *k, *explain)
 		return
 	}
 
@@ -118,6 +124,10 @@ func main() {
 		return
 	}
 
+	if *explain {
+		explainQueries(p, *query, *k, texts)
+		return
+	}
 	answerQueries(p, *query, *k, texts)
 }
 
@@ -126,16 +136,7 @@ func main() {
 // the result lists in input order. texts may be nil (loaded pipelines
 // keep segment terms, not post texts); then only ids and scores print.
 func answerQueries(p *core.Pipeline, query string, k int, texts []string) {
-	numDocs := p.Stats().NumDocs
-	parts := strings.Split(query, ",")
-	ids := make([]int, len(parts))
-	for i, part := range parts {
-		q, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || q < 0 || q >= numDocs {
-			fatal(fmt.Errorf("bad query id %q (corpus has %d posts)", part, numDocs))
-		}
-		ids[i] = q
-	}
+	ids := parseQueryIDs(query, p.Stats().NumDocs)
 	results := make([][]core.Result, len(ids))
 	par.Do(len(ids), 0, func(i int) { results[i] = p.Related(ids[i], k) })
 	for i, q := range ids {
@@ -154,10 +155,72 @@ func answerQueries(p *core.Pipeline, query string, k int, texts []string) {
 	}
 }
 
+// explainQueries is answerQueries with the Eq 7–9 score decomposition:
+// each result prints its per-intention-cluster contributions and, for
+// every cluster, the largest term-level tf·weight·idf products. The
+// cluster contributions sum to the served score (the -explain
+// acceptance property the serve layer also exposes).
+func explainQueries(p *core.Pipeline, query string, k int, texts []string) {
+	const topTerms = 8
+	ids := parseQueryIDs(query, p.Stats().NumDocs)
+	for _, q := range ids {
+		if texts != nil {
+			fmt.Printf("\nquery %d: %s\n", q, truncate(texts[q], 90))
+		} else {
+			fmt.Printf("query %d:\n", q)
+		}
+		results, exps, err := p.RelatedExplained(q, k)
+		if err != nil {
+			fatal(err)
+		}
+		for rank, r := range results {
+			if texts != nil {
+				fmt.Printf("  %d. post %-5d score %.4f  %s\n", rank+1, r.DocID, r.Score, truncate(texts[r.DocID], 70))
+			} else {
+				fmt.Printf("  %d. post %-5d score %.4f\n", rank+1, r.DocID, r.Score)
+			}
+			for _, c := range exps[rank].Clusters {
+				terms := append([]match.TermContribution(nil), c.Terms...)
+				sort.Slice(terms, func(a, b int) bool {
+					return math.Abs(terms[a].Contribution) > math.Abs(terms[b].Contribution)
+				})
+				shown := terms
+				if len(shown) > topTerms {
+					shown = shown[:topTerms]
+				}
+				parts := make([]string, len(shown))
+				for i, tc := range shown {
+					parts[i] = fmt.Sprintf("%s %.4f", tc.Term, tc.Contribution)
+				}
+				line := strings.Join(parts, ", ")
+				if n := len(terms) - len(shown); n > 0 {
+					line += fmt.Sprintf(", … (+%d terms)", n)
+				}
+				fmt.Printf("     cluster %-3d %.4f  [%s]\n", c.Cluster, c.Score, line)
+			}
+		}
+	}
+}
+
+// parseQueryIDs parses the -query flag's comma-separated reference ids,
+// validating each against the collection size.
+func parseQueryIDs(query string, numDocs int) []int {
+	parts := strings.Split(query, ",")
+	ids := make([]int, len(parts))
+	for i, part := range parts {
+		q, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || q < 0 || q >= numDocs {
+			fatal(fmt.Errorf("bad query id %q (corpus has %d posts)", part, numDocs))
+		}
+		ids[i] = q
+	}
+	return ids
+}
+
 // servePipeline answers queries from a previously saved pipeline. Saved
 // pipelines keep segment terms, not post texts, so results list ids and
 // scores only.
-func servePipeline(path, query string, k int) {
+func servePipeline(path, query string, k int, explain bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -169,6 +232,10 @@ func servePipeline(path, query string, k int) {
 	}
 	st := p.Stats()
 	fmt.Printf("loaded %s: %d posts, %d clusters\n", p.Method(), st.NumDocs, st.NumClusters)
+	if explain {
+		explainQueries(p, query, k, nil)
+		return
+	}
 	answerQueries(p, query, k, nil)
 }
 

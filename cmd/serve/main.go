@@ -1,16 +1,21 @@
 // Command serve runs the related-post pipeline as a long-running HTTP
 // service: it builds the offline phases over a corpus at startup, then
 // answers online queries and ingests new posts concurrently, with the
-// obs metrics registry and pprof exposed for operations. See the
-// "Serving over HTTP" section of README.md for the endpoint reference
-// and a metrics glossary.
+// obs metrics registry (JSON and Prometheus text exposition),
+// per-request traces, and pprof exposed for operations. All process
+// logging is structured JSON on stderr (log/slog); each API request
+// additionally emits one access-log record carrying its trace id. See
+// the "Serving over HTTP" section of README.md for the endpoint
+// reference and a metrics glossary.
 //
 // Usage:
 //
 //	serve -addr :8080 -domain tech -n 1000 -seed 42
 //	serve -corpus corpus.jsonl                 # cmd/gencorpus output
-//	curl -s localhost:8080/related -d '{"doc_id": 3, "k": 5}'
-//	curl -s localhost:8080/metrics | jq .spans
+//	serve -trace-slow 50ms -trace-rate 5       # capture policy
+//	curl -s localhost:8080/related -d '{"doc_id": 3, "k": 5, "explain": true}'
+//	curl -s localhost:8080/metrics?format=prometheus
+//	curl -s localhost:8080/debug/traces | jq '.traces[0]'
 package main
 
 import (
@@ -19,7 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,48 +44,70 @@ func main() {
 	n := flag.Int("n", 1000, "synthetic corpus size")
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "offline-build parallelism (0 = GOMAXPROCS)")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond,
+		"always capture traces of requests at least this slow (0 captures every request, negative disables)")
+	traceRate := flag.Int("trace-rate", 1, "rate-sample up to this many request traces per second (0 disables)")
+	traceRing := flag.Int("trace-ring", 0, "retained finished traces (0 = default 256)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	// Enable metrics before the build so the build.* spans of this
 	// process's offline phase are already on /metrics at first scrape.
 	obs.Enable()
+	stopPoller := obs.StartRuntimePoller(10 * time.Second)
+	defer stopPoller()
 
 	texts, err := loadCorpus(*corpus, *domain, *n, *seed)
 	if err != nil {
-		log.Fatalf("serve: %v", err)
+		fatal("corpus", err)
 	}
-	log.Printf("building pipeline over %d posts...", len(texts))
+	logger.Info("building pipeline", "posts", len(texts))
 	start := time.Now()
 	p, err := core.Build(texts, core.Config{Seed: *seed, Workers: *workers})
 	if err != nil {
-		log.Fatalf("serve: build: %v", err)
+		fatal("build", err)
 	}
 	st := p.Stats()
-	log.Printf("built in %v: %d docs, %d segments, %d clusters (segment %v, group %v, index %v)",
-		time.Since(start).Round(time.Millisecond), st.NumDocs, st.NumSegments, st.NumClusters,
-		st.Segmentation.Round(time.Millisecond), st.Grouping.Round(time.Millisecond),
-		st.Indexing.Round(time.Millisecond))
+	logger.Info("built",
+		"elapsed", time.Since(start).Round(time.Millisecond).String(),
+		"docs", st.NumDocs, "segments", st.NumSegments, "clusters", st.NumClusters,
+		"segment_ms", st.Segmentation.Milliseconds(),
+		"group_ms", st.Grouping.Milliseconds(),
+		"index_ms", st.Indexing.Milliseconds())
 
+	handler := serve.New(p, serve.Config{
+		Logger:        logger,
+		TraceRate:     *traceRate,
+		SlowQuery:     *traceSlow,
+		TraceRingSize: *traceRing,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(p).Handler(),
+		Handler:           handler.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
-		log.Printf("serving on %s (POST /related, POST /add, GET /stats, GET /metrics, GET /debug/pprof/)", *addr)
+		logger.Info("serving", "addr", *addr,
+			"endpoints", "POST /related, POST /add, GET /stats, GET /metrics, GET /debug/traces, GET /debug/pprof/",
+			"trace_slow", traceSlow.String(), "trace_rate", *traceRate)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("serve: %v", err)
+			fatal("listen", err)
 		}
 	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("shutting down...")
+	logger.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("serve: shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
 }
 

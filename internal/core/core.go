@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -218,10 +219,45 @@ func (p *Pipeline) docTerms(d *segment.Doc) []string {
 // Related returns the top-k posts related to document docID (Sec 7's
 // online matching). Results never include docID and arrive best first.
 func (p *Pipeline) Related(docID, k int) []Result {
+	return p.RelatedContext(context.Background(), docID, k)
+}
+
+// RelatedContext is Related with request-scoped tracing: when the
+// context carries an obs.Trace (see obs.WithTrace — the serve layer
+// attaches one per sampled or slow-captured request), the query records
+// its per-stage events into it. The trace is extracted once here and
+// passed down as a pointer; an untraced context adds only a context
+// lookup and nil checks to the hot path (benchmark-gated at 0 extra
+// allocations).
+func (p *Pipeline) RelatedContext(ctx context.Context, docID, k int) []Result {
+	tr := obs.TraceFrom(ctx)
 	tm := spanRelated.Start()
-	out := p.matcher.Match(docID, k)
+	var out []Result
+	if p.mr != nil {
+		out = p.mr.MatchTraced(docID, k, tr)
+	} else {
+		out = p.matcher.Match(docID, k)
+		if tr != nil {
+			tr.Event("match", obs.N("results", int64(len(out))))
+		}
+	}
 	tm.Stop()
 	return out
+}
+
+// RelatedExplained is Related with the Eq 7–9 score decomposition: each
+// result arrives with its per-intention-cluster contributions and the
+// term-level products behind them (see match.Explanation). It returns
+// an error for methods whose scores are not an Eq 7–9 sum (LDA).
+func (p *Pipeline) RelatedExplained(docID, k int) ([]Result, []match.Explanation, error) {
+	ex, ok := p.matcher.(match.Explainer)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: %s does not support explain", p.matcher.Name())
+	}
+	tm := spanRelated.Start()
+	out, exps := ex.MatchExplained(docID, k)
+	tm.Stop()
+	return out, exps, nil
 }
 
 // Method returns the matcher's name.
@@ -279,18 +315,33 @@ func (p *Pipeline) SegmentCounts() (before, after []int) {
 // vectorization) runs outside every lock, and only the commit — a few
 // slice appends — serializes.
 func (p *Pipeline) Add(text string) (int, error) {
+	return p.AddContext(context.Background(), text)
+}
+
+// AddContext is Add with request-scoped tracing: a context-carried
+// obs.Trace records the prepare/commit split of this one ingestion
+// (segment count after preparation, assigned id after commit), the
+// per-request view of the match.add.prepare/match.add.commit spans.
+func (p *Pipeline) AddContext(ctx context.Context, text string) (int, error) {
 	if p.mr == nil {
 		return 0, fmt.Errorf("core: %s does not support incremental addition", p.matcher.Name())
 	}
+	tr := obs.TraceFrom(ctx)
 	tm := spanAdd.Start()
 	d := segment.NewDoc(text)
 	pending := p.mr.PrepareAdd(d)
+	if tr != nil {
+		tr.Event("add.prepared", obs.N("segments", int64(pending.NumSegments())))
+	}
 	p.mu.Lock()
 	id := pending.Commit()
 	p.docs = append(p.docs, d)
 	p.stats.NumDocs++
 	gaugeDocs.Set(int64(p.stats.NumDocs))
 	p.mu.Unlock()
+	if tr != nil {
+		tr.Event("add.committed", obs.N("doc_id", int64(id)))
+	}
 	tm.Stop()
 	return id, nil
 }

@@ -87,13 +87,23 @@ func New() *Index {
 	return &Index{postings: make(map[string][]Posting)}
 }
 
+// scoreMap is the pooled per-query score accumulator. The reused flag
+// distinguishes a map freshly allocated by the pool from one recycled
+// from an earlier query — the per-request "pool hit" detail a trace
+// records (the aggregate hit rate is ctrScorePoolGet vs
+// ctrScorePoolNew).
+type scoreMap struct {
+	m      map[int32]float64
+	reused bool
+}
+
 // scorePool recycles the per-query score accumulator maps; serving
 // workloads run Query at high rates and the map is the query's dominant
 // allocation.
 var scorePool = sync.Pool{
 	New: func() interface{} {
 		ctrScorePoolNew.Inc()
-		return make(map[int32]float64, 64)
+		return &scoreMap{m: make(map[int32]float64, 64)}
 	},
 }
 
@@ -240,6 +250,14 @@ type Result struct {
 // descending score order. The exclude predicate (may be nil) drops units
 // from the result, e.g. the query document's own segment.
 func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit int) bool) []Result {
+	return ix.QueryTraced(queryTF, topN, exclude, nil)
+}
+
+// QueryTraced is Query with request-scoped tracing: when tr is non-nil
+// it records one "index.query" event carrying the scan's candidate-set
+// width, result count, and whether the pooled score map was a reuse
+// (pool hit) or a fresh allocation. A nil tr costs one pointer check.
+func (ix *Index) QueryTraced(queryTF map[string]float64, topN int, exclude func(unit int) bool, tr *obs.Trace) []Result {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if topN <= 0 || len(ix.units) == 0 {
@@ -255,10 +273,13 @@ func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit i
 	}
 	sort.Strings(terms)
 	ctrScorePoolGet.Inc()
-	scores := scorePool.Get().(map[int32]float64)
+	sm := scorePool.Get().(*scoreMap)
+	poolHit := sm.reused
+	sm.reused = true
+	scores := sm.m
 	defer func() {
 		clear(scores)
-		scorePool.Put(scores)
+		scorePool.Put(sm)
 	}()
 	for _, term := range terms {
 		qf := queryTF[term]
@@ -288,9 +309,69 @@ func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit i
 	}
 	items := c.Results()
 	histQueryResults.Observe(int64(len(items)))
+	if tr != nil {
+		hit := int64(0)
+		if poolHit {
+			hit = 1
+		}
+		tr.Event("index.query",
+			obs.N("candidates", int64(len(scores))),
+			obs.N("results", int64(len(items))),
+			obs.N("pool_hit", hit))
+	}
 	out := make([]Result, len(items))
 	for i, it := range items {
 		out[i] = Result{Unit: it.ID, Score: it.Score}
+	}
+	return out
+}
+
+// TermScore is one term's share of a unit's query score: the Eq 9
+// product f_q(t) · w(t,unit) · pIDF(t) together with its factors, so a
+// ranking is auditable against the paper's scoring definition.
+type TermScore struct {
+	Term    string  `json:"term"`
+	QueryTF float64 `json:"query_tf"` // f_q(t): term frequency in the query segment
+	Weight  float64 `json:"weight"`   // w(t,unit): Eq 7/8 posting weight
+	IDF     float64 `json:"idf"`      // pIDF(t): Eq 9 smoothed inverse document frequency
+	Product float64 `json:"product"`  // QueryTF · Weight · IDF
+}
+
+// Explain decomposes the score Query would assign to one unit into its
+// per-term products, in sorted term order — the same factor values and
+// the same summation order Query uses, so summing the products
+// reproduces the unit's score bit-for-bit (the explain-mode
+// reconciliation tests rely on this). Terms contributing zero (absent
+// from the unit, or with zero pIDF) are omitted.
+func (ix *Index) Explain(queryTF map[string]float64, unit int) []TermScore {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if unit < 0 || unit >= len(ix.units) {
+		return nil
+	}
+	avgUnique := ix.avgUniqueLocked()
+	terms := make([]string, 0, len(queryTF))
+	for term := range queryTF {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	var out []TermScore
+	for _, term := range terms {
+		posts := ix.postings[term]
+		if len(posts) == 0 {
+			continue
+		}
+		tIDF := ix.idfLocked(term, len(posts))
+		if tIDF == 0 {
+			continue
+		}
+		i := sort.Search(len(posts), func(i int) bool { return int(posts[i].Unit) >= unit })
+		if i >= len(posts) || int(posts[i].Unit) != unit {
+			continue
+		}
+		qf := queryTF[term]
+		w := ix.weightLocked(posts[i], avgUnique)
+		out = append(out, TermScore{Term: term, QueryTF: qf, Weight: w, IDF: tIDF, Product: qf * w * tIDF})
 	}
 	return out
 }

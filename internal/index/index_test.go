@@ -351,3 +351,54 @@ func BenchmarkAdd(b *testing.B) {
 		ix.Add(terms)
 	}
 }
+
+func TestExplainReconcilesWithQuery(t *testing.T) {
+	// The explain contract at the index layer: for every unit Query
+	// scores, the sum of Explain's per-term products must reproduce the
+	// unit's score bit-for-bit (same factors, same summation order).
+	ix := buildIndex(
+		[]string{"disk", "click", "boot", "fail", "disk"},
+		[]string{"disk", "boot", "slow", "fan"},
+		[]string{"screen", "flicker", "driver", "driver"},
+		[]string{"disk", "fail", "smart", "error", "backup"},
+		[]string{"boot", "loop", "bios", "reset"},
+	)
+	for _, unit := range [][]string{
+		{"disk", "click", "boot", "fail", "disk"},
+		{"screen", "flicker", "driver", "driver"},
+	} {
+		q := TermFrequencies(unit)
+		results := ix.Query(q, 10, nil)
+		if len(results) == 0 {
+			t.Fatal("no results to explain")
+		}
+		for _, r := range results {
+			var sum float64
+			for _, ts := range ix.Explain(q, r.Unit) {
+				if ts.Product != ts.QueryTF*ts.Weight*ts.IDF {
+					t.Fatalf("unit %d term %q: product %v != %v·%v·%v",
+						r.Unit, ts.Term, ts.Product, ts.QueryTF, ts.Weight, ts.IDF)
+				}
+				sum += ts.Product
+			}
+			if sum != r.Score {
+				t.Fatalf("unit %d: explain sum %v != query score %v (Δ %g)",
+					r.Unit, sum, r.Score, math.Abs(sum-r.Score))
+			}
+		}
+	}
+}
+
+func TestExplainUnknownUnitAndTerms(t *testing.T) {
+	ix := buildIndex([]string{"a", "b"}, []string{"b", "c"})
+	if got := ix.Explain(TermFrequencies([]string{"a"}), -1); got != nil {
+		t.Fatalf("Explain(-1) = %v, want nil", got)
+	}
+	if got := ix.Explain(TermFrequencies([]string{"a"}), 99); got != nil {
+		t.Fatalf("Explain(out of range) = %v, want nil", got)
+	}
+	// A query of terms absent from the unit explains to an empty set.
+	if got := ix.Explain(TermFrequencies([]string{"zzz"}), 0); len(got) != 0 {
+		t.Fatalf("Explain(absent term) = %v, want empty", got)
+	}
+}

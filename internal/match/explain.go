@@ -1,0 +1,157 @@
+package match
+
+import (
+	"repro/internal/index"
+)
+
+// This file is the score-explainability layer: MatchExplained returns,
+// alongside the normal top-k result list, a decomposition of every
+// result's score into the Eq 7–9 quantities that produced it — one
+// contribution per intention cluster (the Algorithm 2 summand), and
+// inside each cluster one product per query term (f_q(t) · w(t,unit) ·
+// pIDF(t), the Eq 9 factors). The decomposition replays the exact
+// query path — same per-cluster lists, same top-n cutoff, same
+// threshold/normalization trim, same summation order — so the
+// contributions reconcile with the served score to float64 rounding
+// (the tests assert 1e-9), and a "why did post X rank above post Y"
+// question has a ground-truth answer.
+
+// TermContribution is one query term's share of a cluster contribution.
+// Contribution = QueryTF · Weight · IDF, divided by the list
+// normalization when MRConfig.NormalizeLists is set.
+type TermContribution struct {
+	Term         string  `json:"term"`
+	QueryTF      float64 `json:"query_tf"`
+	Weight       float64 `json:"weight"`
+	IDF          float64 `json:"idf"`
+	Contribution float64 `json:"contribution"`
+}
+
+// ClusterContribution is one intention cluster's share of a result's
+// score: the Algorithm 2 summand contributed by the reference
+// document's segment in this cluster, with its term-level breakdown.
+// Score equals the sum a concurrent-free Match would have added for
+// this (result, cluster) pair; the Terms products sum back to Score
+// (exactly when no list normalization is configured, to float64
+// rounding otherwise).
+type ClusterContribution struct {
+	Cluster int                `json:"cluster"`
+	Score   float64            `json:"score"`
+	Terms   []TermContribution `json:"terms"`
+}
+
+// Explanation decomposes one result's score. The cluster contributions
+// appear in the reference document's segment order — the order Match
+// sums them in — and their Scores sum to Score exactly.
+type Explanation struct {
+	DocID    int                   `json:"doc_id"`
+	Score    float64               `json:"score"`
+	Clusters []ClusterContribution `json:"clusters"`
+}
+
+// Explainer is implemented by matchers that can decompose their scores.
+// MR (per-intention-cluster contributions) and FullText (a single
+// whole-post pseudo-cluster) implement it; LDA does not — its
+// similarity is not an Eq 7–9 sum.
+type Explainer interface {
+	Matcher
+	// MatchExplained returns exactly what Match(docID, k) returns, plus
+	// one Explanation per result, index-aligned with the result list.
+	MatchExplained(docID, k int) ([]Result, []Explanation)
+}
+
+// MatchExplained implements Explainer: Match with the score
+// decomposition retained. It holds the read lock across both the query
+// replay and the decomposition, so the explanation is computed against
+// the same index state as the scores and reconciles bit-for-bit even
+// with concurrent Adds in flight.
+func (mr *MR) MatchExplained(docID, k int) ([]Result, []Explanation) {
+	if k <= 0 {
+		return nil, nil
+	}
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	if docID < 0 || docID >= len(mr.docSegs) {
+		return nil, nil
+	}
+	segs, lists, _ := mr.queryListsLocked(docID, k, nil)
+	trimmed := make([][]index.Result, len(segs))
+	norms := make([]float64, len(segs))
+	scores := make(map[int]float64)
+	for i, seg := range segs {
+		res, norm := mr.trimList(lists[i])
+		trimmed[i], norms[i] = res, norm
+		owners := mr.unitDoc[seg.cluster]
+		for _, r := range res {
+			scores[owners[r.Unit]] += r.Score / norm
+		}
+	}
+	out := topK(scores, k, docID)
+
+	exps := make([]Explanation, len(out))
+	for ri, r := range out {
+		exp := Explanation{DocID: r.DocID, Score: r.Score}
+		for i, seg := range segs {
+			owners := mr.unitDoc[seg.cluster]
+			for _, lr := range trimmed[i] {
+				if owners[lr.Unit] != r.DocID {
+					continue
+				}
+				// The refined index holds at most one unit per (doc,
+				// cluster), so this is the cluster's whole contribution.
+				exp.Clusters = append(exp.Clusters, ClusterContribution{
+					Cluster: seg.cluster,
+					Score:   lr.Score / norms[i],
+					Terms:   mr.termBreakdown(seg, lr.Unit, norms[i]),
+				})
+				break
+			}
+		}
+		exps[ri] = exp
+	}
+	return out, exps
+}
+
+// termBreakdown decomposes one (query segment, result unit) list score
+// into per-term Eq 9 products via the cluster index, applying the list
+// normalization divisor to each product.
+func (mr *MR) termBreakdown(seg docSeg, unit int, norm float64) []TermContribution {
+	terms := mr.clusters[seg.cluster].Explain(index.TermFrequencies(seg.terms), unit)
+	out := make([]TermContribution, len(terms))
+	for i, ts := range terms {
+		out[i] = TermContribution{
+			Term:         ts.Term,
+			QueryTF:      ts.QueryTF,
+			Weight:       ts.Weight,
+			IDF:          ts.IDF,
+			Contribution: ts.Product / norm,
+		}
+	}
+	return out
+}
+
+// MatchExplained implements Explainer for the whole-post baseline: the
+// score decomposes over a single pseudo-cluster 0 (the one
+// whole-collection index), with the full Eq 7–9 term breakdown.
+func (ft *FullText) MatchExplained(docID, k int) ([]Result, []Explanation) {
+	if docID < 0 || docID >= len(ft.terms) {
+		return nil, nil
+	}
+	q := index.TermFrequencies(ft.terms[docID])
+	res := ft.ix.Query(q, k, func(u int) bool { return u == docID })
+	out := make([]Result, len(res))
+	exps := make([]Explanation, len(res))
+	for i, r := range res {
+		out[i] = Result{DocID: r.Unit, Score: r.Score}
+		terms := ft.ix.Explain(q, r.Unit)
+		tcs := make([]TermContribution, len(terms))
+		for j, ts := range terms {
+			tcs[j] = TermContribution{Term: ts.Term, QueryTF: ts.QueryTF, Weight: ts.Weight, IDF: ts.IDF, Contribution: ts.Product}
+		}
+		exps[i] = Explanation{
+			DocID: r.Unit, Score: r.Score,
+			Clusters: []ClusterContribution{{Cluster: 0, Score: r.Score, Terms: tcs}},
+		}
+	}
+	return out, exps
+}

@@ -69,6 +69,10 @@ func (mr *MR) PrepareAdd(d *segment.Doc) *PendingAdd {
 	return &PendingAdd{mr: mr, numRanges: len(ranges), merged: merged}
 }
 
+// NumSegments returns how many segments the prepared document was split
+// into before the refinement merge (the add-path width a trace records).
+func (pa *PendingAdd) NumSegments() int { return pa.numRanges }
+
 // Commit indexes the prepared segments under the matcher's write lock and
 // returns the document id assigned to the new post. Document ids are
 // assigned in commit order. Commit must be called at most once.

@@ -415,6 +415,18 @@ func (mr *MR) Name() string { return mr.name }
 // full duration keeps the unit → document ownership tables consistent
 // with the cluster indices while a concurrent Add waits.
 func (mr *MR) Match(docID, k int) []Result {
+	return mr.MatchTraced(docID, k, nil)
+}
+
+// MatchTraced is Match with request-scoped tracing: a non-nil tr
+// records the per-stage progression of this one query — one
+// "match.list" event per intention-cluster list (cluster id, list
+// width, plus the "index.query" event the index itself records with
+// candidate width and pool-hit detail), then the Algorithm 2 merge
+// width and the final result count. A nil tr is the steady-state path
+// and costs a pointer check per hook (the Fig 11c benchmarks gate it
+// at 0 extra allocations).
+func (mr *MR) MatchTraced(docID, k int, tr *obs.Trace) []Result {
 	if k <= 0 {
 		return nil
 	}
@@ -424,41 +436,11 @@ func (mr *MR) Match(docID, k int) []Result {
 	if docID < 0 || docID >= len(mr.docSegs) {
 		return nil
 	}
-	n := mr.cfg.NFactor * k
-	if mr.cfg.ScoreThreshold > 0 {
-		// Threshold selection needs deeper lists to cut from.
-		n = 10 * k
-	}
-	segs := mr.docSegs[docID]
-	// Algorithm 1: each intention list is an independent index query, so
-	// they fan out. Each list lands in its own slot and the merge below
-	// walks them in segment order — float summation is not associative, so
-	// merge order must not depend on goroutine scheduling.
-	lists := make([][]index.Result, len(segs))
-	par.Do(len(segs), mr.cfg.Workers, func(i int) {
-		seg := segs[i]
-		own := seg.unit
-		lists[i] = mr.clusters[seg.cluster].Query(
-			index.TermFrequencies(seg.terms), n, func(u int) bool { return u == own })
-	})
+	segs, lists, _ := mr.queryListsLocked(docID, k, tr)
 	// Algorithm 2: sum the per-intention list scores per owning document.
 	scores := make(map[int]float64)
 	for i, seg := range segs {
-		res := lists[i]
-		if t := mr.cfg.ScoreThreshold; t > 0 && len(res) > 0 {
-			cut := t * res[0].Score
-			keep := res[:0]
-			for _, r := range res {
-				if r.Score >= cut {
-					keep = append(keep, r)
-				}
-			}
-			res = keep
-		}
-		norm := 1.0
-		if mr.cfg.NormalizeLists && len(res) > 0 && res[0].Score > 0 {
-			norm = res[0].Score
-		}
+		res, norm := mr.trimList(lists[i])
 		owners := mr.unitDoc[seg.cluster]
 		for _, r := range res {
 			scores[owners[r.Unit]] += r.Score / norm
@@ -466,9 +448,75 @@ func (mr *MR) Match(docID, k int) []Result {
 	}
 	histQueryLists.Observe(int64(len(segs)))
 	histQueryCandidates.Observe(int64(len(scores)))
+	// Guarded rather than relying on the nil-receiver no-op: the variadic
+	// attr slice would otherwise be built (and heap-allocated) on the
+	// untraced path too.
+	if tr != nil {
+		tr.Event("match.merge", obs.N("lists", int64(len(segs))), obs.N("candidates", int64(len(scores))))
+	}
 	out := topK(scores, k, docID)
+	if tr != nil {
+		tr.Event("match.topk", obs.N("results", int64(len(out))))
+	}
 	tm.Stop()
 	return out
+}
+
+// queryListsLocked runs Algorithm 1: one top-n index query per
+// intention cluster the reference document appears in, fanned out over
+// the worker pool. Callers must hold at least the read lock. The
+// returned lists are untrimmed (trimList applies the threshold cut and
+// normalization); n is the per-list depth used.
+// The results are deliberately unnamed: the par.Do closure reads segs,
+// lists, and n, and named results (assigned at every return) would be
+// captured by reference, costing one heap cell each per query on the
+// benchmark-gated hot path. Plain locals are captured by value.
+func (mr *MR) queryListsLocked(docID, k int, tr *obs.Trace) ([]docSeg, [][]index.Result, int) {
+	n := mr.cfg.NFactor * k
+	if mr.cfg.ScoreThreshold > 0 {
+		// Threshold selection needs deeper lists to cut from.
+		n = 10 * k
+	}
+	segs := mr.docSegs[docID]
+	// Algorithm 1: each intention list is an independent index query, so
+	// they fan out. Each list lands in its own slot and the merge walks
+	// them in segment order — float summation is not associative, so
+	// merge order must not depend on goroutine scheduling.
+	lists := make([][]index.Result, len(segs))
+	par.Do(len(segs), mr.cfg.Workers, func(i int) {
+		seg := segs[i]
+		own := seg.unit
+		lists[i] = mr.clusters[seg.cluster].QueryTraced(
+			index.TermFrequencies(seg.terms), n, func(u int) bool { return u == own }, tr)
+		if tr != nil {
+			tr.Event("match.list",
+				obs.N("cluster", int64(seg.cluster)),
+				obs.N("width", int64(len(lists[i]))))
+		}
+	})
+	return segs, lists, n
+}
+
+// trimList applies the Algorithm 2 list post-processing Match and
+// MatchExplained must agree on: the optional threshold cut (keep
+// results within ScoreThreshold of the list's best) and the optional
+// per-list normalization divisor.
+func (mr *MR) trimList(res []index.Result) ([]index.Result, float64) {
+	if t := mr.cfg.ScoreThreshold; t > 0 && len(res) > 0 {
+		cut := t * res[0].Score
+		keep := res[:0]
+		for _, r := range res {
+			if r.Score >= cut {
+				keep = append(keep, r)
+			}
+		}
+		res = keep
+	}
+	norm := 1.0
+	if mr.cfg.NormalizeLists && len(res) > 0 && res[0].Score > 0 {
+		norm = res[0].Score
+	}
+	return res, norm
 }
 
 // Stats returns the build-phase timing and size statistics.

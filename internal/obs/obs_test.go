@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -163,6 +164,109 @@ func TestDuplicateNamePanics(t *testing.T) {
 		}
 	}()
 	NewCounter("test.counter")
+}
+
+// TestDuplicateNamePanicsAcrossKinds pins that uniqueness is enforced
+// per name, not per metric kind: a gauge, histogram, or span reusing a
+// counter's name is the same programming error.
+func TestDuplicateNamePanicsAcrossKinds(t *testing.T) {
+	for _, tc := range []struct {
+		kind string
+		new  func()
+	}{
+		{"gauge", func() { NewGauge("test.counter") }},
+		{"histogram", func() { NewHistogram("test.counter", []int64{1}) }},
+		{"span", func() { NewSpan("test.counter") }},
+		{"counter vs gauge", func() { NewCounter("test.gauge") }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with a taken name did not panic", tc.kind)
+				}
+			}()
+			tc.new()
+		}()
+	}
+	// The failed registrations must not have corrupted the registry: the
+	// original metrics still snapshot under their names.
+	snap := Default.Snapshot()
+	if _, ok := snap.Counters["test.counter"]; !ok {
+		t.Fatal("registry lost test.counter after duplicate registration attempts")
+	}
+	if _, ok := snap.Gauges["test.gauge"]; !ok {
+		t.Fatal("registry lost test.gauge after duplicate registration attempts")
+	}
+}
+
+func TestFmtNS(t *testing.T) {
+	for _, tc := range []struct {
+		ns   float64
+		want string
+	}{
+		{0, "0ns"},                   // zero stays in the ns band
+		{1, "1ns"},                   // sub-µs
+		{999, "999ns"},               // just below the µs band
+		{1000, "1.0µs"},              // µs band lower edge
+		{1500, "1.5µs"},              //
+		{999_999, "1000.0µs"},        // rounds within the µs band
+		{1_000_000, "1.00ms"},        // ms band
+		{999_999_999, "1000.00ms"},   // just below the s band
+		{1_000_000_000, "1.00s"},     // >1s
+		{8_600_000_000, "8.60s"},     // top of the DurationBounds range
+		{123_456_789_000, "123.46s"}, // far above any bucket
+	} {
+		if got := fmtNS(tc.ns); got != tc.want {
+			t.Errorf("fmtNS(%v) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestSummaryLines(t *testing.T) {
+	withEnabled(t)
+	testCounter.Inc()
+	testGauge.Set(7)
+	testHist.Observe(50)
+	testSpan.Record(3 * time.Millisecond)
+	lines := Default.Snapshot().SummaryLines()
+	if len(lines) == 0 {
+		t.Fatal("no summary lines")
+	}
+	// One line per metric; each metric kind renders its own shape.
+	var haveCounter, haveGauge, haveHist, haveSpan bool
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "counter ") && strings.Contains(l, "test.counter"):
+			haveCounter = true
+		case strings.HasPrefix(l, "gauge ") && strings.Contains(l, "test.gauge"):
+			haveGauge = true
+			if !strings.Contains(l, " 7") {
+				t.Errorf("gauge line missing value: %q", l)
+			}
+		case strings.HasPrefix(l, "hist ") && strings.Contains(l, "test.hist"):
+			haveHist = true
+			for _, field := range []string{"count=", "mean=", "p50=", "p99="} {
+				if !strings.Contains(l, field) {
+					t.Errorf("hist line missing %s: %q", field, l)
+				}
+			}
+		case strings.HasPrefix(l, "span ") && strings.Contains(l, "test.span"):
+			haveSpan = true
+			if !strings.Contains(l, "total=") || !strings.Contains(l, "ms") {
+				t.Errorf("span line missing formatted durations: %q", l)
+			}
+		}
+	}
+	if !haveCounter || !haveGauge || !haveHist || !haveSpan {
+		t.Fatalf("summary missing a metric kind (counter=%v gauge=%v hist=%v span=%v):\n%s",
+			haveCounter, haveGauge, haveHist, haveSpan, strings.Join(lines, "\n"))
+	}
+	// Lines are sorted by metric name (the 8-column name field).
+	for i := 1; i < len(lines); i++ {
+		if lines[i][8:] < lines[i-1][8:] {
+			t.Fatalf("summary lines not sorted by name:\n%s\n%s", lines[i-1], lines[i])
+		}
+	}
 }
 
 func TestSnapshotJSONShape(t *testing.T) {

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) so the registry is scrapeable by standard monitoring
+// stacks without any client-library dependency. The JSON snapshot stays
+// the native format; GET /metrics content-negotiates between the two.
+//
+// Mapping:
+//
+//	Counter    → "# TYPE <name>_total counter" + one sample
+//	Gauge      → "# TYPE <name> gauge" + one sample
+//	Histogram/ → "# TYPE <name> histogram" + cumulative <name>_bucket
+//	Span         samples (le="<bound>", always ending in le="+Inf"),
+//	             <name>_sum, and <name>_count
+//
+// Metric names are sanitized to the Prometheus charset (dots and any
+// other illegal runes become underscores: core.related →
+// core_related). Spans render like histograms; their unit is
+// nanoseconds, as documented in the README glossary.
+
+// PrometheusContentType is the Content-Type of the text exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Output is deterministic: metrics appear in name order within
+// each section (counters, gauges, histograms, spans).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	pw := &promWriter{w: w}
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name) + "_total"
+		pw.printf("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		pw.printf("# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		pw.histogram(promName(name), s.Histograms[name])
+	}
+	for _, name := range sortedKeys(s.Spans) {
+		pw.histogram(promName(name), s.Spans[name])
+	}
+	return pw.err
+}
+
+// promWriter accumulates the first write error so the render loop stays
+// linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (pw *promWriter) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// histogram renders one histogram (or span) metric: cumulative buckets
+// over the non-empty bounds, a final +Inf bucket equal to the total
+// count, then _sum and _count. The snapshot's buckets are non-empty and
+// non-cumulative by construction; the running sum restores the
+// cumulative form Prometheus requires.
+func (pw *promWriter) histogram(pn string, h HistogramSnapshot) {
+	pw.printf("# TYPE %s histogram\n", pn)
+	var cum int64
+	for _, b := range h.Buckets {
+		if b.LE == math.MaxInt64 {
+			continue // the overflow bucket is the +Inf sample below
+		}
+		cum += b.Count
+		pw.printf("%s_bucket{le=\"%d\"} %d\n", pn, b.LE, cum)
+	}
+	pw.printf("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+	pw.printf("%s_sum %d\n", pn, h.Sum)
+	pw.printf("%s_count %d\n", pn, h.Count)
+}
+
+// promName sanitizes a registry metric name into the Prometheus metric
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenSnapshot is a hand-built snapshot covering every metric kind
+// and the rendering edge cases: name sanitization (dots, leading
+// digit), the overflow bucket folding into +Inf, empty histograms, and
+// cumulative bucket restoration.
+func goldenSnapshot() Snapshot {
+	return Snapshot{
+		Counters: map[string]int64{
+			"http.related.requests": 1234,
+			"http.errors":           0,
+		},
+		Gauges: map[string]int64{
+			"core.docs":          200,
+			"runtime.heap_bytes": 52428800,
+		},
+		Histograms: map[string]HistogramSnapshot{
+			"match.query.candidates": {
+				Count: 10, Sum: 620, Mean: 62, P50: 48, P90: 112, P99: 126,
+				Max: 128,
+				Buckets: []BucketCount{
+					{LE: 16, Count: 2},
+					{LE: 64, Count: 5},
+					{LE: 128, Count: 3},
+				},
+			},
+			"empty.hist": {},
+			"9starts.with.digit": {
+				Count: 3, Sum: 3, Mean: 1, P50: 1, P90: 1, P99: 1, Max: math.MaxInt64,
+				Buckets: []BucketCount{
+					{LE: 1, Count: 2},
+					{LE: math.MaxInt64, Count: 1}, // overflow bucket → +Inf only
+				},
+			},
+		},
+		Spans: map[string]HistogramSnapshot{
+			"core.related": {
+				Count: 4, Sum: 5_000_000, Mean: 1_250_000,
+				P50: 900_000, P90: 2_000_000, P99: 2_400_000, Max: 2_097_152,
+				Buckets: []BucketCount{
+					{LE: 1_048_576, Count: 3},
+					{LE: 2_097_152, Count: 1},
+				},
+			},
+		},
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenSnapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("prometheus exposition drifted from %s (rerun with -update if intentional):\n--- want\n%s\n--- got\n%s", path, want, got)
+	}
+}
+
+func TestWritePrometheusInvariants(t *testing.T) {
+	var b strings.Builder
+	if err := goldenSnapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Counters gain the _total suffix; names are sanitized.
+	for _, want := range []string{
+		"# TYPE http_related_requests_total counter",
+		"http_related_requests_total 1234",
+		"# TYPE core_docs gauge",
+		"# TYPE match_query_candidates histogram",
+		`match_query_candidates_bucket{le="+Inf"} 10`,
+		"match_query_candidates_sum 620",
+		"match_query_candidates_count 10",
+		"# TYPE core_related histogram",
+		"_starts_with_digit_bucket", // leading digit sanitized
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "9starts") {
+		t.Error("leading digit not sanitized")
+	}
+	if strings.Contains(out, "MaxInt64") || strings.Contains(out, "9223372036854775807") {
+		t.Error("overflow bucket leaked a finite le=MaxInt64 sample")
+	}
+	// Cumulative buckets: last finite bucket ≤ +Inf bucket == count.
+	if !strings.Contains(out, `match_query_candidates_bucket{le="16"} 2`) ||
+		!strings.Contains(out, `match_query_candidates_bucket{le="64"} 7`) ||
+		!strings.Contains(out, `match_query_candidates_bucket{le="128"} 10`) {
+		t.Errorf("buckets not cumulative:\n%s", out)
+	}
+}
+
+func TestWritePrometheusLiveRegistryParses(t *testing.T) {
+	// The real registry (every metric the process registered) must render
+	// without error and with every line shaped like a comment or a
+	// "name{labels} value" sample.
+	withEnabled(t)
+	testCounter.Inc()
+	testHist.Observe(50)
+	testSpan.Record(1_000_000)
+	var b strings.Builder
+	if err := Default.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}

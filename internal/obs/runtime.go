@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime health gauges: process-level vitals next to the pipeline's
+// own metrics, so one /metrics scrape answers "is the process healthy"
+// as well as "is the pipeline fast". Registered at package init like
+// every other metric; they read zero until a poller runs.
+var (
+	gaugeGoroutines = NewGauge("runtime.goroutines")
+	gaugeHeapBytes  = NewGauge("runtime.heap_bytes")
+	gaugeGCCount    = NewGauge("runtime.gc_count")
+)
+
+// StartRuntimePoller samples runtime.NumGoroutine and runtime.MemStats
+// into the runtime.* gauges every interval (1s when 0) until the
+// returned stop function is called. cmd/serve starts one at boot; tests
+// start and stop their own. Stop is idempotent and waits for the
+// polling goroutine to exit.
+func StartRuntimePoller(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	pollRuntimeGauges() // populate immediately; the ticker only refreshes
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				pollRuntimeGauges()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}
+
+// pollRuntimeGauges reads the runtime vitals once. ReadMemStats
+// stop-the-worlds briefly (microseconds at serving heap sizes), which
+// is why sampling is a background poller instead of a per-scrape read.
+func pollRuntimeGauges() {
+	gaugeGoroutines.Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gaugeHeapBytes.Set(int64(ms.HeapAlloc))
+	gaugeGCCount.Set(int64(ms.NumGC))
+}

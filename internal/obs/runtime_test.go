@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuntimePollerPopulatesGauges(t *testing.T) {
+	withEnabled(t)
+	stop := StartRuntimePoller(10 * time.Millisecond)
+	defer stop()
+	// The poller samples once synchronously at start.
+	if gaugeGoroutines.Value() <= 0 {
+		t.Fatalf("runtime.goroutines = %d, want > 0", gaugeGoroutines.Value())
+	}
+	if gaugeHeapBytes.Value() <= 0 {
+		t.Fatalf("runtime.heap_bytes = %d, want > 0", gaugeHeapBytes.Value())
+	}
+	if gaugeGCCount.Value() < 0 {
+		t.Fatalf("runtime.gc_count = %d, want >= 0", gaugeGCCount.Value())
+	}
+	snap := Default.Snapshot()
+	for _, name := range []string{"runtime.goroutines", "runtime.heap_bytes", "runtime.gc_count"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("snapshot missing gauge %q", name)
+		}
+	}
+	// Stop is idempotent and does not deadlock.
+	stop()
+	stop()
+}

@@ -7,23 +7,40 @@
 //
 // Endpoints:
 //
-//	POST /related        {"doc_id": 3, "k": 5}  → top-k related posts
+//	POST /related        {"doc_id": 3, "k": 5}  → top-k related posts;
+//	                     {"explain": true} adds the Eq 7–9 score
+//	                     decomposition to each result
 //	POST /add            {"text": "<raw post>"} → new document id
 //	GET  /stats          offline BuildStats + Table 3 granularity
-//	GET  /metrics        obs registry snapshot (counters, gauges,
-//	                     histograms, spans) as JSON
+//	GET  /metrics        obs registry snapshot as JSON, or Prometheus
+//	                     text exposition with ?format=prometheus or
+//	                     Accept: text/plain
+//	GET  /debug/traces   recent request traces (sampled + slow-captured)
 //	GET  /healthz        liveness probe
 //	GET  /debug/pprof/   net/http/pprof profiles
+//
+// Each query and ingestion request passes through the server's
+// obs.Tracer: rate-sampled or slow-captured requests record per-stage
+// events (candidate-list widths, pool hits, merge sizes) retained in a
+// bounded ring for /debug/traces. Every API request emits one
+// structured JSON access-log line (log/slog) carrying the trace id,
+// endpoint, status, latency, and the request's doc_id/k/result count.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/match"
 	"repro/internal/obs"
 )
 
@@ -33,9 +50,12 @@ import (
 // monotone quantities the stress test asserts across /metrics scrapes.
 var (
 	ctrRelatedRequests = obs.NewCounter("http.related.requests")
+	ctrExplainRequests = obs.NewCounter("http.related.explained")
 	ctrAddRequests     = obs.NewCounter("http.add.requests")
 	ctrMetricsRequests = obs.NewCounter("http.metrics.requests")
 	ctrStatsRequests   = obs.NewCounter("http.stats.requests")
+	ctrTraceRequests   = obs.NewCounter("http.traces.requests")
+	ctrTracesStarted   = obs.NewCounter("http.traces.started")
 	ctrErrors          = obs.NewCounter("http.errors")
 )
 
@@ -43,24 +63,69 @@ var (
 // megabyte leaves two orders of magnitude of headroom.
 const maxBodyBytes = 1 << 20
 
+// maxExplainTerms caps the per-cluster term breakdown in a /related
+// explain response. Long posts touch hundreds of index terms whose
+// contributions are individually negligible; the response keeps the
+// largest by |contribution| and reports how many were elided (the
+// cluster's Score always remains the full, unelided sum).
+const maxExplainTerms = 16
+
+// Config sets the server's observability policy. The zero value serves
+// with no access log, no rate-sampled traces, and slow-query capture at
+// threshold 0 — i.e. every query and add request is captured into the
+// trace ring. That default suits tests (deterministic capture);
+// cmd/serve passes explicit flags.
+type Config struct {
+	// Logger receives one structured access-log record per API request.
+	// nil disables access logging.
+	Logger *slog.Logger
+	// TraceRate is the rate-sampling budget: up to this many requests per
+	// second get a trace regardless of latency. 0 disables rate sampling.
+	TraceRate int
+	// SlowQuery is the always-capture threshold: every request at least
+	// this slow is captured. 0 captures every request; negative disables
+	// slow capture (leaving only rate-sampled traces).
+	SlowQuery time.Duration
+	// TraceRingSize bounds the retained traces (256 when 0).
+	TraceRingSize int
+}
+
 // Server serves one built pipeline over HTTP. All handlers are safe for
 // arbitrary concurrency: they only touch the pipeline through its
-// locked public surface and the obs registry through atomic snapshots.
+// locked public surface, the obs registry through atomic snapshots, and
+// the trace ring through atomic pointer loads.
 type Server struct {
-	p   *core.Pipeline
-	mux *http.ServeMux
+	p      *core.Pipeline
+	mux    *http.ServeMux
+	log    *slog.Logger
+	tracer *obs.Tracer
 }
 
 // New wraps a built pipeline in an HTTP server. The pprof handlers are
 // registered on the server's own mux (not http.DefaultServeMux), so
-// binaries embedding several servers do not collide.
-func New(p *core.Pipeline) *Server {
-	s := &Server{p: p, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /related", s.handleRelated)
-	s.mux.HandleFunc("POST /add", s.handleAdd)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+// binaries embedding several servers do not collide. The tracer is
+// per-server for the same reason: tests run isolated trace rings side
+// by side.
+func New(p *core.Pipeline, cfg Config) *Server {
+	s := &Server{
+		p:   p,
+		mux: http.NewServeMux(),
+		log: cfg.Logger,
+		tracer: obs.NewTracer(obs.TracerConfig{
+			PerSecond: cfg.TraceRate,
+			SlowQuery: cfg.SlowQuery,
+			RingSize:  cfg.TraceRingSize,
+		}),
+	}
+	// The query and ingestion paths are traced; the read-only
+	// introspection endpoints only get the access log (tracing a
+	// /metrics scrape would fill the ring with noise).
+	s.mux.HandleFunc("POST /related", s.observe("/related", true, s.handleRelated))
+	s.mux.HandleFunc("POST /add", s.observe("/add", true, s.handleAdd))
+	s.mux.HandleFunc("GET /metrics", s.observe("/metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("GET /stats", s.observe("/stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.observe("/healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /debug/traces", s.observe("/debug/traces", false, s.handleTraces))
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -72,16 +137,133 @@ func New(p *core.Pipeline) *Server {
 // Handler returns the server's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// statusWriter remembers the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// reqInfo carries per-request facts from a handler back to the access
+// log: which document was asked about, with what k, and how many
+// results came back. Handlers fill it through the request context; the
+// set flags distinguish "not applicable to this endpoint" from real
+// values (a 404 for a negative doc_id still logs the id asked for).
+type reqInfo struct {
+	docID, k, results        int
+	hasDoc, hasK, hasResults bool
+}
+
+type reqInfoKey struct{}
+
+// infoFrom returns the middleware-installed reqInfo, or nil for a
+// handler invoked outside observe (direct tests).
+func infoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// observe wraps a handler with the request-scoped observability: a
+// Trace from the server's tracer (for traced endpoints) carried via the
+// context into the pipeline, and one structured access-log record on
+// the way out.
+func (s *Server) observe(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		info := &reqInfo{}
+		ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
+		var tr *obs.Trace
+		if traced {
+			if tr = s.tracer.Start(); tr != nil {
+				ctx = obs.WithTrace(ctx, tr)
+			}
+		}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+		if tr != nil {
+			dur = s.tracer.Finish(tr)
+			ctrTracesStarted.Inc()
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if s.log != nil {
+			attrs := make([]slog.Attr, 0, 8)
+			attrs = append(attrs,
+				slog.String("endpoint", endpoint),
+				slog.Int("status", sw.status),
+				slog.Int64("latency_ns", int64(dur)),
+			)
+			if id := tr.ID(); id != "" {
+				attrs = append(attrs, slog.String("trace_id", id))
+			}
+			if info.hasDoc {
+				attrs = append(attrs, slog.Int("doc_id", info.docID))
+			}
+			if info.hasK {
+				attrs = append(attrs, slog.Int("k", info.k))
+			}
+			if info.hasResults {
+				attrs = append(attrs, slog.Int("results", info.results))
+			}
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	}
+}
+
 // RelatedRequest is the POST /related payload.
 type RelatedRequest struct {
 	DocID int `json:"doc_id"`
 	K     int `json:"k"` // 0 → default 5, capped at 100
+	// Explain adds the Eq 7–9 score decomposition to every result:
+	// per-intention-cluster contributions and the term-level
+	// tf·weight·idf products behind them.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// TermExplain is one term's contribution to a cluster score:
+// Contribution = QueryTF · Weight · IDF (Eq 9's summand over Eq 7/8's
+// weight), scaled by the result list's normalizer when NormalizeLists
+// is configured.
+type TermExplain struct {
+	Term         string  `json:"term"`
+	QueryTF      float64 `json:"query_tf"`
+	Weight       float64 `json:"weight"`
+	IDF          float64 `json:"idf"`
+	Contribution float64 `json:"contribution"`
+}
+
+// ClusterExplain is one intention cluster's contribution to a result's
+// score. Score is the full contribution; Terms holds the largest term
+// products (at most maxExplainTerms, by |contribution|), and
+// OmittedTerms counts elided ones — so Σ Terms[i].Contribution equals
+// Score only when OmittedTerms is 0.
+type ClusterExplain struct {
+	Cluster      int           `json:"cluster"`
+	Score        float64       `json:"score"`
+	Terms        []TermExplain `json:"terms"`
+	OmittedTerms int           `json:"omitted_terms,omitempty"`
 }
 
 // RelatedResult is one entry of a RelatedResponse.
 type RelatedResult struct {
-	DocID int     `json:"doc_id"`
-	Score float64 `json:"score"`
+	DocID   int              `json:"doc_id"`
+	Score   float64          `json:"score"`
+	Explain []ClusterExplain `json:"explain,omitempty"`
 }
 
 // RelatedResponse is the POST /related reply.
@@ -99,6 +281,11 @@ type AddRequest struct {
 // AddResponse is the POST /add reply.
 type AddResponse struct {
 	DocID int `json:"doc_id"`
+}
+
+// TracesResponse is the GET /debug/traces reply, most recent first.
+type TracesResponse struct {
+	Traces []obs.TraceRecord `json:"traces"`
 }
 
 // StatsResponse is the GET /stats reply: the offline build breakdown
@@ -134,18 +321,81 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be in [1,100]")
 		return
 	}
+	if info := infoFrom(r.Context()); info != nil {
+		info.docID, info.hasDoc = req.DocID, true
+		info.k, info.hasK = req.K, true
+	}
 	// Doc validates the id under the pipeline lock, distinguishing a
 	// 404 from an empty (but valid) result list.
 	if s.p.Doc(req.DocID) == nil {
 		writeError(w, http.StatusNotFound, "unknown doc_id")
 		return
 	}
-	results := s.p.Related(req.DocID, req.K)
-	resp := RelatedResponse{DocID: req.DocID, K: req.K, Results: make([]RelatedResult, len(results))}
-	for i, res := range results {
-		resp.Results[i] = RelatedResult{DocID: res.DocID, Score: res.Score}
+	resp := RelatedResponse{DocID: req.DocID, K: req.K}
+	if req.Explain {
+		ctrExplainRequests.Inc()
+		results, exps, err := s.p.RelatedExplained(req.DocID, req.K)
+		if err != nil {
+			// Well-formed request, but this pipeline's scores are not an
+			// Eq 7–9 sum (LDA) — same contract as unsupported /add.
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		resp.Results = make([]RelatedResult, len(results))
+		for i, res := range results {
+			resp.Results[i] = RelatedResult{
+				DocID:   res.DocID,
+				Score:   res.Score,
+				Explain: explainClusters(exps[i]),
+			}
+		}
+	} else {
+		results := s.p.RelatedContext(r.Context(), req.DocID, req.K)
+		resp.Results = make([]RelatedResult, len(results))
+		for i, res := range results {
+			resp.Results[i] = RelatedResult{DocID: res.DocID, Score: res.Score}
+		}
+	}
+	if info := infoFrom(r.Context()); info != nil {
+		info.results, info.hasResults = len(resp.Results), true
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainClusters converts one match.Explanation into its wire form,
+// truncating each cluster's term list to the maxExplainTerms largest
+// contributions by magnitude (ties broken by term, for determinism).
+// The cluster Score is never truncated — it remains the exact
+// contribution that sums to the served score.
+func explainClusters(exp match.Explanation) []ClusterExplain {
+	out := make([]ClusterExplain, len(exp.Clusters))
+	for i, c := range exp.Clusters {
+		ce := ClusterExplain{Cluster: c.Cluster, Score: c.Score}
+		terms := make([]TermExplain, len(c.Terms))
+		for j, t := range c.Terms {
+			terms[j] = TermExplain{
+				Term:         t.Term,
+				QueryTF:      t.QueryTF,
+				Weight:       t.Weight,
+				IDF:          t.IDF,
+				Contribution: t.Contribution,
+			}
+		}
+		sort.Slice(terms, func(a, b int) bool {
+			ca, cb := math.Abs(terms[a].Contribution), math.Abs(terms[b].Contribution)
+			if ca != cb {
+				return ca > cb
+			}
+			return terms[a].Term < terms[b].Term
+		})
+		if len(terms) > maxExplainTerms {
+			ce.OmittedTerms = len(terms) - maxExplainTerms
+			terms = terms[:maxExplainTerms]
+		}
+		ce.Terms = terms
+		out[i] = ce
+	}
+	return out
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -158,19 +408,49 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "text must be non-empty")
 		return
 	}
-	id, err := s.p.Add(req.Text)
+	id, err := s.p.AddContext(r.Context(), req.Text)
 	if err != nil {
 		// Whole-post methods cannot ingest incrementally; the request is
 		// well-formed but unsupported by this pipeline configuration.
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	if info := infoFrom(r.Context()); info != nil {
+		info.docID, info.hasDoc = id, true
+	}
 	writeJSON(w, http.StatusOK, AddResponse{DocID: id})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ctrMetricsRequests.Inc()
-	writeJSON(w, http.StatusOK, obs.Default.Snapshot())
+	snap := obs.Default.Snapshot()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WritePrometheus(w) // client went away; nothing useful to do
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format=prometheus (or ?format=json) query parameter wins; otherwise
+// an Accept header preferring text/plain — what Prometheus's scraper
+// sends — selects the text exposition, and everything else gets JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain")
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ctrTraceRequests.Inc()
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.tracer.Snapshot()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -32,9 +32,17 @@ var testPipeline = sync.OnceValue(func() *core.Pipeline {
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
+	return newTestServerCfg(t, Config{})
+}
+
+// newTestServerCfg serves the shared test pipeline with a specific
+// observability configuration (each server has its own tracer and
+// logger; only the obs registry is process-global).
+func newTestServerCfg(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
 	obs.Enable()
 	t.Cleanup(obs.Disable)
-	ts := httptest.NewServer(New(testPipeline()).Handler())
+	ts := httptest.NewServer(New(testPipeline(), cfg).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -187,7 +195,7 @@ func TestAddUnsupportedMethod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(p).Handler())
+	ts := httptest.NewServer(New(p, Config{}).Handler())
 	defer ts.Close()
 	resp, body := postJSON(t, ts.URL+"/add", `{"text": "hello world"}`)
 	if resp.StatusCode != http.StatusUnprocessableEntity {

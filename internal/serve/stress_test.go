@@ -39,7 +39,9 @@ func TestServeStress(t *testing.T) {
 	}
 	extra := texts[base:]
 
-	ts := httptest.NewServer(New(p).Handler())
+	// SlowQuery 0 → every /related and /add request is captured into the
+	// trace ring, the densest configuration for the trace scraper below.
+	ts := httptest.NewServer(New(p, Config{SlowQuery: 0}).Handler())
 	defer ts.Close()
 	client := ts.Client()
 
@@ -47,9 +49,11 @@ func TestServeStress(t *testing.T) {
 		queryWorkers  = 6
 		addWorkers    = 2
 		scrapeWorkers = 2
+		traceWorkers  = 2
 		queriesEach   = 120
 		addsEach      = 25
 		scrapesEach   = 60
+		traceScrapes  = 60
 	)
 	var (
 		wg       sync.WaitGroup
@@ -207,6 +211,67 @@ func TestServeStress(t *testing.T) {
 		}()
 	}
 
+	// Trace scrapers: /debug/traces must never serve a torn trace while
+	// queries and adds publish into the ring concurrently. Within one
+	// scrape every trace id is unique and every trace's events are
+	// monotone in At (the trace-side lock guarantees the stored order);
+	// across scrapes a re-seen id must carry the identical record
+	// (published traces are immutable).
+	for w := 0; w < traceWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := map[string]string{} // trace id → canonical JSON
+			for i := 0; i < traceScrapes; i++ {
+				resp, err := client.Get(ts.URL + "/debug/traces")
+				if err != nil {
+					fail("traces: %v", err)
+					return
+				}
+				var tres TracesResponse
+				err = json.NewDecoder(resp.Body).Decode(&tres)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("traces: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				ids := map[string]bool{}
+				for _, rec := range tres.Traces {
+					if rec.ID == "" {
+						fail("traces: record with empty id")
+						return
+					}
+					if ids[rec.ID] {
+						fail("traces: id %s appears twice in one scrape", rec.ID)
+						return
+					}
+					ids[rec.ID] = true
+					if rec.DurationNS <= 0 {
+						fail("traces: %s has non-positive duration %d", rec.ID, rec.DurationNS)
+						return
+					}
+					for j := 1; j < len(rec.Events); j++ {
+						if rec.Events[j].At < rec.Events[j-1].At {
+							fail("traces: %s events not monotone: %v after %v",
+								rec.ID, rec.Events[j].At, rec.Events[j-1].At)
+							return
+						}
+					}
+					body, err := json.Marshal(rec)
+					if err != nil {
+						fail("traces: re-marshal: %v", err)
+						return
+					}
+					if prev, ok := seen[rec.ID]; ok && prev != string(body) {
+						fail("traces: id %s changed between scrapes:\n%s\nvs\n%s", rec.ID, prev, body)
+						return
+					}
+					seen[rec.ID] = string(body)
+				}
+			}
+		}()
+	}
+
 	wg.Wait()
 	if failures.Load() > 0 {
 		t.Fatalf("%d failures under concurrent serve load", failures.Load())
@@ -224,6 +289,10 @@ func TestServeStress(t *testing.T) {
 	}
 	if got := snap.Spans["match.add.commit"].Count; got < wantAdds {
 		t.Errorf("match.add.commit count = %d, want ≥ %d", got, wantAdds)
+	}
+	// SlowQuery 0 arms a speculative trace on every /related and /add.
+	if got := snap.Counters["http.traces.started"]; got < wantQueries+wantAdds {
+		t.Errorf("http.traces.started = %d, want ≥ %d", got, wantQueries+wantAdds)
 	}
 	var st core.Stats = p.Stats()
 	if st.NumDocs != base+int(wantAdds) {

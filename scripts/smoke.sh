@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# smoke.sh — end-to-end smoke test of the serving binary: build
+# cmd/serve, start it on a synthetic corpus, curl every endpoint, and
+# assert status codes and body shapes. CI runs this as its own job; it
+# is also the quickest local sanity check after touching the serve
+# layer:
+#
+#   scripts/smoke.sh            # ~15s: build + serve + 12 endpoint probes
+#
+# Checks JSON bodies with python3 (stdlib only), so the script needs no
+# tooling beyond go, curl, and python3.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)/serve"
+LOG="$(mktemp)"
+
+cleanup() {
+    [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")" "$LOG"
+}
+trap cleanup EXIT
+
+echo "== build" >&2
+go build -o "$BIN" ./cmd/serve
+
+echo "== start (200 synthetic posts, trace everything)" >&2
+"$BIN" -addr "127.0.0.1:$PORT" -domain tech -n 200 -seed 42 -trace-slow 0 2>"$LOG" &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server died during startup:" >&2; cat "$LOG" >&2; exit 1
+    fi
+    sleep 0.3
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "server never became healthy" >&2; cat "$LOG" >&2; exit 1; }
+
+fail=0
+check() { # check <name> <expected-status> <curl args...>
+    local name="$1" want="$2"; shift 2
+    local got
+    got="$(curl -s -o /tmp/smoke_body -w '%{http_code}' "$@")"
+    if [[ "$got" != "$want" ]]; then
+        echo "FAIL $name: status $got, want $want" >&2
+        head -c 400 /tmp/smoke_body >&2; echo >&2
+        fail=1
+    else
+        echo "ok   $name" >&2
+    fi
+}
+json() { # json <name> <python expr over parsed body `b`>
+    local name="$1" expr="$2"
+    if python3 -c "import json,sys; b=json.load(open('/tmp/smoke_body')); sys.exit(0 if ($expr) else 1)"; then
+        echo "ok   $name" >&2
+    else
+        echo "FAIL $name: assertion '$expr' on:" >&2
+        head -c 400 /tmp/smoke_body >&2; echo >&2
+        fail=1
+    fi
+}
+
+check "POST /related" 200 -X POST "$BASE/related" -d '{"doc_id": 3, "k": 5}'
+json  "  results present" "b['doc_id'] == 3 and 1 <= len(b['results']) <= 5"
+json  "  scores descending" "all(b['results'][i]['score'] >= b['results'][i+1]['score'] for i in range(len(b['results'])-1))"
+
+check "POST /related explain" 200 -X POST "$BASE/related" -d '{"doc_id": 3, "k": 5, "explain": true}'
+json  "  explain reconciles" "all(abs(sum(c['score'] for c in r['explain']) - r['score']) < 1e-9 for r in b['results'])"
+
+check "POST /related 404" 404 -X POST "$BASE/related" -d '{"doc_id": 99999}'
+check "POST /related 400" 400 -X POST "$BASE/related" -d '{"doc_id": 0, "k": 500}'
+
+check "POST /add" 200 -X POST "$BASE/add" -d '{"text": "My printer shows a paper jam error after the firmware update. How do I clear it?"}'
+json  "  new id past corpus" "b['doc_id'] >= 200"
+
+check "GET /stats" 200 "$BASE/stats"
+json  "  build phases" "b['num_docs'] >= 200 and b['num_clusters'] > 0 and 'segmentation' in b['phase_ns']"
+
+check "GET /metrics (json)" 200 "$BASE/metrics"
+json  "  counters served" "b['counters']['http.related.requests'] >= 4"
+
+check "GET /metrics (prometheus)" 200 "$BASE/metrics?format=prometheus"
+grep -q '^# TYPE http_related_requests_total counter$' /tmp/smoke_body || { echo "FAIL prometheus exposition body" >&2; fail=1; }
+grep -q '^runtime_goroutines ' /tmp/smoke_body || { echo "FAIL runtime gauges missing from prometheus body" >&2; fail=1; }
+
+check "GET /metrics (Accept negotiation)" 200 -H 'Accept: text/plain' "$BASE/metrics"
+grep -q '^# TYPE ' /tmp/smoke_body || { echo "FAIL Accept: text/plain did not negotiate prometheus" >&2; fail=1; }
+
+check "GET /debug/traces" 200 "$BASE/debug/traces"
+json  "  traces captured" "len(b['traces']) >= 5 and all(t['id'] and t['duration_ns'] > 0 for t in b['traces'])"
+json  "  trace events monotone" "all(all(e[i]['at_ns'] <= e[i+1]['at_ns'] for i in range(len(e)-1)) for t in b['traces'] for e in [t['events'] or []])"
+
+check "GET /healthz" 200 "$BASE/healthz"
+check "GET /debug/pprof/" 200 "$BASE/debug/pprof/"
+
+# The access log must be JSON lines with the trace ids in them.
+if python3 - "$LOG" <<'EOF'
+import json, sys
+recs = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+reqs = [r for r in recs if r.get("msg") == "request"]
+assert len(reqs) >= 10, f"only {len(reqs)} access-log records"
+related = [r for r in reqs if r.get("endpoint") == "/related" and r.get("status") == 200]
+assert related and all("trace_id" in r and "latency_ns" in r and "results" in r for r in related), related[:2]
+EOF
+then echo "ok   access log" >&2; else echo "FAIL access log:" >&2; tail -5 "$LOG" >&2; fail=1; fi
+
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+if [[ "$fail" != 0 ]]; then
+    echo "smoke test FAILED" >&2
+    exit 1
+fi
+echo "smoke test passed" >&2
