@@ -12,6 +12,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -259,6 +260,91 @@ func BenchmarkConcurrentServeReadOnly(b *testing.B) {
 			i++
 		}
 	})
+}
+
+func BenchmarkConcurrentServeSharded(b *testing.B) {
+	// BenchmarkConcurrentServe's mixed read/write load over the sharded
+	// serving topology: identical rankings (the shard package proves it),
+	// different contention profile. Each Add takes only its owning
+	// shard's write lock, so the stall a commit imposes on concurrent
+	// queries shrinks with the shard count, and the scatter legs of one
+	// query spread across cores — on a multi-core host mixed throughput
+	// improves monotonically with the shard count until the scatter
+	// fan-out saturates the machine. On a single-core host (GOMAXPROCS=1
+	// runs the legs inline and serializes readers with the writer anyway)
+	// the same numbers instead isolate the scatter-merge tax per added
+	// shard; EXPERIMENTS.md records both readings.
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 1200, Seed: 42})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	const base = 1000
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			p, err := core.Build(texts[:base], core.Config{Seed: 42, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			extra := texts[base:]
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if i%64 == 63 {
+						if _, err := p.Add(extra[i%len(extra)]); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						p.Related(i%base, 5)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkConcurrentServeShardedWriteHeavy(b *testing.B) {
+	// The write-contention axis of the shard sweep: one Add per 8
+	// operations instead of per 64, the regime where the unsharded
+	// index's single write lock drains readers often enough to matter.
+	// Sharding confines each commit to 1/N of the corpus, so the gap
+	// between this benchmark and its read-mostly sibling narrows as the
+	// shard count grows (EXPERIMENTS.md tabulates both).
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 1600, Seed: 42})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	const base = 1000
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			p, err := core.Build(texts[:base], core.Config{Seed: 42, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			extra := texts[base:]
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if i%8 == 7 {
+						if _, err := p.Add(extra[i%len(extra)]); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						p.Related(i%base, 5)
+					}
+					i++
+				}
+			})
+		})
+	}
 }
 
 func BenchmarkTable6StackOverflowScale(b *testing.B) {

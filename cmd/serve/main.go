@@ -44,6 +44,8 @@ func main() {
 	n := flag.Int("n", 1000, "synthetic corpus size")
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "offline-build parallelism (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0,
+		"serve the collection partitioned across this many shards with scatter-gather queries (0 or 1 = unsharded; rankings are identical either way)")
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond,
 		"always capture traces of requests at least this slow (0 captures every request, negative disables)")
 	traceRate := flag.Int("trace-rate", 1, "rate-sample up to this many request traces per second (0 disables)")
@@ -68,7 +70,7 @@ func main() {
 	}
 	logger.Info("building pipeline", "posts", len(texts))
 	start := time.Now()
-	p, err := core.Build(texts, core.Config{Seed: *seed, Workers: *workers})
+	p, err := core.Build(texts, core.Config{Seed: *seed, Workers: *workers, Shards: *shards})
 	if err != nil {
 		fatal("build", err)
 	}
@@ -76,6 +78,7 @@ func main() {
 	logger.Info("built",
 		"elapsed", time.Since(start).Round(time.Millisecond).String(),
 		"docs", st.NumDocs, "segments", st.NumSegments, "clusters", st.NumClusters,
+		"shards", p.Shards(),
 		"segment_ms", st.Segmentation.Milliseconds(),
 		"group_ms", st.Grouping.Milliseconds(),
 		"index_ms", st.Indexing.Milliseconds())

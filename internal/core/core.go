@@ -32,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/segment"
+	"repro/internal/shard"
 	"repro/internal/textproc"
 )
 
@@ -98,6 +99,13 @@ type Config struct {
 	LDA lda.Config
 	// Seed drives every randomized component.
 	Seed int64
+	// Shards partitions the built collection across this many independent
+	// shard matchers served by scatter-gather (see internal/shard): Add
+	// routes to one shard, Related fans out to all and merges. Rankings
+	// and scores are identical to the unsharded pipeline — sharding is a
+	// serving topology, not an approximation. 0 or 1 serves unsharded;
+	// values above 1 require an MR method. The routing seed is Seed.
+	Shards int
 	// Workers bounds offline build parallelism — document preprocessing,
 	// segmentation, vectorization, the clustering internals, and
 	// per-cluster index construction all fan out over this many
@@ -133,7 +141,8 @@ type Stats struct {
 type Pipeline struct {
 	cfg     Config
 	matcher match.Matcher
-	mr      *match.MR // non-nil for the MR methods
+	mr      *match.MR    // non-nil for the unsharded MR methods
+	group   *shard.Group // non-nil when Config.Shards > 1
 
 	mu    sync.RWMutex
 	docs  []*segment.Doc
@@ -161,8 +170,14 @@ func Build(texts []string, cfg Config) (*Pipeline, error) {
 
 	switch cfg.Method {
 	case FullText:
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("core: %s does not support sharded serving", cfg.Method)
+		}
 		p.matcher = match.NewFullText(terms)
 	case LDA:
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("core: %s does not support sharded serving", cfg.Method)
+		}
 		ldaCfg := cfg.LDA
 		if ldaCfg.Seed == 0 {
 			ldaCfg.Seed = cfg.Seed
@@ -200,6 +215,17 @@ func Build(texts []string, cfg Config) (*Pipeline, error) {
 		p.stats.Indexing = bs.Indexing
 		p.stats.NumSegments = bs.NumSegments
 		p.stats.NumClusters = bs.NumClusters
+		if cfg.Shards > 1 {
+			g, err := shard.NewGroup(p.mr, cfg.Shards, uint64(mrCfg.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			// The group re-indexed everything; drop the unsharded matcher
+			// rather than hold two copies of the postings.
+			p.group = g
+			p.matcher = g
+			p.mr = nil
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown method %d", int(cfg.Method))
 	}
@@ -233,7 +259,9 @@ func (p *Pipeline) RelatedContext(ctx context.Context, docID, k int) []Result {
 	tr := obs.TraceFrom(ctx)
 	tm := spanRelated.Start()
 	var out []Result
-	if p.mr != nil {
+	if p.group != nil {
+		out = p.group.RelatedTraced(docID, k, tr)
+	} else if p.mr != nil {
 		out = p.mr.MatchTraced(docID, k, tr)
 	} else {
 		out = p.matcher.Match(docID, k)
@@ -275,15 +303,39 @@ func (p *Pipeline) Stats() Stats {
 // NumClusters returns the intention-cluster count (0 for whole-post
 // methods).
 func (p *Pipeline) NumClusters() int {
+	if p.group != nil {
+		return p.group.NumClusters()
+	}
 	if p.mr == nil {
 		return 0
 	}
 	return p.mr.NumClusters()
 }
 
+// Shards returns the serving shard count: 0 for an unsharded pipeline,
+// Config.Shards otherwise.
+func (p *Pipeline) Shards() int {
+	if p.group == nil {
+		return 0
+	}
+	return p.group.NumShards()
+}
+
+// ShardDocs returns the per-shard document counts, or nil for an
+// unsharded pipeline.
+func (p *Pipeline) ShardDocs() []int {
+	if p.group == nil {
+		return nil
+	}
+	return p.group.ShardDocs()
+}
+
 // Centroids returns the intention-cluster centroids (Fig 3), or nil for
 // whole-post methods.
 func (p *Pipeline) Centroids() [][]float64 {
+	if p.group != nil {
+		return p.group.Centroids()
+	}
 	if p.mr == nil {
 		return nil
 	}
@@ -296,6 +348,9 @@ func (p *Pipeline) Centroids() [][]float64 {
 // (see match.MR.SegmentCounts): safe to retain and mutate while
 // concurrent Adds grow the live counts.
 func (p *Pipeline) SegmentCounts() (before, after []int) {
+	if p.group != nil {
+		return p.group.SegmentCounts()
+	}
 	if p.mr == nil { // p.mr is frozen at Build time — no lock needed
 		return nil, nil
 	}
@@ -323,18 +378,28 @@ func (p *Pipeline) Add(text string) (int, error) {
 // (segment count after preparation, assigned id after commit), the
 // per-request view of the match.add.prepare/match.add.commit spans.
 func (p *Pipeline) AddContext(ctx context.Context, text string) (int, error) {
-	if p.mr == nil {
+	if p.mr == nil && p.group == nil {
 		return 0, fmt.Errorf("core: %s does not support incremental addition", p.matcher.Name())
 	}
 	tr := obs.TraceFrom(ctx)
 	tm := spanAdd.Start()
 	d := segment.NewDoc(text)
-	pending := p.mr.PrepareAdd(d)
+	var pending *match.PendingAdd
+	if p.group != nil {
+		pending = p.group.PrepareAdd(d)
+	} else {
+		pending = p.mr.PrepareAdd(d)
+	}
 	if tr != nil {
 		tr.Event("add.prepared", obs.N("segments", int64(pending.NumSegments())))
 	}
 	p.mu.Lock()
-	id := pending.Commit()
+	var id int
+	if p.group != nil {
+		id = p.group.CommitAdd(pending)
+	} else {
+		id = pending.Commit()
+	}
 	p.docs = append(p.docs, d)
 	p.stats.NumDocs++
 	gaugeDocs.Set(int64(p.stats.NumDocs))

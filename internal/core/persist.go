@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/match"
+	"repro/internal/shard"
 )
 
 // Pipeline persistence: the offline build (segmentation, grouping,
@@ -18,7 +19,11 @@ import (
 // retain the prepared documents, so Doc returns nil for pre-load ids.
 
 // WriteTo serializes a built MR pipeline. It implements io.WriterTo.
+// Sharded pipelines persist as a directory instead — see WriteShardDir.
 func (p *Pipeline) WriteTo(w io.Writer) (int64, error) {
+	if p.group != nil {
+		return 0, fmt.Errorf("core: sharded pipelines persist as a shard directory; use WriteShardDir")
+	}
 	if p.mr == nil {
 		return 0, fmt.Errorf("core: %s pipelines are not persistable", p.matcher.Name())
 	}
@@ -63,6 +68,46 @@ func ReadPipeline(r io.Reader) (*Pipeline, error) {
 		matcher: mr,
 		mr:      mr,
 		stats:   stats,
+	}, nil
+}
+
+// WriteShardDir persists a sharded pipeline into dir: the shard
+// manifest (shard count, routing seed, topology) plus one file per
+// shard in the plain MR codec (see internal/shard). It errors for
+// unsharded pipelines, which persist as a single stream via WriteTo.
+func (p *Pipeline) WriteShardDir(dir string) error {
+	if p.group == nil {
+		return fmt.Errorf("core: %s pipeline is not sharded; use WriteTo", p.matcher.Name())
+	}
+	return p.group.WriteDir(dir)
+}
+
+// ReadShardDir loads a sharded pipeline from a directory written by
+// WriteShardDir. Like ReadPipeline, the loaded pipeline serves Related
+// and accepts Add but does not retain the prepared documents, so Doc
+// returns nil for pre-load ids. The method is recovered from the
+// persisted matcher name.
+func ReadShardDir(dir string) (*Pipeline, error) {
+	g, err := shard.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	method := IntentIntentMR
+	for m, name := range methodNames {
+		if name == g.Name() {
+			method = Method(m)
+		}
+	}
+	bs := g.Stats()
+	return &Pipeline{
+		cfg:     Config{Method: method, Shards: g.NumShards()},
+		matcher: g,
+		group:   g,
+		stats: Stats{
+			NumDocs:     g.NumDocs(),
+			NumSegments: bs.NumSegments,
+			NumClusters: bs.NumClusters,
+		},
 	}, nil
 }
 

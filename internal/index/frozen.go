@@ -1,0 +1,78 @@
+package index
+
+import "repro/internal/obs"
+
+// Frozen-factor scanning: the scatter half of the sharded serving
+// layer. A scatter query scores the same probe against N partitions of
+// one cluster index, and Eq 9's collection-level factors — each term's
+// pIDF and the cluster's NU average — are identical on every partition
+// (they come from the shared statistics pool, not the partition).
+// FrozenScoring resolves those factors once, on the reference
+// document's home shard; QueryFrozen then scans a partition using only
+// shard-local state (postings, unit norms) under the partition's own
+// read lock, never touching the pool. Besides not paying the sort, the
+// pIDF cache lookups, and the pool read-lock N times per probe, this
+// pins all N scatter legs to one consistent view of the collection
+// statistics even while concurrent adds move the pool — so the merged
+// scores are always mutually comparable, and bit-identical to the
+// unsharded scan on a quiescent collection.
+
+// FrozenScoring resolves the collection-level Eq 9 factors for a
+// sorted term list under one consistent view of the index and its
+// statistics pool: idfs[i] is terms[i]'s smoothed pIDF (0 for unknown
+// terms) and avgUnique is the cluster's NU average.
+func (ix *Index) FrozenScoring(terms []string) (idfs []float64, avgUnique float64) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.rlockStats() {
+		defer ix.global.mu.RUnlock()
+	}
+	avgUnique = ix.avgUniqueLocked()
+	idfs = make([]float64, len(terms))
+	// Compute pIDF directly rather than through the idfCache: a mixed
+	// serving load invalidates cached entries on every add (the pooled n
+	// moves), so the cache would allocate a fresh entry per term per
+	// probe without ever hitting.
+	n := ix.nLocked()
+	for i, t := range terms {
+		idfs[i] = idf(n, ix.dfLocked(t, ix.postings[t]))
+	}
+	return idfs, avgUnique
+}
+
+// QueryFrozen is QueryTraced with the collection-level factors supplied
+// by the caller (see FrozenScoring): terms arrive pre-sorted with
+// aligned query frequencies qf and pIDFs idfs. Accumulation follows the
+// supplied term order, so with factors frozen from the same collection
+// state the scores are bit-identical to QueryTraced's.
+func (ix *Index) QueryFrozen(terms []string, qf, idfs []float64, avgUnique float64, topN int, exclude func(unit int) bool, tr *obs.Trace) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if topN <= 0 || len(ix.units) == 0 {
+		return nil
+	}
+	ctrScorePoolGet.Inc()
+	sm := scorePool.Get().(*scoreMap)
+	poolHit := sm.reused
+	sm.reused = true
+	scores := sm.m
+	defer func() {
+		clear(scores)
+		scorePool.Put(sm)
+	}()
+	for i, term := range terms {
+		tIDF := idfs[i]
+		if tIDF == 0 {
+			continue
+		}
+		posts := ix.postings[term]
+		if len(posts) == 0 {
+			continue
+		}
+		f := qf[i]
+		for _, p := range posts {
+			scores[p.Unit] += f * ix.weightLocked(p, avgUnique) * tIDF
+		}
+	}
+	return finishQuery(scores, poolHit, topN, exclude, tr)
+}

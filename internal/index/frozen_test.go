@@ -1,0 +1,148 @@
+package index
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// frozenArgs resolves a query TF map into the pre-sorted, pre-aligned
+// argument set QueryFrozen expects, via FrozenScoring — the caller-side
+// half the matching layer performs in QuerySegs.
+func frozenArgs(ix *Index, queryTF map[string]float64) (terms []string, qf, idfs []float64, avg float64) {
+	for t := range queryTF {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	qf = make([]float64, len(terms))
+	for i, t := range terms {
+		qf[i] = queryTF[t]
+	}
+	idfs, avg = ix.FrozenScoring(terms)
+	return terms, qf, idfs, avg
+}
+
+func TestFrozenScoringMatchesIDF(t *testing.T) {
+	ix := buildIndex(
+		[]string{"raid", "disk", "disk", "array"},
+		[]string{"raid", "hotel"},
+		[]string{"hotel", "pool", "raid"},
+		[]string{"disk", "array", "cache"},
+	)
+	terms := []string{"array", "cache", "disk", "hotel", "missing", "pool", "raid"}
+	idfs, avg := ix.FrozenScoring(terms)
+	if len(idfs) != len(terms) {
+		t.Fatalf("got %d idfs for %d terms", len(idfs), len(terms))
+	}
+	for i, term := range terms {
+		if idfs[i] != ix.IDF(term) {
+			t.Errorf("frozen pIDF(%s) = %g, IDF = %g", term, idfs[i], ix.IDF(term))
+		}
+	}
+	if idfs[4] != 0 {
+		t.Errorf("unknown term pIDF = %g, want 0", idfs[4])
+	}
+	// unique-term counts are 3, 2, 3, 3.
+	if want := 11.0 / 4.0; avg != want {
+		t.Errorf("avgUnique = %g, want %g", avg, want)
+	}
+}
+
+// TestQueryFrozenMatchesQueryTraced pins the contract QueryFrozen is
+// named for: with factors frozen from the same index state, the scan
+// returns bit-identical scores in the identical order as the standard
+// query path, at every depth and with the exclude predicate applied.
+func TestQueryFrozenMatchesQueryTraced(t *testing.T) {
+	vocab := []string{"raid", "disk", "array", "cache", "hotel", "pool", "swap", "boot"}
+	var units [][]string
+	for i := 0; i < 40; i++ {
+		u := []string{vocab[i%len(vocab)], vocab[(i*3+1)%len(vocab)], vocab[(i*5+2)%len(vocab)]}
+		if i%4 == 0 {
+			u = append(u, u[0]) // a repeated term, so LogTF > 1 paths run
+		}
+		units = append(units, u)
+	}
+	ix := buildIndex(units...)
+	queryTF := TermFrequencies([]string{"raid", "raid", "disk", "cache", "missing"})
+	terms, qf, idfs, avg := frozenArgs(ix, queryTF)
+	for _, topN := range []int{1, 3, 8, 100} {
+		want := ix.QueryTraced(queryTF, topN, nil, nil)
+		got := ix.QueryFrozen(terms, qf, idfs, avg, topN, nil, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("topN=%d: frozen %v != standard %v", topN, got, want)
+		}
+	}
+	excl := func(u int) bool { return u%2 == 0 }
+	want := ix.QueryTraced(queryTF, 10, excl, nil)
+	got := ix.QueryFrozen(terms, qf, idfs, avg, 10, excl, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("excluded: frozen %v != standard %v", got, want)
+	}
+	if got := ix.QueryFrozen(terms, qf, idfs, avg, 0, nil, nil); got != nil {
+		t.Errorf("topN=0 should return nil, got %v", got)
+	}
+	if got := New().QueryFrozen(terms, qf, idfs, avg, 5, nil, nil); got != nil {
+		t.Errorf("empty index should return nil, got %v", got)
+	}
+}
+
+// TestQueryFrozenPooledPartitions scores two pool-attached partitions
+// of one collection against the whole: every partition scan must
+// reproduce the unsharded score of each unit bit-for-bit, and the two
+// partitions together must cover exactly the unsharded result set —
+// the index-layer core of the sharding equivalence guarantee.
+func TestQueryFrozenPooledPartitions(t *testing.T) {
+	vocab := []string{"raid", "disk", "array", "cache", "hotel", "pool"}
+	var units [][]string
+	for i := 0; i < 24; i++ {
+		units = append(units, []string{vocab[i%len(vocab)], vocab[(i*5+2)%len(vocab)], vocab[(i*7+4)%len(vocab)]})
+	}
+	whole := buildIndex(units...)
+	a, b := New(), New()
+	gs := NewGlobalStats()
+	globalOf := map[*Index][]int{}
+	for g, u := range units {
+		ix := a
+		if g%2 == 1 {
+			ix = b
+		}
+		ix.Add(u)
+		globalOf[ix] = append(globalOf[ix], g)
+	}
+	a.AttachStats(gs)
+	b.AttachStats(gs)
+
+	queryTF := TermFrequencies([]string{"raid", "disk", "pool"})
+	wantRes := whole.QueryTraced(queryTF, len(units), nil, nil)
+	wantScore := make(map[int]float64, len(wantRes))
+	for _, r := range wantRes {
+		wantScore[r.Unit] = r.Score
+	}
+
+	covered := 0
+	for _, part := range []*Index{a, b} {
+		terms, qf, idfs, avg := frozenArgs(part, queryTF)
+		// Frozen factors are pool-global: identical to the unsharded
+		// index's, bit-for-bit.
+		for i, term := range terms {
+			if idfs[i] != whole.IDF(term) {
+				t.Errorf("pooled pIDF(%s) = %g, unsharded %g", term, idfs[i], whole.IDF(term))
+			}
+		}
+		for _, r := range part.QueryFrozen(terms, qf, idfs, avg, len(units), nil, nil) {
+			g := globalOf[part][r.Unit]
+			want, ok := wantScore[g]
+			if !ok {
+				t.Errorf("partition scored unit %d; the unsharded query did not", g)
+				continue
+			}
+			if r.Score != want {
+				t.Errorf("unit %d: partition score %g, unsharded %g", g, r.Score, want)
+			}
+			covered++
+		}
+	}
+	if covered != len(wantRes) {
+		t.Errorf("partitions covered %d units, unsharded returned %d", covered, len(wantRes))
+	}
+}

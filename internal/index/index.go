@@ -75,6 +75,13 @@ type Index struct {
 	units       []unitStats
 	totalUnique int64 // sum of unique-term counts, for the NU average
 
+	// global, when non-nil, is the shared collection-statistics pool the
+	// scoring reads Eq 9's N and n and the NU average from instead of the
+	// local state — the mechanism that makes a sharded partition of one
+	// collection score bit-identically to the whole (see GlobalStats).
+	// Written only by AttachStats under mu; read under mu.
+	global *GlobalStats
+
 	// idfCache memoizes per-term pIDF (term → idfEntry). It lives outside
 	// mu: queries populate it while holding only the read lock, and stale
 	// entries are rejected by the (n, df) validity check rather than
@@ -126,15 +133,27 @@ func (ix *Index) Add(terms []string) int {
 	sort.Strings(unique)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	g := ix.global
+	if g != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
 	id := int32(len(ix.units))
 	var denom float64
 	for _, t := range unique {
 		logTF := math.Log(float64(tf[t])) + 1
 		ix.postings[t] = append(ix.postings[t], Posting{Unit: id, TF: int32(tf[t]), LogTF: logTF})
 		denom += logTF
+		if g != nil {
+			g.df[t]++
+		}
 	}
 	ix.units = append(ix.units, unitStats{denom: denom, unique: int32(len(tf))})
 	ix.totalUnique += int64(len(tf))
+	if g != nil {
+		g.units++
+		g.totalUnique += int64(len(tf))
+	}
 	return int(id)
 }
 
@@ -159,9 +178,19 @@ func (ix *Index) DocFreq(term string) int {
 	return len(ix.postings[term])
 }
 
-// avgUniqueLocked returns the mean unique-term count per unit. Callers must
-// hold at least the read lock.
+// avgUniqueLocked returns the mean unique-term count per unit — pooled
+// across the collection when attached to a GlobalStats, local otherwise.
+// The pooled division uses the same two integers an unsharded index
+// would derive locally, so the float64 quotient is bit-identical.
+// Callers must hold at least the read lock (and the pool's, when
+// attached — see rlockStats).
 func (ix *Index) avgUniqueLocked() float64 {
+	if ix.global != nil {
+		if ix.global.units == 0 {
+			return 0
+		}
+		return float64(ix.global.totalUnique) / float64(ix.global.units)
+	}
 	if len(ix.units) == 0 {
 		return 0
 	}
@@ -188,6 +217,9 @@ func nu(unique int32, avgUnique float64) float64 {
 func (ix *Index) Weight(term string, unit int) float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.rlockStats() {
+		defer ix.global.mu.RUnlock()
+	}
 	posts := ix.postings[term]
 	i := sort.Search(len(posts), func(i int) bool { return int(posts[i].Unit) >= unit })
 	if i < len(posts) && int(posts[i].Unit) == unit {
@@ -210,14 +242,18 @@ func (ix *Index) weightLocked(p Posting, avgUnique float64) float64 {
 func (ix *Index) IDF(term string) float64 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.idfLocked(term, len(ix.postings[term]))
+	if ix.rlockStats() {
+		defer ix.global.mu.RUnlock()
+	}
+	return ix.idfLocked(term, ix.dfLocked(term, ix.postings[term]))
 }
 
-// idfLocked returns the memoized pIDF for a term with the given document
-// frequency. Callers must hold at least the read lock (which fixes n and
-// df for the duration, making the cached entry exact).
+// idfLocked returns the memoized pIDF for a term with the given
+// (effective) document frequency. Callers must hold at least the read
+// lock, plus the pool read lock when attached — together they fix n and
+// df for the duration, making the cached entry exact.
 func (ix *Index) idfLocked(term string, df int) float64 {
-	n := len(ix.units)
+	n := ix.nLocked()
 	if e, ok := ix.idfCache.Load(term); ok {
 		if e := e.(idfEntry); e.n == n && e.df == df {
 			return e.v
@@ -263,6 +299,12 @@ func (ix *Index) QueryTraced(queryTF map[string]float64, topN int, exclude func(
 	if topN <= 0 || len(ix.units) == 0 {
 		return nil
 	}
+	// When attached to a collection pool, hold its read lock for the whole
+	// scan so n, df, and the NU average stay mutually consistent (lock
+	// order: Index.mu then GlobalStats.mu, matching Add).
+	if ix.rlockStats() {
+		defer ix.global.mu.RUnlock()
+	}
 	avgUnique := ix.avgUniqueLocked()
 	// Accumulate in sorted term order: float summation is not associative,
 	// so map-order iteration would make scores vary at the ULP level across
@@ -287,7 +329,7 @@ func (ix *Index) QueryTraced(queryTF map[string]float64, topN int, exclude func(
 		if len(posts) == 0 {
 			continue
 		}
-		tIDF := ix.idfLocked(term, len(posts))
+		tIDF := ix.idfLocked(term, ix.dfLocked(term, posts))
 		if tIDF == 0 {
 			continue
 		}
@@ -296,6 +338,14 @@ func (ix *Index) QueryTraced(queryTF map[string]float64, topN int, exclude func(
 		}
 	}
 
+	return finishQuery(scores, poolHit, topN, exclude, tr)
+}
+
+// finishQuery runs the shared tail of the scan paths (QueryTraced,
+// QueryFrozen): collect positive-score candidates into the top-n heap
+// under the deterministic tie-break, record the scan histograms and the
+// optional trace event, and materialize the result list.
+func finishQuery(scores map[int32]float64, poolHit bool, topN int, exclude func(unit int) bool, tr *obs.Trace) []Result {
 	histQueryCandidates.Observe(int64(len(scores)))
 	c := topk.New(topN)
 	for unit, score := range scores {
@@ -349,6 +399,9 @@ func (ix *Index) Explain(queryTF map[string]float64, unit int) []TermScore {
 	if unit < 0 || unit >= len(ix.units) {
 		return nil
 	}
+	if ix.rlockStats() {
+		defer ix.global.mu.RUnlock()
+	}
 	avgUnique := ix.avgUniqueLocked()
 	terms := make([]string, 0, len(queryTF))
 	for term := range queryTF {
@@ -361,7 +414,7 @@ func (ix *Index) Explain(queryTF map[string]float64, unit int) []TermScore {
 		if len(posts) == 0 {
 			continue
 		}
-		tIDF := ix.idfLocked(term, len(posts))
+		tIDF := ix.idfLocked(term, ix.dfLocked(term, posts))
 		if tIDF == 0 {
 			continue
 		}

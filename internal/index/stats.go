@@ -1,0 +1,120 @@
+package index
+
+import "sync"
+
+// GlobalStats is a collection-statistics pool shared by several Index
+// instances that together hold one logical collection — the sharded
+// serving layer partitions each intention cluster's units across N
+// per-shard indices, and Eq 7–9 scoring depends on three
+// collection-level quantities: the unit count |I| (Eq 9's N), the
+// per-term document frequency |Iᵗ| (Eq 9's n), and the average
+// unique-term count feeding the NU length normalization (Eq 7/8). An
+// index attached to a pool reads those three quantities from the pool
+// instead of its local state, so every shard scores exactly as the
+// single unsharded index would — bit-identical floats, because the pool
+// aggregates are the same integers the unsharded index derives locally.
+//
+// Locking: the pool has its own RWMutex. The lock order is always
+// Index.mu before GlobalStats.mu — Add takes both write locks in that
+// order, and every read path acquires the pool's read lock after the
+// index's. Shards therefore update and read the pool concurrently
+// without deadlock, and a query observes a consistent (units,
+// totalUnique, df) triple for its whole scan.
+type GlobalStats struct {
+	mu          sync.RWMutex
+	units       int
+	totalUnique int64
+	df          map[string]int
+}
+
+// NewGlobalStats returns an empty pool.
+func NewGlobalStats() *GlobalStats {
+	return &GlobalStats{df: make(map[string]int)}
+}
+
+// Units returns the pooled unit count (Eq 9's N across all attached
+// indices).
+func (gs *GlobalStats) Units() int {
+	gs.mu.RLock()
+	defer gs.mu.RUnlock()
+	return gs.units
+}
+
+// TotalUnique returns the pooled sum of unique-term counts.
+func (gs *GlobalStats) TotalUnique() int64 {
+	gs.mu.RLock()
+	defer gs.mu.RUnlock()
+	return gs.totalUnique
+}
+
+// DocFreq returns the pooled document frequency of term (Eq 9's n
+// across all attached indices).
+func (gs *GlobalStats) DocFreq(term string) int {
+	gs.mu.RLock()
+	defer gs.mu.RUnlock()
+	return gs.df[term]
+}
+
+// AttachStats folds the index's current contents into the pool and
+// makes every subsequent scoring read (Eq 9's N and n, the NU average)
+// come from it. Attach each member index exactly once — attaching twice
+// would double-count its contribution. AttachStats must complete before
+// the index is used concurrently; afterwards Add keeps the pool in sync
+// under the documented Index.mu → GlobalStats.mu lock order.
+func (ix *Index) AttachStats(gs *GlobalStats) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	gs.units += len(ix.units)
+	gs.totalUnique += ix.totalUnique
+	for t, posts := range ix.postings {
+		gs.df[t] += len(posts)
+	}
+	ix.global = gs
+	// Drop pIDF memos computed against the local statistics; entries are
+	// validated by (n, df), which both just changed meaning. (Range +
+	// Delete rather than Clear: the module's go directive predates
+	// sync.Map.Clear.)
+	ix.idfCache.Range(func(k, _ any) bool {
+		ix.idfCache.Delete(k)
+		return true
+	})
+}
+
+// Stats returns the attached pool, or nil for a standalone index.
+func (ix *Index) Stats() *GlobalStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.global
+}
+
+// rlockStats acquires the pool read lock when the index is attached to
+// one and reports whether it did. Callers must already hold ix.mu (read
+// or write) and must call gs.mu.RUnlock iff it returns true. The
+// n/avgUnique/df effective accessors below assume this lock is held.
+func (ix *Index) rlockStats() bool {
+	if ix.global == nil {
+		return false
+	}
+	ix.global.mu.RLock()
+	return true
+}
+
+// nLocked returns the effective collection size for Eq 9: the pooled
+// unit count when attached, the local count otherwise.
+func (ix *Index) nLocked() int {
+	if ix.global != nil {
+		return ix.global.units
+	}
+	return len(ix.units)
+}
+
+// dfLocked returns the effective document frequency of a term whose
+// local posting list is posts.
+func (ix *Index) dfLocked(term string, posts []Posting) int {
+	if ix.global != nil {
+		return ix.global.df[term]
+	}
+	return len(posts)
+}

@@ -102,7 +102,7 @@ func (mr *MR) MatchExplained(docID, k int) ([]Result, []Explanation) {
 				exp.Clusters = append(exp.Clusters, ClusterContribution{
 					Cluster: seg.cluster,
 					Score:   lr.Score / norms[i],
-					Terms:   mr.termBreakdown(seg, lr.Unit, norms[i]),
+					Terms:   mr.termBreakdown(index.TermFrequencies(seg.terms), seg.cluster, lr.Unit, norms[i]),
 				})
 				break
 			}
@@ -112,11 +112,11 @@ func (mr *MR) MatchExplained(docID, k int) ([]Result, []Explanation) {
 	return out, exps
 }
 
-// termBreakdown decomposes one (query segment, result unit) list score
-// into per-term Eq 9 products via the cluster index, applying the list
+// termBreakdown decomposes one (query TF, result unit) list score into
+// per-term Eq 9 products via the cluster index, applying the list
 // normalization divisor to each product.
-func (mr *MR) termBreakdown(seg docSeg, unit int, norm float64) []TermContribution {
-	terms := mr.clusters[seg.cluster].Explain(index.TermFrequencies(seg.terms), unit)
+func (mr *MR) termBreakdown(queryTF map[string]float64, cluster, unit int, norm float64) []TermContribution {
+	terms := mr.clusters[cluster].Explain(queryTF, unit)
 	out := make([]TermContribution, len(terms))
 	for i, ts := range terms {
 		out[i] = TermContribution{
@@ -128,6 +128,28 @@ func (mr *MR) termBreakdown(seg docSeg, unit int, norm float64) []TermContributi
 		}
 	}
 	return out
+}
+
+// ExplainDocCluster decomposes the Algorithm 2 contribution one
+// (shard-local) result document receives from one intention cluster,
+// given the reference segment's term frequencies and the list
+// normalization divisor — the per-shard half of the shard group's
+// explain mode. It returns nil when the document has no refined segment
+// in the cluster. The factors come from the same pool-attached index
+// state the scores came from, so the products reconcile exactly as the
+// unsharded MatchExplained's do.
+func (mr *MR) ExplainDocCluster(localDoc, clusterID int, queryTF map[string]float64, norm float64) []TermContribution {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	if localDoc < 0 || localDoc >= len(mr.docSegs) {
+		return nil
+	}
+	for _, s := range mr.docSegs[localDoc] {
+		if s.cluster == clusterID {
+			return mr.termBreakdown(queryTF, clusterID, s.unit, norm)
+		}
+	}
+	return nil
 }
 
 // MatchExplained implements Explainer for the whole-post baseline: the

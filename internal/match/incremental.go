@@ -76,8 +76,16 @@ func (pa *PendingAdd) NumSegments() int { return pa.numRanges }
 // Commit indexes the prepared segments under the matcher's write lock and
 // returns the document id assigned to the new post. Document ids are
 // assigned in commit order. Commit must be called at most once.
-func (pa *PendingAdd) Commit() int {
-	mr := pa.mr
+func (pa *PendingAdd) Commit() int { return pa.CommitTo(pa.mr) }
+
+// CommitTo commits the prepared document into mr, which may be a
+// different matcher than the one that prepared it — the sharded serving
+// layer prepares against one shard (preparation reads only the
+// configured strategy and the frozen centroids, which every shard of a
+// group shares) and commits into the shard that owns the new document's
+// id. The returned id is local to the receiving matcher. CommitTo must
+// be called at most once per PendingAdd.
+func (pa *PendingAdd) CommitTo(mr *MR) int {
 	// The commit span measures write-lock hold time — the stall a commit
 	// imposes on concurrent queries — so Start sits before the Lock.
 	tm := spanAddCommit.Start()

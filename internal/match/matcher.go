@@ -113,6 +113,15 @@ func toResults(items []topk.Item) []Result {
 	return out
 }
 
+// TopKScores selects the k highest-scoring entries of a doc → score map
+// under the deterministic (score descending, id ascending) ordering,
+// best first, excluding excludeDoc and non-positive scores — Algorithm
+// 2's final selection, exported for the sharded scatter-gather merge so
+// both paths share one tie-break rule.
+func TopKScores(scores map[int]float64, k, excludeDoc int) []Result {
+	return topK(scores, k, excludeDoc)
+}
+
 // topK selects the k highest-scoring entries of a doc → score map, best
 // first, excluding docID.
 func topK(scores map[int]float64, k, docID int) []Result {

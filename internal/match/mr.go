@@ -115,6 +115,40 @@ const (
 	GroupDBSCAN
 )
 
+// ListDepth returns Algorithm 1's per-intention list length for a top-k
+// request: n = NFactor·k, or 10·k under threshold selection (which
+// needs deeper lists to cut from). It is exported so the sharding layer
+// probes every shard at exactly the depth the unsharded query path
+// uses — the global top-n of each intention list is then a subset of
+// the union of the per-shard top-n lists, which is what makes the
+// scatter-gather merge ranking-equivalent. The receiver must be a
+// defaults-applied config (MR.Config returns one).
+func (c MRConfig) ListDepth(k int) int {
+	if c.ScoreThreshold > 0 {
+		return 10 * k
+	}
+	return c.NFactor * k
+}
+
+// TrimParams returns the Algorithm 2 list post-processing parameters
+// for an intention list whose best (first) score is best: cut is the
+// minimum score kept (negative infinity when no threshold is
+// configured), and norm the divisor applied to every kept score (1
+// unless NormalizeLists). Match and the sharded merge path share this
+// so a threshold/normalization configuration trims the globally merged
+// list exactly as the unsharded path trims its local one.
+func (c MRConfig) TrimParams(best float64) (cut, norm float64) {
+	cut = math.Inf(-1)
+	if c.ScoreThreshold > 0 {
+		cut = c.ScoreThreshold * best
+	}
+	norm = 1
+	if c.NormalizeLists && best > 0 {
+		norm = best
+	}
+	return cut, norm
+}
+
 func (c MRConfig) withDefaults() MRConfig {
 	if c.Strategy == nil {
 		c.Strategy = segment.Greedy{}
@@ -472,11 +506,7 @@ func (mr *MR) MatchTraced(docID, k int, tr *obs.Trace) []Result {
 // captured by reference, costing one heap cell each per query on the
 // benchmark-gated hot path. Plain locals are captured by value.
 func (mr *MR) queryListsLocked(docID, k int, tr *obs.Trace) ([]docSeg, [][]index.Result, int) {
-	n := mr.cfg.NFactor * k
-	if mr.cfg.ScoreThreshold > 0 {
-		// Threshold selection needs deeper lists to cut from.
-		n = 10 * k
-	}
+	n := mr.cfg.ListDepth(k)
 	segs := mr.docSegs[docID]
 	// Algorithm 1: each intention list is an independent index query, so
 	// they fan out. Each list lands in its own slot and the merge walks
@@ -502,8 +532,11 @@ func (mr *MR) queryListsLocked(docID, k int, tr *obs.Trace) ([]docSeg, [][]index
 // results within ScoreThreshold of the list's best) and the optional
 // per-list normalization divisor.
 func (mr *MR) trimList(res []index.Result) ([]index.Result, float64) {
-	if t := mr.cfg.ScoreThreshold; t > 0 && len(res) > 0 {
-		cut := t * res[0].Score
+	if len(res) == 0 {
+		return res, 1
+	}
+	cut, norm := mr.cfg.TrimParams(res[0].Score)
+	if !math.IsInf(cut, -1) {
 		keep := res[:0]
 		for _, r := range res {
 			if r.Score >= cut {
@@ -512,12 +545,13 @@ func (mr *MR) trimList(res []index.Result) ([]index.Result, float64) {
 		}
 		res = keep
 	}
-	norm := 1.0
-	if mr.cfg.NormalizeLists && len(res) > 0 && res[0].Score > 0 {
-		norm = res[0].Score
-	}
 	return res, norm
 }
+
+// Config returns the matcher's effective configuration (defaults
+// applied) — what the sharding layer copies so every shard queries,
+// trims, and ingests exactly as the source matcher does.
+func (mr *MR) Config() MRConfig { return mr.cfg }
 
 // Stats returns the build-phase timing and size statistics.
 func (mr *MR) Stats() BuildStats {

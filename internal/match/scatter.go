@@ -1,0 +1,112 @@
+package match
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/obs"
+)
+
+// This file is the matcher-side surface the sharded serving layer
+// (internal/shard) builds on. A shard group answers one Related query by
+// reading the reference document's Algorithm 1 probes from its owning
+// shard (QuerySegs), scattering those probes to every shard
+// (QueryClusterLists), and merging the per-shard lists globally before
+// applying Algorithm 2. The probes carry term frequencies rather than
+// unit ids because only the owning shard holds the reference document;
+// every other shard scores the same TF map against its own partition of
+// the cluster indices.
+
+// ClusterQuery is one Algorithm 1 probe: the intention cluster to
+// query, the reference segment's term-frequency map (f_sq of Eq 9), and
+// the frozen scoring context — the sorted term list with aligned query
+// frequencies and pIDFs, plus the cluster's NU average — resolved once
+// on the reference document's home shard (see index.FrozenScoring). The
+// collection-level factors are pool-global, so every shard scans with
+// the same values; freezing them per probe keeps the scatter legs
+// mutually consistent under concurrent adds and saves each leg the
+// sort, the pIDF lookups, and the pool lock.
+type ClusterQuery struct {
+	Cluster   int
+	TF        map[string]float64
+	Terms     []string  // sorted; the Eq 9 summation order
+	QF        []float64 // aligned with Terms: f_sq(t)
+	IDF       []float64 // aligned with Terms: pIDF(t), 0 for unknown terms
+	AvgUnique float64   // the cluster's NU average
+}
+
+// QuerySegs returns the Algorithm 1 probes for a document of this
+// matcher: one ClusterQuery per intention cluster the document has a
+// refined segment in, in ascending cluster order — the order Match sums
+// Algorithm 2 contributions in, which the scatter-gather merge must
+// reproduce for bit-identical float sums. It returns nil for unknown
+// ids.
+func (mr *MR) QuerySegs(docID int) []ClusterQuery {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	if docID < 0 || docID >= len(mr.docSegs) {
+		return nil
+	}
+	segs := mr.docSegs[docID]
+	out := make([]ClusterQuery, len(segs))
+	for i, s := range segs {
+		tf := index.TermFrequencies(s.terms)
+		terms := make([]string, 0, len(tf))
+		for t := range tf {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		qf := make([]float64, len(terms))
+		for j, t := range terms {
+			qf[j] = tf[t]
+		}
+		idfs, avg := mr.clusters[s.cluster].FrozenScoring(terms)
+		out[i] = ClusterQuery{
+			Cluster: s.cluster, TF: tf,
+			Terms: terms, QF: qf, IDF: idfs, AvgUnique: avg,
+		}
+	}
+	return out
+}
+
+// QueryClusterLists answers a set of Algorithm 1 probes against this
+// matcher's cluster indices: lists[i] holds the top-n units of probe
+// i's cluster mapped to the (shard-local) documents owning them, in
+// descending score order with ascending document id on ties. The
+// mapping preserves the index tie-break exactly: within a cluster,
+// units are assigned in ascending document order (build walks documents
+// ascending; commits append), so ascending unit id and ascending owner
+// id coincide. excludeDoc, when non-negative, is dropped from every
+// list — the scatter layer passes the reference document's local id on
+// its owning shard and -1 elsewhere. Probes whose cluster id is out of
+// range yield nil lists.
+//
+// Probes run sequentially under one read-lock acquisition: the shard
+// group already fans out across shards, so per-probe parallelism here
+// would only multiply goroutines, and the single lock hold gives the
+// probes one consistent view of this shard (matching the snapshot
+// semantics Match has on the unsharded path).
+func (mr *MR) QueryClusterLists(probes []ClusterQuery, n, excludeDoc int, tr *obs.Trace) [][]Result {
+	mr.mu.RLock()
+	defer mr.mu.RUnlock()
+	lists := make([][]Result, len(probes))
+	for i, q := range probes {
+		if q.Cluster < 0 || q.Cluster >= len(mr.clusters) {
+			continue
+		}
+		owners := mr.unitDoc[q.Cluster]
+		var exclude func(int) bool
+		if excludeDoc >= 0 {
+			// The refined index holds at most one unit per (doc, cluster),
+			// so excluding by owner is exactly the unsharded own-unit skip.
+			exclude = func(u int) bool { return owners[u] == excludeDoc }
+		}
+		res := mr.clusters[q.Cluster].QueryFrozen(q.Terms, q.QF, q.IDF, q.AvgUnique, n, exclude, tr)
+		out := make([]Result, len(res))
+		for j, r := range res {
+			out[j] = Result{DocID: owners[r.Unit], Score: r.Score}
+		}
+		lists[i] = out
+	}
+	return lists
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The GetOrNew constructors back the sharding layer's dynamically named
+// instruments ("shard.NN.queries"): several Group constructions in one
+// process must share one process-wide metric per name instead of
+// panicking like the New* constructors do on duplicates.
+
+func TestGetOrNewCounterSharesHandle(t *testing.T) {
+	withEnabled(t)
+	a := GetOrNewCounter("test.getornew.counter")
+	b := GetOrNewCounter("test.getornew.counter")
+	if a != b {
+		t.Fatal("GetOrNewCounter returned distinct handles for one name")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Fatalf("shared counter = %d, want 3", got)
+	}
+	if got := Default.Snapshot().Counters["test.getornew.counter"]; got != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", got)
+	}
+}
+
+func TestGetOrNewSpanSharesHandle(t *testing.T) {
+	withEnabled(t)
+	a := GetOrNewSpan("test.getornew.span")
+	b := GetOrNewSpan("test.getornew.span")
+	if a != b {
+		t.Fatal("GetOrNewSpan returned distinct handles for one name")
+	}
+	tm := a.Start()
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	b.Start().Stop()
+	snap := Default.Snapshot().Spans["test.getornew.span"]
+	if snap.Count != 2 {
+		t.Fatalf("shared span count = %d, want 2", snap.Count)
+	}
+}
+
+func TestGetOrNewCountHistogramSharesHandle(t *testing.T) {
+	withEnabled(t)
+	a := GetOrNewCountHistogram("test.getornew.hist")
+	b := GetOrNewCountHistogram("test.getornew.hist")
+	if a != b {
+		t.Fatal("GetOrNewCountHistogram returned distinct handles for one name")
+	}
+	a.Observe(4)
+	b.Observe(400)
+	snap := Default.Snapshot().Histograms["test.getornew.hist"]
+	if snap.Count != 2 {
+		t.Fatalf("shared histogram count = %d, want 2", snap.Count)
+	}
+	if snap.Sum != 404 {
+		t.Fatalf("shared histogram sum = %d, want 404", snap.Sum)
+	}
+}
+
+func TestGetOrNewReturnsNewRegisteredHandle(t *testing.T) {
+	// The GetOrNew constructors and the New* constructors share one
+	// namespace: a GetOrNew on a statically registered name hands back
+	// that same instrument.
+	c := NewCounter("test.getornew.static")
+	if got := GetOrNewCounter("test.getornew.static"); got != c {
+		t.Fatal("GetOrNewCounter did not return the NewCounter handle")
+	}
+	// And New* still panics when the name was claimed via GetOrNew.
+	GetOrNewCounter("test.getornew.claimed")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCounter on a GetOrNew-claimed name did not panic")
+		}
+	}()
+	NewCounter("test.getornew.claimed")
+}
+
+func TestGetOrNewKindMismatchPanics(t *testing.T) {
+	GetOrNewCounter("test.getornew.kind.counter")
+	GetOrNewSpan("test.getornew.kind.span")
+	GetOrNewCountHistogram("test.getornew.kind.hist")
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"counter name as span", func() { GetOrNewSpan("test.getornew.kind.counter") }},
+		{"counter name as histogram", func() { GetOrNewCountHistogram("test.getornew.kind.counter") }},
+		{"span name as counter", func() { GetOrNewCounter("test.getornew.kind.span") }},
+		{"span name as histogram", func() { GetOrNewCountHistogram("test.getornew.kind.span") }},
+		{"histogram name as counter", func() { GetOrNewCounter("test.getornew.kind.hist") }},
+		{"histogram name as span", func() { GetOrNewSpan("test.getornew.kind.hist") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("kind mismatch did not panic")
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+func TestGetOrNewCounterConcurrent(t *testing.T) {
+	// Racing constructions of one name must converge on a single
+	// instrument: every increment lands on the counter the snapshot
+	// reports. Run under -race in CI.
+	withEnabled(t)
+	const workers = 8
+	const perWorker = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				GetOrNewCounter("test.getornew.race").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Default.Snapshot().Counters["test.getornew.race"]; got != workers*perWorker {
+		t.Fatalf("racing counter = %d, want %d", got, workers*perWorker)
+	}
+}

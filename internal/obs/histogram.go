@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 )
@@ -27,7 +28,26 @@ func NewHistogram(name string, bounds []int64) *Histogram {
 		}
 	}
 	h := &Histogram{name: name, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-	Default.register(name, func(r *Registry) { r.hists = append(r.hists, h) })
+	Default.register(name, h, func(r *Registry) { r.hists = append(r.hists, h) })
+	return h
+}
+
+// GetOrNewCountHistogram returns the CountBounds histogram registered
+// under name, creating and registering it if the name is free — the
+// histogram counterpart of GetOrNewCounter for dynamically named
+// (per-shard) instruments. It panics if the name is taken by a
+// different metric kind.
+func GetOrNewCountHistogram(name string) *Histogram {
+	got := Default.getOrRegister(name,
+		func() any {
+			bounds := CountBounds()
+			return &Histogram{name: name, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		},
+		func(r *Registry, h any) { r.hists = append(r.hists, h.(*Histogram)) })
+	h, ok := got.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric name %q is registered as a different kind", name))
+	}
 	return h
 }
 

@@ -33,7 +33,10 @@
 // written is decided by Enable/Disable.
 package obs
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // enabled gates all recording. Metric handles still exist and register
 // while disabled — only the hot-path mutation is skipped.
@@ -61,7 +64,24 @@ type Counter struct {
 // (metric creation is an init-time programming act, not runtime input).
 func NewCounter(name string) *Counter {
 	c := &Counter{name: name}
-	Default.register(name, func(r *Registry) { r.counters = append(r.counters, c) })
+	Default.register(name, c, func(r *Registry) { r.counters = append(r.counters, c) })
+	return c
+}
+
+// GetOrNewCounter returns the counter registered under name, creating
+// and registering it if the name is free. It is the constructor for
+// dynamically named instruments — per-shard labels like
+// "shard.03.queries" — where several subsystem instances built at
+// different times legitimately share one process-wide metric. It panics
+// if the name is taken by a different metric kind.
+func GetOrNewCounter(name string) *Counter {
+	h := Default.getOrRegister(name,
+		func() any { return &Counter{name: name} },
+		func(r *Registry, h any) { r.counters = append(r.counters, h.(*Counter)) })
+	c, ok := h.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric name %q is registered as a different kind", name))
+	}
 	return c
 }
 
@@ -93,7 +113,7 @@ type Gauge struct {
 // NewGauge creates and registers a gauge in the default registry.
 func NewGauge(name string) *Gauge {
 	g := &Gauge{name: name}
-	Default.register(name, func(r *Registry) { r.gauges = append(r.gauges, g) })
+	Default.register(name, g, func(r *Registry) { r.gauges = append(r.gauges, g) })
 	return g
 }
 

@@ -10,10 +10,14 @@ import (
 // Registry holds every registered metric. Registration happens at
 // package init time of the instrumented packages and is mutex-guarded;
 // the metric handles themselves are lock-free, so the registry is never
-// touched on a record path.
+// touched on a record path. handles maps each registered name to its
+// metric handle, which is what lets the GetOrNew constructors hand back
+// an existing instrument instead of panicking — the sharding layer
+// creates per-shard instruments at Group construction time, and two
+// groups in one process (tests, a rebuild) legitimately share names.
 type Registry struct {
 	mu       sync.Mutex
-	names    map[string]bool
+	handles  map[string]any
 	counters []*Counter
 	gauges   []*Gauge
 	hists    []*Histogram
@@ -22,19 +26,37 @@ type Registry struct {
 
 // Default is the process-wide registry every NewCounter/NewGauge/
 // NewHistogram/NewSpan registers into.
-var Default = &Registry{names: make(map[string]bool)}
+var Default = &Registry{handles: make(map[string]any)}
 
 // register adds a metric under a unique name. It panics on duplicates:
 // metric names are compile-time constants of the instrumented packages,
-// so a collision is a programming error, not runtime input.
-func (r *Registry) register(name string, add func(*Registry)) {
+// so a collision is a programming error, not runtime input. Dynamically
+// named instruments (per-shard labels) go through getOrRegister instead.
+func (r *Registry) register(name string, handle any, add func(*Registry)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.names[name] {
+	if _, taken := r.handles[name]; taken {
 		panic(fmt.Sprintf("obs: duplicate metric name %q", name))
 	}
-	r.names[name] = true
+	r.handles[name] = handle
 	add(r)
+}
+
+// getOrRegister returns the handle already registered under name, or —
+// when the name is free — registers and returns the handle produced by
+// make. The caller asserts the handle's kind and panics on mismatch
+// (reusing a name across metric kinds is the same programming error New*
+// rejects).
+func (r *Registry) getOrRegister(name string, make func() any, add func(*Registry, any)) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, taken := r.handles[name]; taken {
+		return h
+	}
+	h := make()
+	r.handles[name] = h
+	add(r, h)
+	return h
 }
 
 // Snapshot is a point-in-time view of the whole registry, shaped for

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -21,7 +22,26 @@ func NewSpan(name string) *Span {
 	bounds := DurationBounds()
 	h := &Histogram{name: name, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 	s := &Span{hist: h}
-	Default.register(name, func(r *Registry) { r.spans = append(r.spans, s) })
+	Default.register(name, s, func(r *Registry) { r.spans = append(r.spans, s) })
+	return s
+}
+
+// GetOrNewSpan returns the span registered under name, creating and
+// registering it if the name is free — the span counterpart of
+// GetOrNewCounter for dynamically named (per-shard) instruments. It
+// panics if the name is taken by a different metric kind.
+func GetOrNewSpan(name string) *Span {
+	h := Default.getOrRegister(name,
+		func() any {
+			bounds := DurationBounds()
+			hist := &Histogram{name: name, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+			return &Span{hist: hist}
+		},
+		func(r *Registry, h any) { r.spans = append(r.spans, h.(*Span)) })
+	s, ok := h.(*Span)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric name %q is registered as a different kind", name))
+	}
 	return s
 }
 

@@ -296,6 +296,8 @@ type StatsResponse struct {
 	NumDocs     int               `json:"num_docs"`
 	NumSegments int               `json:"num_segments"`
 	NumClusters int               `json:"num_clusters"`
+	Shards      int               `json:"shards,omitempty"`
+	ShardDocs   []int             `json:"shard_docs,omitempty"`
 	PhaseNS     map[string]int64  `json:"phase_ns"`
 	Granularity GranularityReport `json:"granularity"`
 }
@@ -462,6 +464,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		NumDocs:     st.NumDocs,
 		NumSegments: st.NumSegments,
 		NumClusters: s.p.NumClusters(),
+		Shards:      s.p.Shards(),
+		ShardDocs:   s.p.ShardDocs(),
 		PhaseNS: map[string]int64{
 			"preprocess":    int64(st.Preprocess),
 			"segmentation":  int64(st.Segmentation),

@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/forum"
+	"repro/internal/obs"
+)
+
+// TestServeShardedStress is TestServeStress over the sharded serving
+// topology: the same HTTP surface backed by a 4-shard scatter-gather
+// group, run under -race (CI does). On top of the well-formedness
+// checks it asserts the sharded-specific contracts: every add is
+// immediately retrievable (the owning shard answers for it in the next
+// scatter), the per-shard counters are monotone and reconcile with the
+// totals, /stats reports a consistent shard topology while adds land,
+// and captured /related traces carry the scatter-gather events.
+func TestServeShardedStress(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+
+	const numShards = 4
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 200, Seed: 11})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	const base = 150
+	p, err := core.Build(texts[:base], core.Config{Seed: 11, Shards: numShards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := texts[base:]
+
+	ts := httptest.NewServer(New(p, Config{SlowQuery: 0}).Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const (
+		queryWorkers = 4
+		addWorkers   = 2
+		queriesEach  = 80
+		addsEach     = 20
+		scrapesEach  = 40
+	)
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int32
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+	post := func(path, body string) (*http.Response, error) {
+		return client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	}
+	related := func(doc int) (RelatedResponse, int, error) {
+		var rr RelatedResponse
+		resp, err := post("/related", fmt.Sprintf(`{"doc_id": %d, "k": 5}`, doc))
+		if err != nil {
+			return rr, 0, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		return rr, resp.StatusCode, err
+	}
+
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				doc := (w*queriesEach + i*7) % base
+				rr, status, err := related(doc)
+				if err != nil || status != http.StatusOK {
+					fail("related: status %d err %v", status, err)
+					return
+				}
+				for j, r := range rr.Results {
+					if r.DocID == doc || r.Score < 0 || math.IsNaN(r.Score) {
+						fail("related: bad result %+v for doc %d", r, doc)
+						return
+					}
+					if j > 0 && rr.Results[j-1].Score < r.Score {
+						fail("related: unsorted results for doc %d", doc)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Add workers: beyond unique ids, every added post must be
+	// immediately queryable — the directory registered it and its owning
+	// shard serves it to the very next scatter.
+	var seenIDs sync.Map
+	for w := 0; w < addWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < addsEach; i++ {
+				text := extra[(w*addsEach+i)%len(extra)]
+				resp, err := post("/add", fmt.Sprintf(`{"text": %q}`, text))
+				if err != nil {
+					fail("add: %v", err)
+					return
+				}
+				var ar AddResponse
+				err = json.NewDecoder(resp.Body).Decode(&ar)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("add: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				if ar.DocID < base {
+					fail("add: id %d below base %d", ar.DocID, base)
+					return
+				}
+				if _, dup := seenIDs.LoadOrStore(ar.DocID, true); dup {
+					fail("add: duplicate id %d", ar.DocID)
+					return
+				}
+				rr, status, err := related(ar.DocID)
+				if err != nil || status != http.StatusOK {
+					fail("post-add related for %d: status %d err %v", ar.DocID, status, err)
+					return
+				}
+				if len(rr.Results) == 0 {
+					fail("post-add related for %d: no results", ar.DocID)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Metrics scrapers: per-shard counters must exist for every shard
+	// and stay monotone across scrapes; /stats must report the topology
+	// consistently while the collection grows.
+	var perShard []string
+	for s := 0; s < numShards; s++ {
+		perShard = append(perShard, fmt.Sprintf("shard.%02d.queries", s), fmt.Sprintf("shard.%02d.adds", s))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := map[string]int64{}
+			for i := 0; i < scrapesEach; i++ {
+				resp, err := client.Get(ts.URL + "/metrics")
+				if err != nil {
+					fail("metrics: %v", err)
+					return
+				}
+				var snap obs.Snapshot
+				err = json.NewDecoder(resp.Body).Decode(&snap)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					fail("metrics: status %d err %v", resp.StatusCode, err)
+					return
+				}
+				for _, name := range perShard {
+					v, ok := snap.Counters[name]
+					if !ok {
+						fail("metrics: per-shard counter %q missing", name)
+						return
+					}
+					if v < last[name] {
+						fail("metrics: counter %q went backwards: %d -> %d", name, last[name], v)
+						return
+					}
+					last[name] = v
+				}
+				var st StatsResponse
+				sresp, err := client.Get(ts.URL + "/stats")
+				if err != nil {
+					fail("stats: %v", err)
+					return
+				}
+				err = json.NewDecoder(sresp.Body).Decode(&st)
+				sresp.Body.Close()
+				if err != nil {
+					fail("stats: %v", err)
+					return
+				}
+				if st.Shards != numShards {
+					fail("stats: Shards = %d, want %d", st.Shards, numShards)
+					return
+				}
+				if len(st.ShardDocs) != numShards {
+					fail("stats: ShardDocs has %d entries", len(st.ShardDocs))
+					return
+				}
+			}
+		}()
+	}
+
+	// Trace scraper: captured traces must stay well-formed while the
+	// scatter-gather path publishes concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapesEach; i++ {
+			resp, err := client.Get(ts.URL + "/debug/traces")
+			if err != nil {
+				fail("traces: %v", err)
+				return
+			}
+			var tres TracesResponse
+			err = json.NewDecoder(resp.Body).Decode(&tres)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fail("traces: status %d err %v", resp.StatusCode, err)
+				return
+			}
+			for _, rec := range tres.Traces {
+				for j := 1; j < len(rec.Events); j++ {
+					if rec.Events[j].At < rec.Events[j-1].At {
+						fail("traces: %s events not monotone", rec.ID)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failures under concurrent sharded serve load", failures.Load())
+	}
+
+	// Post-conditions: per-shard counters reconcile with the load — each
+	// of the N shards answers every scatter, so per-shard query counts
+	// are each ≥ the /related request count, and the shard add counters
+	// sum to the adds.
+	snap := obs.Default.Snapshot()
+	wantQueries := int64(queryWorkers * queriesEach)
+	var addSum int64
+	for s := 0; s < numShards; s++ {
+		q := snap.Counters[fmt.Sprintf("shard.%02d.queries", s)]
+		if q < wantQueries {
+			t.Errorf("shard %d answered %d scatter legs, want ≥ %d", s, q, wantQueries)
+		}
+		addSum += snap.Counters[fmt.Sprintf("shard.%02d.adds", s)]
+	}
+	wantAdds := int64(addWorkers * addsEach)
+	if addSum < wantAdds {
+		t.Errorf("per-shard add counters sum to %d, want ≥ %d", addSum, wantAdds)
+	}
+	if got := snap.Spans["shard.related"].Count; got < wantQueries {
+		t.Errorf("shard.related span count = %d, want ≥ %d", got, wantQueries)
+	}
+	// The captured /related traces carry the scatter-gather events.
+	var sawScatter bool
+	resp, err := client.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tres TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, rec := range tres.Traces {
+		for _, ev := range rec.Events {
+			if ev.Name == "shard.merge" || ev.Name == "shard.list" {
+				sawScatter = true
+			}
+		}
+	}
+	if !sawScatter {
+		t.Error("no captured trace carries shard.list/shard.merge events")
+	}
+	if st := p.Stats(); st.NumDocs != base+int(wantAdds) {
+		t.Errorf("final NumDocs = %d, want %d", st.NumDocs, base+int(wantAdds))
+	}
+	sum := 0
+	for _, c := range p.ShardDocs() {
+		sum += c
+	}
+	if sum != base+int(wantAdds) {
+		t.Errorf("ShardDocs sums to %d, want %d", sum, base+int(wantAdds))
+	}
+}

@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/index"
+	"repro/internal/match"
+)
+
+// Persistence for a shard group is a directory, not a single stream: a
+// small JSON manifest naming the topology (shard count, routing seed,
+// document and cluster counts) plus one shard file per shard, each in
+// the existing match.MR gob codec — so a shard file is readable by the
+// plain ReadMR and inspectable with the same tooling as an unsharded
+// snapshot. The manifest is what makes the directory reconstructible:
+// routing is a pure function of (seed, id), so the loader rebuilds the
+// whole global↔local id directory by replaying the route over
+// 0..Docs-1, then cross-checks every shard's document count against
+// what the routing predicts — a wrong seed, a missing document, or
+// shard files from a different build fail loudly instead of serving
+// wrong neighbors.
+
+// manifestVersion is the shard directory layout version.
+const manifestVersion = 1
+
+// ManifestName is the manifest's file name inside a shard directory.
+const ManifestName = "manifest.json"
+
+// ShardFileName returns shard s's file name inside a shard directory.
+func ShardFileName(s int) string { return fmt.Sprintf("shard-%04d.mr", s) }
+
+// manifest is the JSON topology record written next to the shard files.
+type manifest struct {
+	Version   int    `json:"version"`
+	Name      string `json:"name"`
+	Shards    int    `json:"shards"`
+	RouteSeed uint64 `json:"route_seed"`
+	Docs      int    `json:"docs"`
+	Clusters  int    `json:"clusters"`
+}
+
+// WriteDir persists the group into dir (created if needed): the
+// manifest plus one MR-codec file per shard. It holds addMu for the
+// duration so the manifest's document count and every shard file
+// describe the same frozen population; queries are not blocked.
+func (g *Group) WriteDir(dir string) error {
+	g.addMu.Lock()
+	defer g.addMu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: creating %s: %w", dir, err)
+	}
+	m := manifest{
+		Version:   manifestVersion,
+		Name:      g.Name(),
+		Shards:    g.n,
+		RouteSeed: g.seed,
+		Docs:      g.NumDocs(),
+		Clusters:  g.NumClusters(),
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("shard: writing manifest: %w", err)
+	}
+	for s, sh := range g.shards {
+		if err := writeShardFile(filepath.Join(dir, ShardFileName(s)), sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeShardFile(path string, sh *match.MR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("shard: creating %s: %w", filepath.Base(path), err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := sh.WriteTo(w); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: closing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// ReadDir loads a shard group from a directory written by WriteDir:
+// manifest, shard files, shared statistics pools (rebuilt by attaching
+// every shard — the files carry only local state), and the replayed
+// routing directory. Every failure is a descriptive error naming the
+// offending file; nothing panics on truncated or corrupt input.
+func ReadDir(dir string) (*Group, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: unsupported manifest version %d (want %d)", m.Version, manifestVersion)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("shard: manifest declares %d shards", m.Shards)
+	}
+	if m.Docs < 0 || m.Clusters < 1 {
+		return nil, fmt.Errorf("shard: manifest declares %d documents in %d clusters", m.Docs, m.Clusters)
+	}
+
+	shards := make([]*match.MR, m.Shards)
+	for s := range shards {
+		name := ShardFileName(s)
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("shard: opening %s (manifest declares %d shards): %w", name, m.Shards, err)
+		}
+		sh, err := match.ReadMR(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("shard: reading %s: %w", name, err)
+		}
+		if got := sh.NumClusters(); got != m.Clusters {
+			return nil, fmt.Errorf("shard: %s has %d clusters, manifest declares %d", name, got, m.Clusters)
+		}
+		shards[s] = sh
+	}
+
+	stats := make([]*index.GlobalStats, m.Clusters)
+	for c := range stats {
+		stats[c] = index.NewGlobalStats()
+	}
+	for s, sh := range shards {
+		if err := sh.AttachGlobalStats(stats); err != nil {
+			return nil, fmt.Errorf("shard: attaching %s: %w", ShardFileName(s), err)
+		}
+	}
+
+	g := newGroup(shards, stats, m.RouteSeed)
+	for d := 0; d < m.Docs; d++ {
+		g.register(routeDoc(m.RouteSeed, d, m.Shards))
+	}
+	for s, sh := range shards {
+		if want, got := len(g.global[s]), sh.NumDocs(); want != got {
+			return nil, fmt.Errorf("shard: %s holds %d documents but routing %d over seed %d assigns it %d (wrong seed, or shard files from a different build?)",
+				ShardFileName(s), got, m.Docs, m.RouteSeed, want)
+		}
+	}
+	return g, nil
+}

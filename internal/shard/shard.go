@@ -1,0 +1,446 @@
+// Package shard is the horizontally partitioned serving layer: it
+// splits one built match.MR collection across N independent shard
+// matchers by deterministic document-id routing, answers Related
+// queries by scattering Algorithm 1's per-intention-cluster probes to
+// every shard in parallel and merging the per-shard candidate lists
+// with a single heap pass, and routes each Add to exactly one shard —
+// so writers contend on 1/N of the corpus and readers of the other
+// shards never block on a commit.
+//
+// The load-bearing guarantee is exact equivalence with the unsharded
+// path: for the same collection and the same query, a Group returns
+// bit-identical scores and the identical ranking (under the documented
+// tie-break) that the single match.MR returns. Three mechanisms carry
+// the proof, each tested in this package and below it:
+//
+//  1. Global statistics. Eq 7–9 scores depend on three
+//     collection-level quantities — the unit count N, the per-term
+//     document frequency, and the average unique-term count. Every
+//     shard's cluster index is attached to a shared
+//     index.GlobalStats pool, so shards score against the whole
+//     collection's statistics, not their partition's.
+//  2. Global list cuts. Algorithm 1's top-n cut must be applied to
+//     each intention list globally: the merge collects every shard's
+//     top-n candidates per cluster into one topk heap of depth n
+//     (the global top-n is a subset of the union of per-shard top-n
+//     lists, because restriction preserves a total order), applies
+//     the threshold/normalization trim to the merged list, and only
+//     then runs Algorithm 2's summation — in the same ascending
+//     cluster order and the same descending (score, ascending id)
+//     within-list order as the unsharded path, so the float sums are
+//     bit-identical.
+//  3. Order-preserving ids. The tie-break (score descending, document
+//     id ascending) survives sharding because shard-local ids ascend
+//     with global ids: Split walks documents in ascending global
+//     order, and Add serializes commit+registration so same-shard
+//     commit order equals global-id order. Mapping a shard's
+//     (score, local id) list to global ids is therefore monotone, and
+//     the merged heap reproduces the unsharded ordering exactly.
+//
+// Routing is a pure integer function of (seed, doc id) — a
+// splitmix64-style mix — so it is platform-stable and reconstructible
+// from the persisted manifest (see persist.go).
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/match"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/segment"
+	"repro/internal/topk"
+)
+
+// Group-level observability. shard.related times the whole
+// scatter-gather query; shard.merge.candidates sizes the Algorithm 2
+// merge input (the union of trimmed per-cluster lists). Per-shard
+// instruments (shard.NN.query spans, shard.NN.queries/adds counters,
+// shard.NN.width histograms) are created per Group via the GetOrNew
+// registrars, since several groups may live in one process.
+var (
+	spanRelated = obs.NewSpan("shard.related")
+	histMerge   = obs.NewCountHistogram("shard.merge.candidates")
+)
+
+// Group serves one logical collection partitioned across n shard
+// matchers.
+//
+// Locking model: the shards carry their own RWMutexes (match.MR) and
+// statistics pools their own (index.GlobalStats); the Group adds two.
+// dirMu guards the global↔local id directory (owner/local/global),
+// which queries read and Add appends to. addMu serializes the whole
+// commit+register step of Add — it is what keeps same-shard local ids
+// ascending in global-id order (invariant 3 of the package comment);
+// queries never touch it, so Related is blocked only by the owning
+// shard's own commit, never by writes to other shards. A document is
+// guaranteed visible to queries once Add returns; in the microseconds
+// between a shard commit and directory registration, the merge simply
+// skips the not-yet-registered local id.
+type Group struct {
+	cfg       match.MRConfig
+	n         int
+	seed      uint64
+	shards    []*match.MR
+	stats     []*index.GlobalStats
+	centroids [][]float64
+
+	addMu sync.Mutex // serializes Add commit+register; see type comment
+
+	dirMu  sync.RWMutex
+	owner  []int32   // global doc id → owning shard
+	local  []int32   // global doc id → shard-local doc id
+	global [][]int32 // shard → local doc id → global doc id
+
+	spanQuery  []*obs.Span      // shard.NN.query: per-shard scatter leg latency
+	ctrQueries []*obs.Counter   // shard.NN.queries: scatter legs answered
+	ctrAdds    []*obs.Counter   // shard.NN.adds: documents committed
+	histWidth  []*obs.Histogram // shard.NN.width: candidate width contributed per query
+}
+
+// routeDoc maps a global document id to its shard: a splitmix64-style
+// finalizer over (seed + id), reduced modulo n. Pure integer math, so
+// the same (seed, id, n) routes identically on every platform and
+// process — the property the persisted manifest relies on to
+// reconstruct the directory.
+func routeDoc(seed uint64, doc, n int) int {
+	x := seed + uint64(doc)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// NewGroup partitions a built matcher into n shards routed by seed.
+// The source matcher is read, not consumed; it shares immutable state
+// (centroids, term slices, configuration) with the shards but no index
+// or serving state, so callers typically drop it to avoid holding two
+// copies of the postings.
+func NewGroup(mr *match.MR, n int, seed uint64) (*Group, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: group needs at least 1 shard, got %d", n)
+	}
+	k := mr.NumClusters()
+	stats := make([]*index.GlobalStats, k)
+	for c := range stats {
+		stats[c] = index.NewGlobalStats()
+	}
+	shards, err := mr.Split(n, func(d int) int { return routeDoc(seed, d, n) }, stats)
+	if err != nil {
+		return nil, err
+	}
+	g := newGroup(shards, stats, seed)
+	for d, numDocs := 0, mr.NumDocs(); d < numDocs; d++ {
+		g.register(routeDoc(seed, d, n))
+	}
+	return g, nil
+}
+
+// newGroup assembles a Group around existing shards (fresh from Split
+// or loaded from disk) and resolves its per-shard instruments.
+func newGroup(shards []*match.MR, stats []*index.GlobalStats, seed uint64) *Group {
+	n := len(shards)
+	g := &Group{
+		cfg:       shards[0].Config(),
+		n:         n,
+		seed:      seed,
+		shards:    shards,
+		stats:     stats,
+		centroids: shards[0].Centroids(),
+		global:    make([][]int32, n),
+
+		spanQuery:  make([]*obs.Span, n),
+		ctrQueries: make([]*obs.Counter, n),
+		ctrAdds:    make([]*obs.Counter, n),
+		histWidth:  make([]*obs.Histogram, n),
+	}
+	for s := 0; s < n; s++ {
+		lbl := fmt.Sprintf("shard.%02d", s)
+		g.spanQuery[s] = obs.GetOrNewSpan(lbl + ".query")
+		g.ctrQueries[s] = obs.GetOrNewCounter(lbl + ".queries")
+		g.ctrAdds[s] = obs.GetOrNewCounter(lbl + ".adds")
+		g.histWidth[s] = obs.GetOrNewCountHistogram(lbl + ".width")
+	}
+	return g
+}
+
+// register appends the next global document id to the directory, owned
+// by shard s with the next local id. Callers must hold addMu (or be
+// the single construction goroutine).
+func (g *Group) register(s int) int {
+	g.dirMu.Lock()
+	gid := len(g.owner)
+	g.owner = append(g.owner, int32(s))
+	g.local = append(g.local, int32(len(g.global[s])))
+	g.global[s] = append(g.global[s], int32(gid))
+	g.dirMu.Unlock()
+	return gid
+}
+
+// Name implements match.Matcher; a group serves under its shards'
+// method name (the partitioning is topology, not a different method).
+func (g *Group) Name() string { return g.shards[0].Name() }
+
+// NumShards returns the shard count.
+func (g *Group) NumShards() int { return g.n }
+
+// Seed returns the routing seed (persisted in the manifest).
+func (g *Group) Seed() uint64 { return g.seed }
+
+// Route returns the shard that owns (or will own) global document id
+// doc.
+func (g *Group) Route(doc int) int { return routeDoc(g.seed, doc, g.n) }
+
+// NumDocs returns the number of documents across all shards.
+func (g *Group) NumDocs() int {
+	g.dirMu.RLock()
+	defer g.dirMu.RUnlock()
+	return len(g.owner)
+}
+
+// ShardDocs returns the per-shard document counts.
+func (g *Group) ShardDocs() []int {
+	g.dirMu.RLock()
+	defer g.dirMu.RUnlock()
+	out := make([]int, g.n)
+	for s := range out {
+		out[s] = len(g.global[s])
+	}
+	return out
+}
+
+// NumClusters returns the intention-cluster count (identical on every
+// shard).
+func (g *Group) NumClusters() int { return g.shards[0].NumClusters() }
+
+// Centroids returns the frozen intention-cluster centroids (shared by
+// all shards).
+func (g *Group) Centroids() [][]float64 { return g.centroids }
+
+// Stats returns the offline build statistics (each shard carries a
+// copy of the source build's; they are identical).
+func (g *Group) Stats() match.BuildStats { return g.shards[0].Stats() }
+
+// SegmentCounts returns each document's segment count before grouping
+// and after refinement in global id order — the Table 3 view, merged
+// back from the per-shard counts.
+func (g *Group) SegmentCounts() (before, after []int) {
+	g.dirMu.RLock()
+	owner := append([]int32(nil), g.owner...)
+	local := append([]int32(nil), g.local...)
+	g.dirMu.RUnlock()
+	perB := make([][]int, g.n)
+	perA := make([][]int, g.n)
+	for s := 0; s < g.n; s++ {
+		perB[s], perA[s] = g.shards[s].SegmentCounts()
+	}
+	before = make([]int, len(owner))
+	after = make([]int, len(owner))
+	for gid := range owner {
+		s, l := owner[gid], int(local[gid])
+		// Registration happens strictly after the shard commit, so every
+		// directory entry has its counts in the shard snapshot.
+		if l < len(perB[s]) {
+			before[gid], after[gid] = perB[s][l], perA[s][l]
+		}
+	}
+	return before, after
+}
+
+// Match implements match.Matcher.
+func (g *Group) Match(docID, k int) []match.Result { return g.RelatedTraced(docID, k, nil) }
+
+// mergedList is one intention cluster's globally merged, trimmed
+// candidate list: items carry global document ids in descending
+// (score, ascending id) order, cut to the global top-n and the
+// configured score threshold; norm is the Algorithm 2 divisor.
+type mergedList struct {
+	cluster int
+	items   []topk.Item
+	norm    float64
+}
+
+// gather runs the scatter-gather front half shared by RelatedTraced
+// and MatchExplained: resolve the reference document, scatter its
+// probes, merge per cluster, and accumulate Algorithm 2 sums. ok is
+// false for unknown document ids.
+func (g *Group) gather(docID, k int, tr *obs.Trace) (probes []match.ClusterQuery, lists []mergedList, scores map[int]float64, ok bool) {
+	g.dirMu.RLock()
+	if docID < 0 || docID >= len(g.owner) {
+		g.dirMu.RUnlock()
+		return nil, nil, nil, false
+	}
+	home, localQ := int(g.owner[docID]), int(g.local[docID])
+	g.dirMu.RUnlock()
+
+	probes = g.shards[home].QuerySegs(localQ)
+	n := g.cfg.ListDepth(k)
+
+	// Scatter: every shard answers every probe at the full unsharded
+	// depth n (invariant 2 of the package comment needs the union of
+	// per-shard top-n lists to cover the global top-n).
+	perShard := make([][][]match.Result, g.n)
+	par.Do(g.n, g.cfg.Workers, func(s int) {
+		st := g.spanQuery[s].Start()
+		excl := -1
+		if s == home {
+			excl = localQ
+		}
+		perShard[s] = g.shards[s].QueryClusterLists(probes, n, excl, tr)
+		st.Stop()
+		g.ctrQueries[s].Inc()
+	})
+	for s := range perShard {
+		w := 0
+		for _, l := range perShard[s] {
+			w += len(l)
+		}
+		g.histWidth[s].Observe(int64(w))
+		if tr != nil {
+			tr.Event("shard.list", obs.N("shard", int64(s)), obs.N("width", int64(w)))
+		}
+	}
+
+	// Gather: per cluster, merge the shard lists into the global top-n
+	// under the deterministic tie-break, trim, and sum — ascending
+	// cluster (probe) order, exactly as the unsharded Algorithm 2 walk.
+	scores = make(map[int]float64)
+	lists = make([]mergedList, len(probes))
+	g.dirMu.RLock()
+	for i := range probes {
+		col := topk.New(n)
+		cand := 0
+		for s := 0; s < g.n; s++ {
+			glb := g.global[s]
+			for _, r := range perShard[s][i] {
+				if r.DocID >= len(glb) {
+					continue // committed but not yet registered; see type comment
+				}
+				col.Offer(int(glb[r.DocID]), r.Score)
+				cand++
+			}
+		}
+		items := col.Results()
+		norm := 1.0
+		if len(items) > 0 {
+			cut, nrm := g.cfg.TrimParams(items[0].Score)
+			norm = nrm
+			for j, it := range items {
+				if it.Score < cut {
+					items = items[:j]
+					break
+				}
+				scores[it.ID] += it.Score / norm
+			}
+		}
+		lists[i] = mergedList{cluster: probes[i].Cluster, items: items, norm: norm}
+		if tr != nil {
+			tr.Event("shard.merge",
+				obs.N("cluster", int64(probes[i].Cluster)),
+				obs.N("candidates", int64(cand)),
+				obs.N("kept", int64(len(items))))
+		}
+	}
+	g.dirMu.RUnlock()
+	histMerge.Observe(int64(len(scores)))
+	return probes, lists, scores, true
+}
+
+// RelatedTraced answers one top-k query over the whole sharded
+// collection — scatter, merge, Algorithm 2 — recording per-shard and
+// merge events into tr when non-nil. The result is bit-identical in
+// scores and identical in order to the unsharded matcher's
+// MatchTraced for the same collection.
+func (g *Group) RelatedTraced(docID, k int, tr *obs.Trace) []match.Result {
+	if k <= 0 {
+		return nil
+	}
+	tm := spanRelated.Start()
+	defer tm.Stop()
+	_, _, scores, ok := g.gather(docID, k, tr)
+	if !ok {
+		return nil
+	}
+	out := match.TopKScores(scores, k, docID)
+	if tr != nil {
+		tr.Event("shard.topk", obs.N("results", int64(len(out))))
+	}
+	return out
+}
+
+// MatchExplained implements match.Explainer: the scatter-gather query
+// with every result's score decomposed into per-intention-cluster
+// contributions and term-level Eq 7–9 products, fetched from the
+// owning shard's pool-attached indices — so the factors reconcile with
+// the served scores exactly as on the unsharded path.
+func (g *Group) MatchExplained(docID, k int) ([]match.Result, []match.Explanation) {
+	if k <= 0 {
+		return nil, nil
+	}
+	probes, lists, scores, ok := g.gather(docID, k, nil)
+	if !ok {
+		return nil, nil
+	}
+	out := match.TopKScores(scores, k, docID)
+	exps := make([]match.Explanation, len(out))
+	for ri, r := range out {
+		exp := match.Explanation{DocID: r.DocID, Score: r.Score}
+		g.dirMu.RLock()
+		s, l := int(g.owner[r.DocID]), int(g.local[r.DocID])
+		g.dirMu.RUnlock()
+		for i, ml := range lists {
+			for _, it := range ml.items {
+				if it.ID != r.DocID {
+					continue
+				}
+				exp.Clusters = append(exp.Clusters, match.ClusterContribution{
+					Cluster: ml.cluster,
+					Score:   it.Score / ml.norm,
+					Terms:   g.shards[s].ExplainDocCluster(l, ml.cluster, probes[i].TF, ml.norm),
+				})
+				break
+			}
+		}
+		exps[ri] = exp
+	}
+	return out, exps
+}
+
+// PrepareAdd segments and vectorizes a new document without touching
+// any shard's serving state. Preparation reads only configuration and
+// the frozen centroids — state every shard shares — so it is valid for
+// whichever shard the document ultimately routes to.
+func (g *Group) PrepareAdd(d *segment.Doc) *match.PendingAdd {
+	return g.shards[0].PrepareAdd(d)
+}
+
+// CommitAdd assigns the next global document id, commits the prepared
+// document into its owning shard, and registers it in the directory.
+// The whole step runs under addMu so same-shard local ids ascend in
+// global-id order (the tie-break invariant); the serialized section is
+// a few appends — the expensive preparation already happened — and
+// only the owning shard's write lock is taken, so readers of other
+// shards proceed untouched.
+func (g *Group) CommitAdd(pending *match.PendingAdd) int {
+	g.addMu.Lock()
+	defer g.addMu.Unlock()
+	g.dirMu.RLock()
+	next := len(g.owner)
+	g.dirMu.RUnlock()
+	s := g.Route(next)
+	pending.CommitTo(g.shards[s])
+	gid := g.register(s)
+	g.ctrAdds[s].Inc()
+	return gid
+}
+
+// Add ingests one new document: prepare (lock-free), commit to the
+// owning shard, register. It returns the global document id; the
+// document is visible to every subsequent query.
+func (g *Group) Add(d *segment.Doc) int {
+	return g.CommitAdd(g.PrepareAdd(d))
+}

@@ -7,8 +7,6 @@
 // results never depend on map iteration order.
 package topk
 
-import "container/heap"
-
 // Item is one scored candidate: an opaque integer id (a unit id inside an
 // index, or a document id at the matching layer) with its score.
 type Item struct {
@@ -52,10 +50,11 @@ func (c *Collector) Offer(id int, score float64) {
 	}
 	cand := Item{ID: id, Score: score}
 	if len(c.h) < c.k {
-		heap.Push(&c.h, cand)
+		c.h = append(c.h, cand)
+		c.h.up(len(c.h) - 1)
 	} else if beats(cand, c.h[0]) {
 		c.h[0] = cand
-		heap.Fix(&c.h, 0)
+		c.h.down(0)
 	}
 }
 
@@ -63,31 +62,62 @@ func (c *Collector) Offer(id int, score float64) {
 // (descending score, ascending id on ties). The Collector is empty
 // afterwards and may be reused.
 func (c *Collector) Results() []Item {
-	out := make([]Item, len(c.h))
+	h := c.h
+	out := make([]Item, len(h))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&c.h).(Item)
+		out[i] = h[0]
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+		h.down(0)
 	}
+	c.h = h
 	return out
 }
 
 // itemHeap is a min-heap on score; the worst retained item sits at the
 // root so it can be evicted in O(log k). Ties order worse-id-first (the
 // inverse of beats) so the eviction victim matches the full ordering.
+// The sift operations are hand-rolled rather than going through
+// container/heap: the interface-based API boxes every pushed and popped
+// Item, and at one heap per cluster probe per shard that boxing
+// dominated the serving path's allocation profile.
 type itemHeap []Item
 
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
+// worse reports whether h[i] ranks below h[j] — the min-heap priority.
+func (h itemHeap) worse(i, j int) bool {
 	if h[i].Score != h[j].Score {
 		return h[i].Score < h[j].Score
 	}
 	return h[i].ID > h[j].ID
 }
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h itemHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.worse(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h itemHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && h.worse(right, left) {
+			min = right
+		}
+		if !h.worse(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }

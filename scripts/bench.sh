@@ -3,7 +3,7 @@
 # machine-readable snapshot so the repo keeps a perf trajectory across PRs.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, writes BENCH_PR4.json
+#   scripts/bench.sh                 # full run, writes BENCH_PR5.json
 #   scripts/bench.sh -smoke          # 1-iteration smoke (CI: bench code must compile and run)
 #   BENCH_OUT=perf.json scripts/bench.sh
 #
@@ -12,15 +12,22 @@
 #
 # The Fig11cRetrievalIntent / Fig11cRetrievalIntentObserved pair tracks
 # the observability tax on the query hot path (obs disabled vs enabled);
-# the pair must stay within a few percent of each other.
+# the pair must stay within a few percent of each other. The
+# ConcurrentServe family (unsharded / read-only / sharded at 1-8 shards)
+# tracks the serving path's mixed-load profile across topologies; see
+# EXPERIMENTS.md for how to read it on single- vs multi-core hosts.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR4.json}"
-PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntent$|BenchmarkFig11cRetrievalIntentObserved|BenchmarkMRBuild|BenchmarkPipelineBuild1k'
-BENCHTIME="${BENCH_TIME:-3x}"
+OUT="${BENCH_OUT:-BENCH_PR5.json}"
+PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntent$|BenchmarkFig11cRetrievalIntentObserved|BenchmarkMRBuild|BenchmarkPipelineBuild1k|BenchmarkConcurrentServe$|BenchmarkConcurrentServeReadOnly|BenchmarkConcurrentServeSharded|BenchmarkConcurrentServeShardedWriteHeavy'
+BENCHTIME="${BENCH_TIME:-2s}"
 COUNT="${BENCH_COUNT:-3}"
+# Benchmark names carry a -GOMAXPROCS suffix only when GOMAXPROCS != 1;
+# the reducer must know the value to strip it without truncating
+# sub-benchmark names like ConcurrentServeSharded/shards-4.
+GOMP="${GOMAXPROCS:-$(nproc)}"
 
 if [[ "${1:-}" == "-smoke" ]]; then
     # CI smoke: one iteration of the two acceptance benchmarks, no JSON.
@@ -35,10 +42,10 @@ go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$C
 
 # Reduce repeated -count runs to the median ns/op (allocs are deterministic).
 go_version="$(go version | awk '{print $3}')"
-awk -v out="$OUT" -v gover="$go_version" -v benchtime="$BENCHTIME" -v count="$COUNT" '
+awk -v out="$OUT" -v gover="$go_version" -v benchtime="$BENCHTIME" -v count="$COUNT" -v gomp="$GOMP" '
 /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
+    if (gomp != 1) sub("-" gomp "$", "", name)   # strip the -GOMAXPROCS suffix (absent when GOMAXPROCS=1)
     ns[name] = ns[name] " " $3
     bytes[name] = $5
     allocs[name] = $7

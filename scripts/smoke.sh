@@ -20,7 +20,7 @@ LOG="$(mktemp)"
 
 cleanup() {
     [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
-    rm -rf "$(dirname "$BIN")" "$LOG"
+    rm -rf "$(dirname "$BIN")" "$LOG" "${REF_DIR:-}"
 }
 trap cleanup EXIT
 
@@ -71,6 +71,14 @@ json  "  scores descending" "all(b['results'][i]['score'] >= b['results'][i+1]['
 check "POST /related explain" 200 -X POST "$BASE/related" -d '{"doc_id": 3, "k": 5, "explain": true}'
 json  "  explain reconciles" "all(abs(sum(c['score'] for c in r['explain']) - r['score']) < 1e-9 for r in b['results'])"
 
+# Reference /related bodies for the sharded equivalence leg below —
+# captured before /add so both topologies answer over the same corpus.
+REF_DIR="$(mktemp -d)"
+for doc in 3 17 57; do
+    curl -s -X POST "$BASE/related" -d "{\"doc_id\": $doc, \"k\": 5}" >"$REF_DIR/related_$doc.json"
+done
+curl -s -X POST "$BASE/related" -d '{"doc_id": 3, "k": 5, "explain": true}' >"$REF_DIR/explain_3.json"
+
 check "POST /related 404" 404 -X POST "$BASE/related" -d '{"doc_id": 99999}'
 check "POST /related 400" 400 -X POST "$BASE/related" -d '{"doc_id": 0, "k": 500}'
 
@@ -108,6 +116,57 @@ assert related and all("trace_id" in r and "latency_ns" in r and "results" in r 
 EOF
 then echo "ok   access log" >&2; else echo "FAIL access log:" >&2; tail -5 "$LOG" >&2; fail=1; fi
 
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# Sharded leg: the same corpus served with -shards 4 must answer
+# /related byte-for-byte identically to the unsharded server (the shard
+# package's equivalence guarantee, probed end to end), report the shard
+# topology in /stats, and accept an /add that lands on one shard.
+echo "== start sharded (-shards 4, same corpus)" >&2
+"$BIN" -addr "127.0.0.1:$PORT" -domain tech -n 200 -seed 42 -shards 4 -trace-slow 0 2>"$LOG" &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "sharded server died during startup:" >&2; cat "$LOG" >&2; exit 1
+    fi
+    sleep 0.3
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "sharded server never became healthy" >&2; cat "$LOG" >&2; exit 1; }
+
+for doc in 3 17 57; do
+    check "POST /related (sharded) doc $doc" 200 -X POST "$BASE/related" -d "{\"doc_id\": $doc, \"k\": 5}"
+    if cmp -s /tmp/smoke_body "$REF_DIR/related_$doc.json"; then
+        echo "ok   sharded /related doc $doc matches unsharded byte-for-byte" >&2
+    else
+        echo "FAIL sharded /related doc $doc diverges from unsharded:" >&2
+        diff <(head -c 400 "$REF_DIR/related_$doc.json") <(head -c 400 /tmp/smoke_body) >&2 || true
+        fail=1
+    fi
+done
+check "POST /related explain (sharded)" 200 -X POST "$BASE/related" -d '{"doc_id": 3, "k": 5, "explain": true}'
+if cmp -s /tmp/smoke_body "$REF_DIR/explain_3.json"; then
+    echo "ok   sharded explain matches unsharded byte-for-byte" >&2
+else
+    echo "FAIL sharded explain diverges from unsharded" >&2
+    fail=1
+fi
+
+check "GET /stats (sharded)" 200 "$BASE/stats"
+json  "  shard topology" "b['shards'] == 4 and len(b['shard_docs']) == 4 and sum(b['shard_docs']) == b['num_docs'] == 200"
+
+check "POST /add (sharded)" 200 -X POST "$BASE/add" -d '{"text": "My printer shows a paper jam error after the firmware update. How do I clear it?"}'
+json  "  new id past corpus" "b['doc_id'] >= 200"
+check "POST /related (post-add)" 200 -X POST "$BASE/related" -d '{"doc_id": 200, "k": 5}'
+json  "  added doc retrievable" "b['doc_id'] == 200 and len(b['results']) >= 1"
+check "GET /stats (post-add)" 200 "$BASE/stats"
+json  "  shard counts grew" "sum(b['shard_docs']) == b['num_docs'] == 201"
+
+check "GET /metrics (sharded)" 200 "$BASE/metrics"
+json  "  per-shard counters" "all(('shard.%02d.queries' % s) in b['counters'] for s in range(4))"
+
+rm -rf "$REF_DIR"
 kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
