@@ -42,6 +42,8 @@ func main() {
 	method := flag.String("method", "intent", "matching method: intent, fulltext, lda, content, sent")
 	seed := flag.Int64("seed", 1, "random seed")
 	save := flag.String("save", "", "write the built pipeline to this file and exit")
+	saveFormat := flag.String("save-format", "compact",
+		"snapshot layout for -save: compact (section format) or gob (legacy; for migration checks — loaders read both)")
 	load := flag.String("load", "", "load a previously saved pipeline instead of building")
 	explain := flag.Bool("explain", false,
 		"print each result's Eq 7–9 score decomposition (per-cluster contributions and top terms)")
@@ -113,14 +115,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		n, err := p.WriteTo(f)
+		var n int64
+		switch *saveFormat {
+		case "compact":
+			n, err = p.WriteTo(f)
+		case "gob":
+			n, err = p.WriteLegacyTo(f)
+		default:
+			fatal(fmt.Errorf("unknown -save-format %q (compact, gob)", *saveFormat))
+		}
 		if err == nil {
 			err = f.Close()
 		}
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("saved pipeline to %s (%d bytes)\n", *save, n)
+		fmt.Printf("saved pipeline to %s (%d bytes, %s)\n", *save, n, *saveFormat)
 		return
 	}
 

@@ -1,0 +1,205 @@
+// Command persistbench measures the persistence layer: for a range of
+// synthetic corpus sizes it builds the pipeline once, writes the
+// snapshot in both on-disk layouts — the legacy gob stream and the
+// compact section format — and reports file size, load wall-time
+// (median over -runs), and post-load heap for each, plus the
+// compact/gob ratios. scripts/bench.sh merges the JSON into the
+// per-PR BENCH snapshot.
+//
+// Usage:
+//
+//	persistbench                          # sizes 1000,10000,100000
+//	persistbench -sizes 1000 -runs 3      # quick smoke
+//	persistbench -out persist.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/forum"
+)
+
+// layoutReport is one (corpus size, layout) measurement.
+type layoutReport struct {
+	FileBytes int64 `json:"file_bytes"`
+	WriteNS   int64 `json:"write_ns"`
+	// LoadNS is the median wall-time of core.ReadPipeline over -runs
+	// loads — the restart-latency figure the compact layout targets.
+	LoadNS int64 `json:"load_ns"`
+	// HeapBytes is the live-heap delta attributable to one loaded
+	// pipeline (GC-settled before and after).
+	HeapBytes int64 `json:"heap_bytes"`
+}
+
+type sizeReport struct {
+	Docs             int          `json:"docs"`
+	BuildNS          int64        `json:"build_ns"`
+	Gob              layoutReport `json:"gob"`
+	Compact          layoutReport `json:"compact"`
+	CompactSizeRatio float64      `json:"compact_size_ratio"` // compact bytes / gob bytes
+	CompactLoadRatio float64      `json:"compact_load_ratio"` // compact load ns / gob load ns
+}
+
+func main() {
+	sizes := flag.String("sizes", "1000,10000,100000", "comma-separated corpus sizes")
+	runs := flag.Int("runs", 5, "load repetitions per layout (median reported)")
+	domain := flag.String("domain", "tech", "synthetic domain")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	flag.Parse()
+
+	dom, err := parseDomain(*domain)
+	if err != nil {
+		fatal(err)
+	}
+
+	report := struct {
+		Persistence map[string]sizeReport `json:"persistence"`
+	}{Persistence: map[string]sizeReport{}}
+
+	for _, field := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad size %q", field))
+		}
+		sr, err := measure(dom, n, *seed, *runs)
+		if err != nil {
+			fatal(err)
+		}
+		report.Persistence[fmt.Sprintf("docs_%d", n)] = sr
+		fmt.Fprintf(os.Stderr, "%7d docs: gob %s → compact %s (%.2fx), load %s → %s (%.2fx), heap %s → %s\n",
+			n, human(sr.Gob.FileBytes), human(sr.Compact.FileBytes), sr.CompactSizeRatio,
+			time.Duration(sr.Gob.LoadNS).Round(time.Microsecond), time.Duration(sr.Compact.LoadNS).Round(time.Microsecond),
+			sr.CompactLoadRatio, human(sr.Gob.HeapBytes), human(sr.Compact.HeapBytes))
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func measure(dom forum.Domain, n int, seed int64, runs int) (sizeReport, error) {
+	posts := forum.Generate(forum.Config{Domain: dom, NumPosts: n, Seed: seed})
+	texts := make([]string, len(posts))
+	for i, p := range posts {
+		texts[i] = p.Text
+	}
+	buildStart := time.Now()
+	p, err := core.Build(texts, core.Config{Seed: seed})
+	if err != nil {
+		return sizeReport{}, err
+	}
+	sr := sizeReport{Docs: n, BuildNS: time.Since(buildStart).Nanoseconds()}
+
+	sr.Gob, err = measureLayout(p.WriteLegacyTo, runs)
+	if err != nil {
+		return sr, fmt.Errorf("gob layout at %d docs: %w", n, err)
+	}
+	sr.Compact, err = measureLayout(p.WriteTo, runs)
+	if err != nil {
+		return sr, fmt.Errorf("compact layout at %d docs: %w", n, err)
+	}
+	sr.CompactSizeRatio = ratio(sr.Compact.FileBytes, sr.Gob.FileBytes)
+	sr.CompactLoadRatio = ratio(sr.Compact.LoadNS, sr.Gob.LoadNS)
+	return sr, nil
+}
+
+func measureLayout(write func(w io.Writer) (int64, error), runs int) (layoutReport, error) {
+	var lr layoutReport
+	var buf bytes.Buffer
+	writeStart := time.Now()
+	if _, err := write(&buf); err != nil {
+		return lr, err
+	}
+	lr.WriteNS = time.Since(writeStart).Nanoseconds()
+	lr.FileBytes = int64(buf.Len())
+
+	times := make([]int64, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := core.ReadPipeline(bytes.NewReader(buf.Bytes())); err != nil {
+			return lr, err
+		}
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	lr.LoadNS = times[len(times)/2]
+
+	// Post-load heap: GC-settled live bytes before vs after one load
+	// that is kept alive across the second measurement.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	loaded, err := core.ReadPipeline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return lr, err
+	}
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	lr.HeapBytes = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	runtime.KeepAlive(loaded)
+	// buf's last use above is the final ReadPipeline call, so without
+	// this the after-load GC frees the serialized file and the delta
+	// reads loadedSize - fileSize. Keeping buf live across both
+	// measurements cancels it out of the subtraction.
+	runtime.KeepAlive(&buf)
+	return lr, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func human(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func parseDomain(name string) (forum.Domain, error) {
+	switch name {
+	case "tech":
+		return forum.TechSupport, nil
+	case "travel":
+		return forum.Travel, nil
+	case "prog", "programming":
+		return forum.Programming, nil
+	case "health":
+		return forum.Health, nil
+	}
+	return 0, fmt.Errorf("unknown domain %q (tech, travel, prog, health)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "persistbench:", err)
+	os.Exit(1)
+}

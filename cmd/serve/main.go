@@ -12,6 +12,8 @@
 //
 //	serve -addr :8080 -domain tech -n 1000 -seed 42
 //	serve -corpus corpus.jsonl                 # cmd/gencorpus output
+//	serve -load built.idx                      # cmd/intentmatch -save output
+//	serve -load sharddir/                      # core.WriteShardDir output
 //	serve -trace-slow 50ms -trace-rate 5       # capture policy
 //	curl -s localhost:8080/related -d '{"doc_id": 3, "k": 5, "explain": true}'
 //	curl -s localhost:8080/metrics?format=prometheus
@@ -40,6 +42,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	corpus := flag.String("corpus", "", "JSONL corpus file (cmd/gencorpus output); empty generates synthetically")
+	load := flag.String("load", "",
+		"serve a persisted pipeline instead of building: a snapshot file (compact or legacy gob, sniffed) or a shard directory")
 	domain := flag.String("domain", "tech", "synthetic domain: tech, travel, prog, or health")
 	n := flag.Int("n", 1000, "synthetic corpus size")
 	seed := flag.Int64("seed", 42, "random seed")
@@ -64,24 +68,42 @@ func main() {
 	stopPoller := obs.StartRuntimePoller(10 * time.Second)
 	defer stopPoller()
 
-	texts, err := loadCorpus(*corpus, *domain, *n, *seed)
-	if err != nil {
-		fatal("corpus", err)
+	var p *core.Pipeline
+	if *load != "" {
+		// Serving a built snapshot is the offline→online handoff of Sec 7:
+		// the restart path skips the whole build and is bounded by decode
+		// speed — the figure the compact layout exists to shrink.
+		start := time.Now()
+		var err error
+		p, err = loadPipeline(*load)
+		if err != nil {
+			fatal("load", err)
+		}
+		st := p.Stats()
+		logger.Info("loaded",
+			"path", *load,
+			"elapsed", time.Since(start).Round(time.Millisecond).String(),
+			"docs", st.NumDocs, "clusters", st.NumClusters, "shards", p.Shards())
+	} else {
+		texts, err := loadCorpus(*corpus, *domain, *n, *seed)
+		if err != nil {
+			fatal("corpus", err)
+		}
+		logger.Info("building pipeline", "posts", len(texts))
+		start := time.Now()
+		p, err = core.Build(texts, core.Config{Seed: *seed, Workers: *workers, Shards: *shards})
+		if err != nil {
+			fatal("build", err)
+		}
+		st := p.Stats()
+		logger.Info("built",
+			"elapsed", time.Since(start).Round(time.Millisecond).String(),
+			"docs", st.NumDocs, "segments", st.NumSegments, "clusters", st.NumClusters,
+			"shards", p.Shards(),
+			"segment_ms", st.Segmentation.Milliseconds(),
+			"group_ms", st.Grouping.Milliseconds(),
+			"index_ms", st.Indexing.Milliseconds())
 	}
-	logger.Info("building pipeline", "posts", len(texts))
-	start := time.Now()
-	p, err := core.Build(texts, core.Config{Seed: *seed, Workers: *workers, Shards: *shards})
-	if err != nil {
-		fatal("build", err)
-	}
-	st := p.Stats()
-	logger.Info("built",
-		"elapsed", time.Since(start).Round(time.Millisecond).String(),
-		"docs", st.NumDocs, "segments", st.NumSegments, "clusters", st.NumClusters,
-		"shards", p.Shards(),
-		"segment_ms", st.Segmentation.Milliseconds(),
-		"group_ms", st.Grouping.Milliseconds(),
-		"index_ms", st.Indexing.Milliseconds())
 
 	handler := serve.New(p, serve.Config{
 		Logger:        logger,
@@ -112,6 +134,25 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown", "err", err)
 	}
+}
+
+// loadPipeline restores a persisted pipeline: a shard directory (from
+// core.WriteShardDir) or a single snapshot file (from Pipeline.WriteTo,
+// in either the compact or the legacy gob matcher layout).
+func loadPipeline(path string) (*core.Pipeline, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		return core.ReadShardDir(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadPipeline(bufio.NewReader(f))
 }
 
 // loadCorpus reads post texts from a cmd/gencorpus JSONL file, or

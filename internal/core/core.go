@@ -426,6 +426,17 @@ func (p *Pipeline) Doc(docID int) *segment.Doc {
 	return p.docs[docID]
 }
 
+// HasDoc reports whether docID names a document of the collection. It
+// is the id-validation predicate for serving: unlike Doc it does not
+// depend on the retained prepared documents, which pipelines restored
+// by ReadPipeline/ReadShardDir do not carry (snapshots persist segment
+// terms, not post texts).
+func (p *Pipeline) HasDoc(docID int) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return docID >= 0 && docID < p.stats.NumDocs
+}
+
 // GranularityDistribution summarizes a segment-count vector into the
 // percentage rows of Table 3: the share of posts with 1, 2, 3, 4, and 5+
 // segments.

@@ -39,6 +39,13 @@ func goldenRender(t *testing.T, workers, shards int) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return renderRelated(p)
+}
+
+// renderRelated renders the fixed golden query set against an
+// already-built (or loaded) pipeline — shared between the build-path
+// golden test and the persistence round-trip golden test.
+func renderRelated(p *Pipeline) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Related top-%d, %s corpus n=%d seed=%d, method %s\n",
 		goldenK, "tech", goldenPosts, goldenSeed, p.Method())

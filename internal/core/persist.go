@@ -18,9 +18,24 @@ import (
 // A loaded pipeline serves Related queries and accepts Add; it does not
 // retain the prepared documents, so Doc returns nil for pre-load ids.
 
-// WriteTo serializes a built MR pipeline. It implements io.WriterTo.
-// Sharded pipelines persist as a directory instead — see WriteShardDir.
+// WriteTo serializes a built MR pipeline: a small gob header (method,
+// stats) followed by the matcher in the compact section layout. It
+// implements io.WriterTo. Sharded pipelines persist as a directory
+// instead — see WriteShardDir.
 func (p *Pipeline) WriteTo(w io.Writer) (int64, error) {
+	return p.writeTo(w, (*match.MR).WriteTo)
+}
+
+// WriteLegacyTo serializes the pipeline with the matcher in the legacy
+// gob layout — byte-compatible with what WriteTo produced before the
+// compact format existed. ReadPipeline loads both (it sniffs the
+// matcher's magic). Retained for migration tooling and the old-vs-new
+// equivalence checks; new snapshots should use WriteTo.
+func (p *Pipeline) WriteLegacyTo(w io.Writer) (int64, error) {
+	return p.writeTo(w, (*match.MR).WriteGobTo)
+}
+
+func (p *Pipeline) writeTo(w io.Writer, writeMR func(*match.MR, io.Writer) (int64, error)) (int64, error) {
 	if p.group != nil {
 		return 0, fmt.Errorf("core: sharded pipelines persist as a shard directory; use WriteShardDir")
 	}
@@ -35,7 +50,7 @@ func (p *Pipeline) WriteTo(w io.Writer) (int64, error) {
 	if err := enc.Encode(p.stats); err != nil {
 		return cw.n, err
 	}
-	if _, err := p.mr.WriteTo(cw); err != nil {
+	if _, err := writeMR(p.mr, cw); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil

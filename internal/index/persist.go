@@ -1,15 +1,33 @@
 package index
 
 import (
+	"bytes"
 	"encoding/gob"
+	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
-// snapshot is the gob-serializable form of an Index. The paper performs
-// segmentation and grouping offline (Sec 7 "Indexing"); persistence lets a
-// built index be saved after that offline phase and reloaded for online
-// matching without re-processing the collection.
+// Persistence for one Index. The paper performs segmentation and
+// grouping offline (Sec 7 "Indexing"); persistence lets a built index
+// be saved after that offline phase and reloaded for online matching
+// without re-processing the collection.
+//
+// WriteTo emits the compact section layout of compact.go; ReadFrom
+// sniffs the first four bytes and accepts either that layout or the
+// legacy gob snapshot earlier builds wrote. Both paths run the same
+// validateSnapshot gauntlet before any byte reaches the live index:
+// a snapshot that decodes cleanly but violates a query-path invariant
+// (posting unit ids out of range or non-ascending, TF = 0, per-unit
+// statistics inconsistent with the postings) is rejected with a
+// descriptive error at load time — the only line of defense in a
+// build-rarely/serve-forever deployment, where the alternative is a
+// panic or silent misranking at query time.
+
+// snapshot is the codec-independent serialized form of an Index — the
+// gob wire struct of the legacy layout, and the intermediate
+// representation the compact codec encodes from and decodes into.
 type snapshot struct {
 	Postings    map[string][]Posting
 	Denoms      []float64
@@ -17,9 +35,10 @@ type snapshot struct {
 	TotalUnique int64
 }
 
-// WriteTo serializes the index. It implements io.WriterTo.
-func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+// snapshotLocked captures the index state under the read lock.
+func (ix *Index) snapshotLocked() snapshot {
 	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	snap := snapshot{
 		Postings:    ix.postings,
 		Denoms:      make([]float64, len(ix.units)),
@@ -30,20 +49,61 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		snap.Denoms[i] = u.denom
 		snap.Uniques[i] = u.unique
 	}
-	ix.mu.RUnlock()
+	return snap
+}
 
+// WriteTo serializes the index in the compact section layout. It
+// implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	data, err := appendCompact(ix.snapshotLocked())
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// WriteGobTo serializes the index in the legacy gob snapshot layout —
+// what WriteTo wrote before the compact format existed. It is retained
+// for migration tooling and the old-vs-new equivalence tests; new
+// snapshots should use WriteTo.
+func (ix *Index) WriteGobTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
-	err := gob.NewEncoder(cw).Encode(snap)
+	err := gob.NewEncoder(cw).Encode(ix.snapshotLocked())
 	return cw.n, err
 }
 
-// ReadFrom replaces the index contents with a serialized snapshot. It
-// implements io.ReaderFrom.
+// ReadFrom replaces the index contents with a serialized snapshot in
+// either layout — the compact format is recognized by its magic, any
+// other prefix is decoded as a legacy gob snapshot. It implements
+// io.ReaderFrom. The source is consumed to EOF; bytes after a valid
+// snapshot are an error in both layouts, so a concatenation or
+// double-write corruption fails at load instead of silently serving a
+// prefix.
 func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
-	cr := &countingReader{r: r}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return int64(len(data)), err
+	}
+	return int64(len(data)), ix.Load(data)
+}
+
+// Load is ReadFrom over bytes already in memory (read or mapped): it
+// sniffs the layout, decodes, validates every query-path invariant, and
+// only then swaps the decoded state in under the write lock.
+func (ix *Index) Load(data []byte) error {
 	var snap snapshot
-	if err := gob.NewDecoder(cr).Decode(&snap); err != nil {
-		return cr.n, err
+	var err error
+	if isCompact := len(data) >= 4 && string(data[:4]) == CompactIndexMagic; isCompact {
+		snap, err = decodeCompact(data)
+	} else {
+		snap, err = decodeGob(data)
+	}
+	if err != nil {
+		return err
+	}
+	if err := validateSnapshot(&snap); err != nil {
+		return fmt.Errorf("index: invalid snapshot: %w", err)
 	}
 	units := make([]unitStats, len(snap.Denoms))
 	for i := range units {
@@ -54,7 +114,8 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	}
 	// The LogTF numerator is derived state; recompute it so snapshots
 	// written before the field existed (where gob leaves it zero) load
-	// correctly. TF >= 1 makes the true value >= 1, never 0.
+	// correctly. validateSnapshot has established TF >= 1, so the value
+	// is >= 1, never 0 or -Inf.
 	for _, posts := range snap.Postings {
 		for i := range posts {
 			posts[i].LogTF = math.Log(float64(posts[i].TF)) + 1
@@ -65,7 +126,88 @@ func (ix *Index) ReadFrom(r io.Reader) (int64, error) {
 	ix.units = units
 	ix.totalUnique = snap.TotalUnique
 	ix.mu.Unlock()
-	return cr.n, nil
+	return nil
+}
+
+// decodeGob parses a legacy gob snapshot and rejects trailing bytes —
+// gob itself stops at the end of its last value and would silently
+// ignore appended garbage.
+func decodeGob(data []byte) (snapshot, error) {
+	var snap snapshot
+	br := bytes.NewReader(data)
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("index: decoding gob snapshot: %w", err)
+	}
+	if br.Len() != 0 {
+		return snap, fmt.Errorf("index: %d trailing bytes after gob snapshot", br.Len())
+	}
+	return snap, nil
+}
+
+// validateSnapshot checks every invariant the query path depends on,
+// whichever codec produced the snapshot:
+//
+//   - Denoms and Uniques describe the same unit count.
+//   - Posting lists are strictly ascending in unit id (binary-search
+//     Weight breaks silently otherwise) and every unit id is inside
+//     [0, units) (ix.units[p.Unit] panics otherwise).
+//   - Every TF >= 1 (LogTF recomputation yields log(0)+1 = -Inf at 0).
+//   - Per-unit unique-term counts equal the number of posting lists
+//     covering the unit, and the Eq 7 weight denominators reproduce from
+//     the postings (summed in sorted term order, as Add sums them).
+//   - TotalUnique equals the sum of the unique counts (it feeds the NU
+//     average; a skewed value shifts every weight).
+func validateSnapshot(snap *snapshot) error {
+	nUnits := len(snap.Denoms)
+	if len(snap.Uniques) != nUnits {
+		return fmt.Errorf("%d weight denominators but %d unique-term counts", nUnits, len(snap.Uniques))
+	}
+	terms := make([]string, 0, len(snap.Postings))
+	for t := range snap.Postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	denom := make([]float64, nUnits)
+	count := make([]int32, nUnits)
+	for _, t := range terms {
+		posts := snap.Postings[t]
+		if len(posts) == 0 {
+			return fmt.Errorf("term %q has an empty posting list", t)
+		}
+		prev := int32(-1)
+		for _, p := range posts {
+			if p.Unit < 0 || int(p.Unit) >= nUnits {
+				return fmt.Errorf("term %q posting unit %d out of range [0, %d)", t, p.Unit, nUnits)
+			}
+			if p.Unit <= prev {
+				return fmt.Errorf("term %q posting units not strictly ascending (%d after %d)", t, p.Unit, prev)
+			}
+			if p.TF < 1 {
+				return fmt.Errorf("term %q unit %d has term frequency %d (must be >= 1)", t, p.Unit, p.TF)
+			}
+			denom[p.Unit] += math.Log(float64(p.TF)) + 1
+			count[p.Unit]++
+			prev = p.Unit
+		}
+	}
+	var total int64
+	for u := 0; u < nUnits; u++ {
+		if snap.Uniques[u] != count[u] {
+			return fmt.Errorf("unit %d declares %d unique terms but %d posting lists cover it", u, snap.Uniques[u], count[u])
+		}
+		// Sorted-term accumulation reproduces Add's summation order, so the
+		// stored denominator must match up to cross-platform libm jitter.
+		// Inverted comparison so a NaN denominator (diff = NaN, every
+		// ordered comparison false) is rejected, not waved through.
+		if diff := math.Abs(denom[u] - snap.Denoms[u]); !(diff <= 1e-9*math.Max(1, math.Abs(snap.Denoms[u]))) {
+			return fmt.Errorf("unit %d weight denominator %g inconsistent with postings (recomputed %g)", u, snap.Denoms[u], denom[u])
+		}
+		total += int64(count[u])
+	}
+	if snap.TotalUnique != total {
+		return fmt.Errorf("totalUnique %d inconsistent with unit statistics (sum %d)", snap.TotalUnique, total)
+	}
+	return nil
 }
 
 type countingWriter struct {
@@ -75,17 +217,6 @@ type countingWriter struct {
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
-
-type countingReader struct {
-	r io.Reader
-	n int64
-}
-
-func (c *countingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
 }

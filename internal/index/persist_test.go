@@ -1,0 +1,468 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var regenGobFixtures = flag.Bool("regen-gob-fixtures", false,
+	"rewrite the corrupt-gob regression fixtures under testdata/ and exit")
+
+// fixtureSnapshot is the consistent base every corrupt fixture starts
+// from: three units, three terms, statistics that validate.
+func fixtureSnapshot() snapshot {
+	logTF := func(tf int32) float64 { return math.Log(float64(tf)) + 1 }
+	return snapshot{
+		Postings: map[string][]Posting{
+			"raid":  {{Unit: 0, TF: 2}, {Unit: 2, TF: 1}},
+			"hotel": {{Unit: 1, TF: 1}},
+			"pool":  {{Unit: 1, TF: 2}},
+		},
+		Denoms:      []float64{logTF(2), logTF(1) + logTF(2), logTF(1)},
+		Uniques:     []int32{1, 2, 1},
+		TotalUnique: 4,
+	}
+}
+
+// gobFixtures enumerates the committed corrupt-gob regression
+// fixtures: each mutates the valid base snapshot into a stream that
+// gob-decodes cleanly (or not, for the stream-level cases) but must be
+// rejected by Load with the given error substring. These are the
+// snapshots that used to load silently and blow up at query time —
+// ix.units[p.Unit] panics on out-of-range ids, binary-search Weight
+// returns wrong weights on non-ascending ids, TF = 0 recomputes
+// LogTF = -Inf.
+var gobFixtures = []struct {
+	name    string
+	mutate  func(s *snapshot) // nil: stream-level corruption via raw below
+	raw     func(valid []byte) []byte
+	wantSub string
+}{
+	{
+		name:    "unit_out_of_range",
+		mutate:  func(s *snapshot) { s.Postings["raid"][1].Unit = 99 },
+		wantSub: "posting unit 99 out of range [0, 3)",
+	},
+	{
+		name:    "unit_negative",
+		mutate:  func(s *snapshot) { s.Postings["hotel"][0].Unit = -1 },
+		wantSub: "out of range",
+	},
+	{
+		name: "units_not_ascending",
+		mutate: func(s *snapshot) {
+			s.Postings["raid"] = []Posting{{Unit: 2, TF: 1}, {Unit: 0, TF: 2}}
+		},
+		wantSub: "not strictly ascending",
+	},
+	{
+		name: "unit_duplicated",
+		mutate: func(s *snapshot) {
+			s.Postings["raid"] = []Posting{{Unit: 2, TF: 2}, {Unit: 2, TF: 1}}
+		},
+		wantSub: "not strictly ascending",
+	},
+	{
+		name:    "zero_tf",
+		mutate:  func(s *snapshot) { s.Postings["hotel"][0].TF = 0 },
+		wantSub: "term frequency 0 (must be >= 1)",
+	},
+	{
+		name:    "empty_posting_list",
+		mutate:  func(s *snapshot) { s.Postings["ghost"] = nil },
+		wantSub: "empty posting list",
+	},
+	{
+		name:    "unique_count_mismatch",
+		mutate:  func(s *snapshot) { s.Uniques[1] = 7 },
+		wantSub: "declares 7 unique terms",
+	},
+	{
+		name:    "denominator_mismatch",
+		mutate:  func(s *snapshot) { s.Denoms[0] = 42 },
+		wantSub: "weight denominator 42 inconsistent",
+	},
+	{
+		name:    "total_unique_mismatch",
+		mutate:  func(s *snapshot) { s.TotalUnique = 99 },
+		wantSub: "totalUnique 99 inconsistent",
+	},
+	{
+		name:    "column_length_mismatch",
+		mutate:  func(s *snapshot) { s.Uniques = s.Uniques[:2] },
+		wantSub: "3 weight denominators but 2 unique-term counts",
+	},
+	{
+		name:    "trailing_garbage",
+		raw:     func(valid []byte) []byte { return append(valid, "garbage past the snapshot"...) },
+		wantSub: "trailing bytes after gob snapshot",
+	},
+	{
+		name:    "truncated",
+		raw:     func(valid []byte) []byte { return valid[:len(valid)-10] },
+		wantSub: "decoding gob snapshot",
+	},
+	{
+		name:    "not_gob",
+		raw:     func([]byte) []byte { return []byte("\x01\x02this is neither layout\x03") },
+		wantSub: "decoding gob snapshot",
+	},
+}
+
+func encodeFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	for _, fx := range gobFixtures {
+		if fx.name != name {
+			continue
+		}
+		if fx.raw != nil {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(fixtureSnapshot()); err != nil {
+				t.Fatal(err)
+			}
+			return fx.raw(buf.Bytes())
+		}
+		snap := fixtureSnapshot()
+		fx.mutate(&snap)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	t.Fatalf("unknown fixture %q", name)
+	return nil
+}
+
+// TestRegenGobFixtures rewrites testdata/corrupt-gob/ when run with
+// -regen-gob-fixtures. The committed bytes are what the regression
+// test loads; regenerate only when the snapshot wire struct changes.
+func TestRegenGobFixtures(t *testing.T) {
+	if !*regenGobFixtures {
+		t.Skip("run with -regen-gob-fixtures to rewrite testdata/corrupt-gob/")
+	}
+	dir := filepath.Join("testdata", "corrupt-gob")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range gobFixtures {
+		if err := os.WriteFile(filepath.Join(dir, fx.name+".gob"), encodeFixture(t, fx.name), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptGobFixtures is the committed-fixture regression test: every
+// file under testdata/corrupt-gob/ must be rejected by Load with its
+// documented error, and a failed load must leave the live index intact.
+func TestCorruptGobFixtures(t *testing.T) {
+	for _, fx := range gobFixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", "corrupt-gob", fx.name+".gob"))
+			if err != nil {
+				t.Fatalf("missing committed fixture (regenerate with -regen-gob-fixtures): %v", err)
+			}
+			ix := buildIndex([]string{"alpha", "beta"})
+			if err := ix.Load(data); err == nil {
+				t.Fatal("corrupt snapshot loaded without error")
+			} else if !strings.Contains(err.Error(), fx.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, fx.wantSub)
+			}
+			// Validation runs before the state swap: the index still serves
+			// its pre-load contents.
+			if ix.NumUnits() != 1 || ix.NumTerms() != 2 {
+				t.Fatalf("failed load mutated the index: %d units, %d terms", ix.NumUnits(), ix.NumTerms())
+			}
+		})
+	}
+}
+
+// TestGobFixturesMatchGenerators pins the committed fixture bytes to
+// their generators' *semantics*: each committed file and its freshly
+// generated counterpart must be rejected with the same error. (Gob map
+// encoding is order-randomized, so the bytes themselves may differ.)
+func TestGobFixturesMatchGenerators(t *testing.T) {
+	for _, fx := range gobFixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			err := New().Load(encodeFixture(t, fx.name))
+			if err == nil {
+				t.Fatal("generated fixture loaded without error")
+			}
+			if !strings.Contains(err.Error(), fx.wantSub) {
+				t.Fatalf("generated fixture error %q does not mention %q", err, fx.wantSub)
+			}
+		})
+	}
+}
+
+// TestLegacyGobRoundTrip pins the migration path: a snapshot written by
+// the legacy writer loads through the sniffing reader and serves the
+// same weights as the compact layout of the same index.
+func TestLegacyGobRoundTrip(t *testing.T) {
+	ix := buildIndex(
+		[]string{"raid", "controller", "performance"},
+		[]string{"hotel", "pool"},
+		[]string{"raid", "hotel"},
+	)
+	var legacy, compact bytes.Buffer
+	if _, err := ix.WriteGobTo(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(&compact); err != nil {
+		t.Fatal(err)
+	}
+	fromLegacy, fromCompact := New(), New()
+	if _, err := fromLegacy.ReadFrom(&legacy); err != nil {
+		t.Fatalf("legacy gob load: %v", err)
+	}
+	if _, err := fromCompact.ReadFrom(&compact); err != nil {
+		t.Fatalf("compact load: %v", err)
+	}
+	for _, term := range []string{"raid", "controller", "hotel", "pool", "absent"} {
+		for u := 0; u < 3; u++ {
+			a, b := fromLegacy.Weight(term, u), fromCompact.Weight(term, u)
+			if a != b {
+				t.Fatalf("Weight(%q, %d): legacy %v, compact %v", term, u, a, b)
+			}
+			if want := ix.Weight(term, u); a != want {
+				t.Fatalf("Weight(%q, %d) = %v after legacy round trip, want %v", term, u, a, want)
+			}
+		}
+	}
+}
+
+// TestCompactRoundTripByteIdentical is the determinism property the
+// on-disk spec promises: build → write → read → re-write produces the
+// identical byte string, across randomized index shapes.
+func TestCompactRoundTripByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	vocab := []string{"raid", "disk", "hotel", "pool", "flight", "visa", "panic", "goroutine", "fever", "dose"}
+	for trial := 0; trial < 25; trial++ {
+		ix := New()
+		for u, n := 0, 1+rng.Intn(12); u < n; u++ {
+			var terms []string
+			for len(terms) == 0 {
+				for _, w := range vocab {
+					for c := rng.Intn(4); c > 0; c-- {
+						terms = append(terms, w)
+					}
+				}
+			}
+			ix.Add(terms)
+		}
+		var first bytes.Buffer
+		if _, err := ix.WriteTo(&first); err != nil {
+			t.Fatal(err)
+		}
+		reloaded := New()
+		if err := reloaded.Load(first.Bytes()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var second bytes.Buffer
+		if _, err := reloaded.WriteTo(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("trial %d: re-written snapshot differs (%d vs %d bytes)", trial, first.Len(), second.Len())
+		}
+	}
+}
+
+// corruptCompact re-encodes the valid compact snapshot of the fixture
+// index with one section's payload replaced — the hand-crafted
+// corruption path for defects appendCompact itself refuses to write.
+func corruptCompact(t *testing.T, tag string, payload []byte) []byte {
+	t.Helper()
+	valid, err := appendCompact(fixtureSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return replaceSection(t, valid, tag, payload)
+}
+
+func TestCompactNegativePaths(t *testing.T) {
+	// Section bodies for the fixture snapshot, for surgical corruption.
+	// Terms sort as: hotel, pool, raid.
+	posting := func(entries ...uint64) []byte {
+		var b []byte
+		for _, e := range entries {
+			b = appendUvarint(b, e)
+		}
+		return b
+	}
+	cases := []struct {
+		name    string
+		data    func(t *testing.T) []byte
+		wantSub string
+	}{
+		{
+			name: "first unit out of range",
+			// hotel: df 1, unit 9, tf 1 — beyond the 3 declared units.
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "post", posting(1, 9, 1, 1, 1, 2, 2, 0, 2, 2, 1))
+			},
+			wantSub: "posting unit 9 out of range",
+		},
+		{
+			name: "zero delta",
+			// pool gets df 2 with a zero second delta: units repeat.
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "post", posting(1, 1, 1, 2, 1, 2, 0, 2, 2, 0, 2, 2, 1))
+			},
+			wantSub: "zero delta",
+		},
+		{
+			name: "delta walks past the unit count",
+			// raid: first unit 0, delta 7 → unit 7 of 3.
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "post", posting(1, 1, 1, 1, 1, 2, 2, 0, 2, 7, 1))
+			},
+			wantSub: "out of range",
+		},
+		{
+			name: "zero TF",
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "post", posting(1, 1, 0, 1, 1, 2, 2, 0, 2, 2, 1))
+			},
+			wantSub: "TF 0 (must be in [1, 2^31))",
+		},
+		{
+			name: "df overruns unit count",
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "post", posting(9, 1, 1, 1, 1, 2, 2, 0, 2, 2, 1))
+			},
+			wantSub: "declares 9 postings over 3 units",
+		},
+		{
+			name: "posting section truncated",
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "post", posting(1, 1, 1, 1, 1, 2, 2, 0, 2))
+			},
+			wantSub: "truncated varint",
+		},
+		{
+			name: "posting section trailing bytes",
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "post", posting(1, 1, 1, 1, 1, 2, 2, 0, 2, 2, 1, 5))
+			},
+			wantSub: "trailing bytes in posting section",
+		},
+		{
+			name: "unit columns short",
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "unit", appendUvarint(nil, 3))
+			},
+			wantSub: "unit columns for 3 units need 36 bytes, have 0",
+		},
+		{
+			name: "stat section trailing bytes",
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "stat", posting(4, 4))
+			},
+			wantSub: "trailing bytes in stat section",
+		},
+		{
+			name: "missing section",
+			data: func(t *testing.T) []byte {
+				valid, err := appendCompact(fixtureSnapshot())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return dropSection(t, valid, "stat")
+			},
+			wantSub: `missing section "stat"`,
+		},
+		{
+			name: "statistics lie about the postings",
+			// Structurally pristine compact file whose stat section claims
+			// totalUnique 9: only validateSnapshot can catch it.
+			data: func(t *testing.T) []byte {
+				return corruptCompact(t, "stat", appendUvarint(nil, 9))
+			},
+			wantSub: "totalUnique 9 inconsistent",
+		},
+		{
+			name: "payload bit flip",
+			data: func(t *testing.T) []byte {
+				valid, err := appendCompact(fixtureSnapshot())
+				if err != nil {
+					t.Fatal(err)
+				}
+				valid[len(valid)-1] ^= 0x80
+				return valid
+			},
+			wantSub: "checksum mismatch",
+		},
+		{
+			name: "compact trailing garbage",
+			data: func(t *testing.T) []byte {
+				valid, err := appendCompact(fixtureSnapshot())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return append(valid, 0xEE, 0xEE)
+			},
+			wantSub: "trailing bytes",
+		},
+		{
+			name: "compact truncated",
+			data: func(t *testing.T) []byte {
+				valid, err := appendCompact(fixtureSnapshot())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return valid[:len(valid)-5]
+			},
+			wantSub: "truncated",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := buildIndex([]string{"keep", "me"})
+			err := ix.Load(tc.data(t))
+			if err == nil {
+				t.Fatal("corrupt compact snapshot loaded without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if ix.NumUnits() != 1 || ix.NumTerms() != 2 {
+				t.Fatal("failed load mutated the index")
+			}
+		})
+	}
+}
+
+// TestReadFromTrailingGarbage covers the reader entry point itself: the
+// stream is consumed to EOF and surplus bytes fail the load, in both
+// layouts.
+func TestReadFromTrailingGarbage(t *testing.T) {
+	ix := buildIndex([]string{"raid"}, []string{"hotel"})
+	for _, layout := range []struct {
+		name  string
+		write func(*bytes.Buffer) error
+	}{
+		{"compact", func(b *bytes.Buffer) error { _, err := ix.WriteTo(b); return err }},
+		{"gob", func(b *bytes.Buffer) error { _, err := ix.WriteGobTo(b); return err }},
+	} {
+		t.Run(layout.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := layout.write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			buf.WriteString("concatenated second snapshot, say")
+			if _, err := New().ReadFrom(&buf); err == nil {
+				t.Fatal("trailing garbage accepted")
+			} else if !strings.Contains(err.Error(), "trailing bytes") {
+				t.Fatalf("error %q does not mention trailing bytes", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,426 @@
+package match
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/secfile"
+)
+
+// Compact on-disk codec for a built MR matcher: a secfile container —
+// magic "RFCM", version 1 — holding everything the online phase needs.
+// The per-document segment terms, which dominate the matcher's bytes
+// (they are kept verbatim for query-time TF computation), are interned
+// against a matcher-level dictionary and referenced by varint id, and
+// each cluster index is embedded as its own complete compact index file
+// (magic "RFCI") with its own checksummed sections. Sections:
+//
+//	"meta"  JSON header: matcher name, serializable config fields, and
+//	        build statistics. JSON keeps the one low-volume section
+//	        debuggable with standard tooling; the strategy itself is
+//	        configuration and is reconstructed on load (strategyFor).
+//	"dict"  interned term dictionary over every docSeg term, sorted
+//	        ascending (secfile string table).
+//	"dseg"  per-document segments: uvarint doc count, then per document
+//	        uvarint segment count and per segment uvarint cluster id,
+//	        unit id, term count, and term ids into "dict".
+//	"udoc"  unit → owning document tables: uvarint cluster count, then
+//	        per cluster uvarint unit count and uvarint doc ids.
+//	"sgct"  Table 3 segment accounting: uvarint doc count, then the
+//	        before column and the after column as uvarints.
+//	"cent"  intention centroids: uvarint count, uvarint dimension, then
+//	        a fixed-width float64 column, row-major.
+//	"cidx"  cluster indices: uvarint count, then per cluster a uvarint
+//	        length prefix and the embedded compact index bytes.
+//
+// decodeCompactMR cross-checks the sections against each other (and
+// against the decoded cluster indices) before anything is installed:
+// every cluster/unit/term/doc reference must land in range and the
+// unit-ownership tables must agree with the per-document segment lists,
+// so an invariant-breaking snapshot fails at load with a descriptive
+// error instead of panicking mid-query.
+
+const (
+	// CompactMRMagic identifies a compact matcher file; anything else
+	// falls back to the legacy gob decoder.
+	CompactMRMagic = "RFCM"
+	// compactMRVersion is the newest compact matcher layout this build
+	// writes and reads.
+	compactMRVersion = 1
+)
+
+// compactMeta is the JSON "meta" section.
+type compactMeta struct {
+	Name   string           `json:"name"`
+	Config mrConfigSnapshot `json:"config"`
+	Stats  BuildStats       `json:"stats"`
+}
+
+// appendCompactMR encodes the matcher's serializable state. Callers
+// must hold at least mr.mu.RLock. Deterministic by construction (sorted
+// dictionary, in-order walks), so write → read → re-write round-trips
+// byte-identically.
+func appendCompactMR(mr *MR) ([]byte, error) {
+	meta, err := json.Marshal(compactMeta{
+		Name:   mr.name,
+		Config: mr.cfg.snapshot(),
+		Stats:  mr.stats,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("match: encoding meta: %w", err)
+	}
+
+	// Intern every docSeg term. The dictionary is sorted so the id
+	// assignment is a pure function of the term set.
+	idOf := make(map[string]uint64)
+	for _, segs := range mr.docSegs {
+		for _, s := range segs {
+			for _, t := range s.terms {
+				idOf[t] = 0
+			}
+		}
+	}
+	dict := make([]string, 0, len(idOf))
+	for t := range idOf {
+		dict = append(dict, t)
+	}
+	sort.Strings(dict)
+	for i, t := range dict {
+		idOf[t] = uint64(i)
+	}
+	dictSec := secfile.AppendStringTable(nil, dict)
+
+	dseg := secfile.AppendUvarint(nil, uint64(len(mr.docSegs)))
+	for _, segs := range mr.docSegs {
+		dseg = secfile.AppendUvarint(dseg, uint64(len(segs)))
+		for _, s := range segs {
+			dseg = secfile.AppendUvarint(dseg, uint64(s.cluster))
+			dseg = secfile.AppendUvarint(dseg, uint64(s.unit))
+			dseg = secfile.AppendUvarint(dseg, uint64(len(s.terms)))
+			for _, t := range s.terms {
+				dseg = secfile.AppendUvarint(dseg, idOf[t])
+			}
+		}
+	}
+
+	udoc := secfile.AppendUvarint(nil, uint64(len(mr.unitDoc)))
+	for _, owners := range mr.unitDoc {
+		udoc = secfile.AppendUvarint(udoc, uint64(len(owners)))
+		for _, d := range owners {
+			udoc = secfile.AppendUvarint(udoc, uint64(d))
+		}
+	}
+
+	sgct := secfile.AppendUvarint(nil, uint64(len(mr.before)))
+	for _, v := range mr.before {
+		sgct = secfile.AppendUvarint(sgct, uint64(v))
+	}
+	for _, v := range mr.after {
+		sgct = secfile.AppendUvarint(sgct, uint64(v))
+	}
+
+	dim := 0
+	if len(mr.centroids) > 0 {
+		dim = len(mr.centroids[0])
+	}
+	cent := secfile.AppendUvarint(nil, uint64(len(mr.centroids)))
+	cent = secfile.AppendUvarint(cent, uint64(dim))
+	for _, c := range mr.centroids {
+		if len(c) != dim {
+			return nil, fmt.Errorf("match: ragged centroids (%d-dim row in %d-dim space)", len(c), dim)
+		}
+		cent = secfile.AppendFloat64s(cent, c)
+	}
+
+	cidx := secfile.AppendUvarint(nil, uint64(len(mr.clusters)))
+	for c, ix := range mr.clusters {
+		var buf appendBuffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			return nil, fmt.Errorf("match: encoding cluster %d index: %w", c, err)
+		}
+		cidx = secfile.AppendUvarint(cidx, uint64(len(buf.b)))
+		cidx = append(cidx, buf.b...)
+	}
+
+	var out appendBuffer
+	if _, err := secfile.Encode(&out, CompactMRMagic, compactMRVersion, []secfile.Section{
+		{Tag: "meta", Data: meta},
+		{Tag: "dict", Data: dictSec},
+		{Tag: "dseg", Data: dseg},
+		{Tag: "udoc", Data: udoc},
+		{Tag: "sgct", Data: sgct},
+		{Tag: "cent", Data: cent},
+		{Tag: "cidx", Data: cidx},
+	}); err != nil {
+		return nil, err
+	}
+	return out.b, nil
+}
+
+// decodeCompactMR parses and cross-validates a compact matcher file.
+func decodeCompactMR(data []byte) (*MR, error) {
+	f, err := secfile.Decode(data, CompactMRMagic, compactMRVersion)
+	if err != nil {
+		return nil, err
+	}
+	sec := func(tag string) ([]byte, error) { return f.Section(tag) }
+
+	metaSec, err := sec("meta")
+	if err != nil {
+		return nil, err
+	}
+	var meta compactMeta
+	if err := json.Unmarshal(metaSec, &meta); err != nil {
+		return nil, fmt.Errorf("match: decoding meta: %w", err)
+	}
+
+	dictSec, err := sec("dict")
+	if err != nil {
+		return nil, err
+	}
+	dict, rest, err := secfile.ParseStringTable(dictSec)
+	if err != nil {
+		return nil, fmt.Errorf("match: term dictionary: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("match: %d trailing bytes in term dictionary", len(rest))
+	}
+
+	// Cluster indices first: the docSeg/unitDoc validation below needs
+	// the per-cluster unit counts.
+	cidxSec, err := sec("cidx")
+	if err != nil {
+		return nil, err
+	}
+	nClusters64, cidxSec, err := secfile.Uvarint(cidxSec)
+	if err != nil {
+		return nil, fmt.Errorf("match: cluster count: %w", err)
+	}
+	if nClusters64 > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("match: cluster count %d out of range", nClusters64)
+	}
+	nClusters := int(nClusters64)
+	clusters := make([]*index.Index, nClusters)
+	for c := range clusters {
+		blobLen, rest, err := secfile.Uvarint(cidxSec)
+		if err != nil {
+			return nil, fmt.Errorf("match: cluster %d index length: %w", c, err)
+		}
+		cidxSec = rest
+		if blobLen > uint64(len(cidxSec)) {
+			return nil, fmt.Errorf("match: cluster %d index truncated: needs %d bytes, have %d", c, blobLen, len(cidxSec))
+		}
+		clusters[c] = index.New()
+		if err := clusters[c].Load(cidxSec[:blobLen]); err != nil {
+			return nil, fmt.Errorf("match: decoding cluster %d: %w", c, err)
+		}
+		cidxSec = cidxSec[blobLen:]
+	}
+	if len(cidxSec) != 0 {
+		return nil, fmt.Errorf("match: %d trailing bytes in cluster index section", len(cidxSec))
+	}
+
+	dsegSec, err := sec("dseg")
+	if err != nil {
+		return nil, err
+	}
+	nDocs64, dsegSec, err := secfile.Uvarint(dsegSec)
+	if err != nil {
+		return nil, fmt.Errorf("match: document count: %w", err)
+	}
+	if nDocs64 > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("match: document count %d out of range", nDocs64)
+	}
+	nDocs := int(nDocs64)
+	docSegs := make([][]docSeg, nDocs)
+	for d := range docSegs {
+		nSegs, rest, err := secfile.Uvarint(dsegSec)
+		if err != nil {
+			return nil, fmt.Errorf("match: doc %d segment count: %w", d, err)
+		}
+		dsegSec = rest
+		if nSegs > uint64(nClusters) {
+			return nil, fmt.Errorf("match: doc %d declares %d refined segments over %d clusters", d, nSegs, nClusters)
+		}
+		segs := make([]docSeg, int(nSegs))
+		for i := range segs {
+			c, r1, err := secfile.Uvarint(dsegSec)
+			if err != nil {
+				return nil, fmt.Errorf("match: doc %d segment %d cluster: %w", d, i, err)
+			}
+			u, r2, err := secfile.Uvarint(r1)
+			if err != nil {
+				return nil, fmt.Errorf("match: doc %d segment %d unit: %w", d, i, err)
+			}
+			nt, r3, err := secfile.Uvarint(r2)
+			if err != nil {
+				return nil, fmt.Errorf("match: doc %d segment %d term count: %w", d, i, err)
+			}
+			dsegSec = r3
+			if c >= uint64(nClusters) {
+				return nil, fmt.Errorf("match: doc %d segment %d cluster %d out of range [0, %d)", d, i, c, nClusters)
+			}
+			if u >= uint64(clusters[c].NumUnits()) {
+				return nil, fmt.Errorf("match: doc %d segment %d unit %d out of range for cluster %d (%d units)",
+					d, i, u, c, clusters[c].NumUnits())
+			}
+			if nt > uint64(len(dsegSec)) { // each term id is ≥ 1 byte
+				return nil, fmt.Errorf("match: doc %d segment %d declares %d terms in %d bytes", d, i, nt, len(dsegSec))
+			}
+			terms := make([]string, int(nt))
+			for ti := range terms {
+				id, rest, err := secfile.Uvarint(dsegSec)
+				if err != nil {
+					return nil, fmt.Errorf("match: doc %d segment %d term %d: %w", d, i, ti, err)
+				}
+				dsegSec = rest
+				if id >= uint64(len(dict)) {
+					return nil, fmt.Errorf("match: doc %d segment %d term id %d out of dictionary range [0, %d)", d, i, id, len(dict))
+				}
+				terms[ti] = dict[id]
+			}
+			segs[i] = docSeg{cluster: int(c), unit: int(u), terms: terms}
+		}
+		docSegs[d] = segs
+	}
+	if len(dsegSec) != 0 {
+		return nil, fmt.Errorf("match: %d trailing bytes in segment section", len(dsegSec))
+	}
+
+	udocSec, err := sec("udoc")
+	if err != nil {
+		return nil, err
+	}
+	nc, udocSec, err := secfile.Uvarint(udocSec)
+	if err != nil {
+		return nil, fmt.Errorf("match: ownership cluster count: %w", err)
+	}
+	if nc != uint64(nClusters) {
+		return nil, fmt.Errorf("match: ownership table covers %d clusters, index section has %d", nc, nClusters)
+	}
+	unitDoc := make([][]int, nClusters)
+	for c := range unitDoc {
+		n, rest, err := secfile.Uvarint(udocSec)
+		if err != nil {
+			return nil, fmt.Errorf("match: cluster %d ownership count: %w", c, err)
+		}
+		udocSec = rest
+		if n != uint64(clusters[c].NumUnits()) {
+			return nil, fmt.Errorf("match: cluster %d ownership table has %d units, index has %d", c, n, clusters[c].NumUnits())
+		}
+		owners := make([]int, int(n))
+		for u := range owners {
+			d, rest, err := secfile.Uvarint(udocSec)
+			if err != nil {
+				return nil, fmt.Errorf("match: cluster %d unit %d owner: %w", c, u, err)
+			}
+			udocSec = rest
+			if d >= uint64(nDocs) {
+				return nil, fmt.Errorf("match: cluster %d unit %d owned by doc %d out of range [0, %d)", c, u, d, nDocs)
+			}
+			owners[u] = int(d)
+		}
+		unitDoc[c] = owners
+	}
+	if len(udocSec) != 0 {
+		return nil, fmt.Errorf("match: %d trailing bytes in ownership section", len(udocSec))
+	}
+
+	// Ownership must agree with the per-document segment lists — Match
+	// resolves unitDoc[seg.cluster][result.Unit] on every query, and a
+	// mismatch here means wrong neighbors, not a crash.
+	for d, segs := range docSegs {
+		for i, s := range segs {
+			if unitDoc[s.cluster][s.unit] != d {
+				return nil, fmt.Errorf("match: doc %d segment %d claims cluster %d unit %d, ownership table says doc %d",
+					d, i, s.cluster, s.unit, unitDoc[s.cluster][s.unit])
+			}
+		}
+	}
+
+	sgctSec, err := sec("sgct")
+	if err != nil {
+		return nil, err
+	}
+	ns, sgctSec, err := secfile.Uvarint(sgctSec)
+	if err != nil {
+		return nil, fmt.Errorf("match: segment-count table: %w", err)
+	}
+	if ns != uint64(nDocs) {
+		return nil, fmt.Errorf("match: segment-count table covers %d documents, segment section has %d", ns, nDocs)
+	}
+	before := make([]int, nDocs)
+	after := make([]int, nDocs)
+	for _, col := range [][]int{before, after} {
+		for i := range col {
+			v, rest, err := secfile.Uvarint(sgctSec)
+			if err != nil {
+				return nil, fmt.Errorf("match: segment-count entry %d: %w", i, err)
+			}
+			sgctSec = rest
+			if v > uint64(math.MaxInt32) {
+				return nil, fmt.Errorf("match: segment count %d out of range", v)
+			}
+			col[i] = int(v)
+		}
+	}
+	if len(sgctSec) != 0 {
+		return nil, fmt.Errorf("match: %d trailing bytes in segment-count section", len(sgctSec))
+	}
+	for d := range after {
+		if after[d] != len(docSegs[d]) {
+			return nil, fmt.Errorf("match: doc %d declares %d refined segments but carries %d", d, after[d], len(docSegs[d]))
+		}
+	}
+
+	centSec, err := sec("cent")
+	if err != nil {
+		return nil, err
+	}
+	k, centSec, err := secfile.Uvarint(centSec)
+	if err != nil {
+		return nil, fmt.Errorf("match: centroid count: %w", err)
+	}
+	dim, centSec, err := secfile.Uvarint(centSec)
+	if err != nil {
+		return nil, fmt.Errorf("match: centroid dimension: %w", err)
+	}
+	if k > uint64(math.MaxUint16) || dim > uint64(math.MaxUint16) {
+		return nil, fmt.Errorf("match: centroid shape %d×%d out of range", k, dim)
+	}
+	if uint64(len(centSec)) != k*dim*8 {
+		return nil, fmt.Errorf("match: centroid column of %d×%d needs %d bytes, have %d", k, dim, k*dim*8, len(centSec))
+	}
+	centroids := make([][]float64, int(k))
+	for i := range centroids {
+		row, err := secfile.Float64Col(centSec[uint64(i)*dim*8:(uint64(i)+1)*dim*8], int(dim))
+		if err != nil {
+			return nil, fmt.Errorf("match: centroid %d: %w", i, err)
+		}
+		centroids[i] = row
+	}
+
+	mr := &MR{
+		name:      meta.Name,
+		cfg:       meta.Config.restore(meta.Name),
+		clusters:  clusters,
+		unitDoc:   unitDoc,
+		docSegs:   docSegs,
+		before:    before,
+		after:     after,
+		centroids: centroids,
+		stats:     meta.Stats,
+	}
+	return mr, nil
+}
+
+// appendBuffer is a minimal io.Writer over an append-grown slice.
+type appendBuffer struct{ b []byte }
+
+func (a *appendBuffer) Write(p []byte) (int, error) {
+	a.b = append(a.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,343 @@
+package match
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/forum"
+	"repro/internal/secfile"
+)
+
+// mrSectionOrder is the fixed table order appendCompactMR writes.
+var mrSectionOrder = []string{"meta", "dict", "dseg", "udoc", "sgct", "cent", "cidx"}
+
+func smallMatcher(t testing.TB) *MR {
+	t.Helper()
+	tc := buildCorpus(t, forum.TechSupport, 40, 61)
+	return NewMR("IntentIntent-MR", tc.docs, MRConfig{Seed: 7})
+}
+
+func writeMR(t *testing.T, mr *MR, write func(*MR, io.Writer) (int64, error)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := write(mr, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMRCompactByteIdentical pins the determinism property of the
+// compact matcher layout: repeated writes of one matcher are identical,
+// and write → read → re-write reproduces the byte string exactly.
+func TestMRCompactByteIdentical(t *testing.T) {
+	mr := smallMatcher(t)
+	first := writeMR(t, mr, (*MR).WriteTo)
+	if again := writeMR(t, mr, (*MR).WriteTo); !bytes.Equal(first, again) {
+		t.Fatal("two writes of the same matcher differ")
+	}
+	loaded, err := ReadMR(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second := writeMR(t, loaded, (*MR).WriteTo); !bytes.Equal(first, second) {
+		t.Fatalf("re-written matcher differs (%d vs %d bytes)", len(first), len(second))
+	}
+}
+
+// TestMRLegacyCompactEquivalent loads the same matcher from its legacy
+// gob stream and its compact file and requires the two results to be
+// the same matcher, state for state: equal tables, and every cluster
+// index canonicalizing to identical compact bytes. Score equality then
+// follows structurally rather than sampled query by query.
+func TestMRLegacyCompactEquivalent(t *testing.T) {
+	mr := smallMatcher(t)
+	fromLegacy, err := ReadMR(bytes.NewReader(writeMR(t, mr, (*MR).WriteGobTo)))
+	if err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	fromCompact, err := ReadMR(bytes.NewReader(writeMR(t, mr, (*MR).WriteTo)))
+	if err != nil {
+		t.Fatalf("compact load: %v", err)
+	}
+	if fromLegacy.name != fromCompact.name || fromLegacy.cfg != fromCompact.cfg {
+		t.Error("name/config differ between layouts")
+	}
+	if !reflect.DeepEqual(fromLegacy.unitDoc, fromCompact.unitDoc) {
+		t.Error("unit ownership differs between layouts")
+	}
+	if !reflect.DeepEqual(fromLegacy.before, fromCompact.before) ||
+		!reflect.DeepEqual(fromLegacy.after, fromCompact.after) {
+		t.Error("segment accounting differs between layouts")
+	}
+	if !reflect.DeepEqual(fromLegacy.centroids, fromCompact.centroids) {
+		t.Error("centroids differ between layouts")
+	}
+	if !reflect.DeepEqual(fromLegacy.docSegs, fromCompact.docSegs) {
+		t.Error("per-document segments differ between layouts")
+	}
+	if fromLegacy.stats != fromCompact.stats {
+		t.Error("build stats differ between layouts")
+	}
+	if len(fromLegacy.clusters) != len(fromCompact.clusters) {
+		t.Fatalf("cluster count %d vs %d", len(fromLegacy.clusters), len(fromCompact.clusters))
+	}
+	for c := range fromLegacy.clusters {
+		var a, b bytes.Buffer
+		if _, err := fromLegacy.clusters[c].WriteTo(&a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fromCompact.clusters[c].WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("cluster %d canonical bytes differ between layouts", c)
+		}
+	}
+}
+
+// TestReadMRRejectsInvariantBreaks mutates a freshly built matcher into
+// every cross-table inconsistency the query path depends on not having,
+// writes it through BOTH layouts, and requires each load to fail with a
+// descriptive error — the persistence layer's contract that a snapshot
+// which would misrank or panic at query time never installs.
+func TestReadMRRejectsInvariantBreaks(t *testing.T) {
+	// pickSeg finds a document that actually has segments to corrupt.
+	pickSeg := func(mr *MR) (int, docSeg) {
+		for d, segs := range mr.docSegs {
+			if len(segs) > 0 {
+				return d, segs[0]
+			}
+		}
+		t.Fatal("matcher has no segments")
+		return 0, docSeg{}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(mr *MR)
+		wantSub string
+	}{
+		{
+			name: "after count disagrees with segments",
+			mutate: func(mr *MR) {
+				d, _ := pickSeg(mr)
+				mr.after[d]++
+			},
+			wantSub: "refined segments but carries",
+		},
+		{
+			name: "ownership table disagrees with segments",
+			mutate: func(mr *MR) {
+				d, s := pickSeg(mr)
+				mr.unitDoc[s.cluster][s.unit] = (d + 1) % len(mr.docSegs)
+			},
+			wantSub: "ownership table says",
+		},
+		{
+			name: "ownership table wrong cluster count",
+			mutate: func(mr *MR) {
+				mr.unitDoc = append(mr.unitDoc, []int{})
+			},
+			wantSub: "ownership table covers",
+		},
+		{
+			name: "ownership table wrong unit count",
+			mutate: func(mr *MR) {
+				mr.unitDoc[0] = append(mr.unitDoc[0], 0)
+			},
+			wantSub: "ownership table has",
+		},
+		{
+			name: "segment cluster out of range",
+			mutate: func(mr *MR) {
+				d, _ := pickSeg(mr)
+				mr.docSegs[d][0].cluster = len(mr.clusters)
+			},
+			wantSub: "out of range",
+		},
+		{
+			name: "owner document out of range",
+			mutate: func(mr *MR) {
+				mr.unitDoc[0][0] = len(mr.docSegs)
+			},
+			wantSub: "owned by doc",
+		},
+	}
+	layouts := []struct {
+		name  string
+		write func(*MR, io.Writer) (int64, error)
+	}{
+		{"compact", (*MR).WriteTo},
+		{"gob", (*MR).WriteGobTo},
+	}
+	for _, tc := range cases {
+		for _, layout := range layouts {
+			t.Run(tc.name+"/"+layout.name, func(t *testing.T) {
+				mr := smallMatcher(t)
+				tc.mutate(mr)
+				data := writeMR(t, mr, layout.write)
+				if _, err := ReadMR(bytes.NewReader(data)); err == nil {
+					t.Fatal("invariant-breaking snapshot loaded without error")
+				} else if !strings.Contains(err.Error(), tc.wantSub) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+				}
+			})
+		}
+	}
+}
+
+// rebuildMRSections re-encodes a valid compact matcher file with an
+// edit applied to its section list — the container-level corruption
+// helper for defects the encoder cannot be talked into writing.
+func rebuildMRSections(t *testing.T, valid []byte, edit func(secs []secfile.Section) []secfile.Section) []byte {
+	t.Helper()
+	f, err := secfile.Decode(valid, CompactMRMagic, compactMRVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := make([]secfile.Section, 0, len(mrSectionOrder))
+	for _, tag := range mrSectionOrder {
+		data, err := f.Section(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs = append(secs, secfile.Section{Tag: tag, Data: data})
+	}
+	var buf appendBuffer
+	if _, err := secfile.Encode(&buf, CompactMRMagic, compactMRVersion, edit(secs)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.b
+}
+
+func TestReadMRCompactNegativePaths(t *testing.T) {
+	replace := func(valid []byte, tag string, payload []byte) func(*testing.T) []byte {
+		return func(t *testing.T) []byte {
+			return rebuildMRSections(t, valid, func(secs []secfile.Section) []secfile.Section {
+				for i := range secs {
+					if secs[i].Tag == tag {
+						secs[i].Data = payload
+					}
+				}
+				return secs
+			})
+		}
+	}
+	valid := writeMR(t, smallMatcher(t), (*MR).WriteTo)
+	cases := []struct {
+		name    string
+		data    func(t *testing.T) []byte
+		wantSub string
+	}{
+		{
+			name:    "truncated container",
+			data:    func(t *testing.T) []byte { return valid[:len(valid)-30] },
+			wantSub: "truncated",
+		},
+		{
+			name:    "trailing garbage",
+			data:    func(t *testing.T) []byte { return append(append([]byte(nil), valid...), "junk"...) },
+			wantSub: "trailing bytes",
+		},
+		{
+			name: "future version",
+			data: func(t *testing.T) []byte {
+				data := append([]byte(nil), valid...)
+				data[4], data[5] = 0xFF, 0xFF
+				return data
+			},
+			wantSub: "unsupported RFCM version",
+		},
+		{
+			name: "payload bit flip",
+			data: func(t *testing.T) []byte {
+				data := append([]byte(nil), valid...)
+				data[len(data)-1] ^= 0x40
+				return data
+			},
+			wantSub: "checksum mismatch",
+		},
+		{
+			name:    "meta not JSON",
+			data:    replace(valid, "meta", []byte("{truncated")),
+			wantSub: "decoding meta",
+		},
+		{
+			name: "missing section",
+			data: func(t *testing.T) []byte {
+				return rebuildMRSections(t, valid, func(secs []secfile.Section) []secfile.Section {
+					out := secs[:0]
+					for _, s := range secs {
+						if s.Tag != "sgct" {
+							out = append(out, s)
+						}
+					}
+					return out
+				})
+			},
+			wantSub: `missing section "sgct"`,
+		},
+		{
+			name:    "dictionary trailing bytes",
+			data:    replace(valid, "dict", append(secfile.AppendStringTable(nil, []string{"x"}), 0x01)),
+			wantSub: "trailing bytes in term dictionary",
+		},
+		{
+			name:    "segment section truncated",
+			data:    replace(valid, "dseg", secfile.AppendUvarint(nil, 3)),
+			wantSub: "segment count",
+		},
+		{
+			name:    "cluster section truncated",
+			data:    replace(valid, "cidx", secfile.AppendUvarint(secfile.AppendUvarint(nil, 1), 500)),
+			wantSub: "index truncated",
+		},
+		{
+			name: "centroid column short",
+			data: replace(valid, "cent",
+				secfile.AppendUvarint(secfile.AppendUvarint(nil, 2), 4)),
+			wantSub: "centroid column",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadMR(bytes.NewReader(tc.data(t))); err == nil {
+				t.Fatal("corrupt matcher file loaded without error")
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestReadMRTrailingGarbageBothLayouts covers the reader contract at
+// the stream level: the source is consumed to EOF and surplus bytes
+// after a valid matcher fail the load in either layout. Truncations of
+// either layout fail too.
+func TestReadMRTrailingGarbageBothLayouts(t *testing.T) {
+	mr := smallMatcher(t)
+	for _, layout := range []struct {
+		name  string
+		write func(*MR, io.Writer) (int64, error)
+	}{
+		{"compact", (*MR).WriteTo},
+		{"gob", (*MR).WriteGobTo},
+	} {
+		valid := writeMR(t, mr, layout.write)
+		t.Run(layout.name+"/trailing", func(t *testing.T) {
+			data := append(append([]byte(nil), valid...), "a second matcher, say"...)
+			if _, err := ReadMR(bytes.NewReader(data)); err == nil {
+				t.Fatal("trailing bytes accepted")
+			} else if !strings.Contains(err.Error(), "trailing bytes") {
+				t.Fatalf("error %q does not mention trailing bytes", err)
+			}
+		})
+		t.Run(layout.name+"/truncated", func(t *testing.T) {
+			if _, err := ReadMR(bytes.NewReader(valid[:len(valid)*2/3])); err == nil {
+				t.Fatal("truncated stream accepted")
+			}
+		})
+	}
+}

@@ -15,6 +15,12 @@ import (
 // (top-k matching); persistence lets the offline result be built once,
 // written to disk, and served by separate processes.
 //
+// WriteTo emits the compact section layout of compact.go (magic "RFCM");
+// ReadMR sniffs the first four bytes and reads either that layout or the
+// legacy gob stream earlier builds wrote, so existing MR files keep
+// loading. Both decode paths reject trailing bytes after a valid stream
+// and validate the cross-table invariants the query path depends on.
+//
 // The segmentation strategy itself is configuration, not state: ReadMR
 // reconstructs it from the persisted ContentVectors flag and matcher name
 // (TextTiling for Content-MR, Sentences for SentIntent-MR, Greedy
@@ -24,7 +30,8 @@ import (
 // indices, unit ownership, per-document segment terms, centroids, and
 // statistics — round-trips exactly.
 
-// mrSnapshot is the gob-serializable state of an MR matcher.
+// mrSnapshot is the gob-serializable state of an MR matcher (the legacy
+// layout's wire struct).
 type mrSnapshot struct {
 	Name      string
 	Cfg       mrConfigSnapshot
@@ -37,7 +44,9 @@ type mrSnapshot struct {
 }
 
 // mrConfigSnapshot carries the serializable MRConfig fields (the Strategy
-// interface is reconstructed as the default on load).
+// interface is reconstructed from the matcher name on load). It is the
+// wire form of the legacy gob layout and the JSON "meta" section of the
+// compact layout alike.
 type mrConfigSnapshot struct {
 	ContentVectors bool
 	ContentK       int
@@ -54,36 +63,78 @@ type mrConfigSnapshot struct {
 	Seed           int64
 }
 
+// snapshot extracts the serializable configuration fields.
+func (c MRConfig) snapshot() mrConfigSnapshot {
+	return mrConfigSnapshot{
+		ContentVectors: c.ContentVectors,
+		ContentK:       c.ContentK,
+		Eps:            c.Eps,
+		MinPts:         c.MinPts,
+		SampleSize:     c.SampleSize,
+		KeepNoise:      c.KeepNoise,
+		Grouper:        int(c.Grouper),
+		KMeansK:        c.KMeansK,
+		FullVectors:    c.FullVectors,
+		NFactor:        c.NFactor,
+		ScoreThreshold: c.ScoreThreshold,
+		NormalizeLists: c.NormalizeLists,
+		Seed:           c.Seed,
+	}
+}
+
+// restore rebuilds a defaults-applied MRConfig, reconstructing the
+// build's segmentation strategy from the matcher name (see strategyFor).
+func (s mrConfigSnapshot) restore(name string) MRConfig {
+	return MRConfig{
+		Strategy:       strategyFor(name, s.ContentVectors),
+		ContentVectors: s.ContentVectors,
+		ContentK:       s.ContentK,
+		Eps:            s.Eps,
+		MinPts:         s.MinPts,
+		SampleSize:     s.SampleSize,
+		KeepNoise:      s.KeepNoise,
+		Grouper:        Grouping(s.Grouper),
+		KMeansK:        s.KMeansK,
+		FullVectors:    s.FullVectors,
+		NFactor:        s.NFactor,
+		ScoreThreshold: s.ScoreThreshold,
+		NormalizeLists: s.NormalizeLists,
+		Seed:           s.Seed,
+	}.withDefaults()
+}
+
 type docSegSnapshot struct {
 	Cluster int
 	Unit    int
 	Terms   []string
 }
 
-// WriteTo serializes the matcher: a header snapshot followed by each
-// cluster index. It implements io.WriterTo. It holds the matcher's read
-// lock for the duration, so the snapshot is consistent even while Adds
-// are in flight (they commit before or after the write, never halfway).
+// WriteTo serializes the matcher in the compact section layout. It
+// implements io.WriterTo. It holds the matcher's read lock for the
+// duration, so the snapshot is consistent even while Adds are in flight
+// (they commit before or after the write, never halfway).
 func (mr *MR) WriteTo(w io.Writer) (int64, error) {
+	mr.mu.RLock()
+	data, err := appendCompactMR(mr)
+	mr.mu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// WriteGobTo serializes the matcher in the legacy gob layout — what
+// WriteTo wrote before the compact format existed, with each cluster
+// index embedded as a legacy gob blob. It is retained for migration
+// tooling and the old-vs-new equivalence tests; new snapshots should
+// use WriteTo.
+func (mr *MR) WriteGobTo(w io.Writer) (int64, error) {
 	mr.mu.RLock()
 	defer mr.mu.RUnlock()
 	snap := mrSnapshot{
-		Name: mr.name,
-		Cfg: mrConfigSnapshot{
-			ContentVectors: mr.cfg.ContentVectors,
-			ContentK:       mr.cfg.ContentK,
-			Eps:            mr.cfg.Eps,
-			MinPts:         mr.cfg.MinPts,
-			SampleSize:     mr.cfg.SampleSize,
-			KeepNoise:      mr.cfg.KeepNoise,
-			Grouper:        int(mr.cfg.Grouper),
-			KMeansK:        mr.cfg.KMeansK,
-			FullVectors:    mr.cfg.FullVectors,
-			NFactor:        mr.cfg.NFactor,
-			ScoreThreshold: mr.cfg.ScoreThreshold,
-			NormalizeLists: mr.cfg.NormalizeLists,
-			Seed:           mr.cfg.Seed,
-		},
+		Name:      mr.name,
+		Cfg:       mr.cfg.snapshot(),
 		UnitDoc:   mr.unitDoc,
 		Before:    mr.before,
 		After:     mr.after,
@@ -112,7 +163,7 @@ func (mr *MR) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, ix := range mr.clusters {
 		var buf bytes.Buffer
-		if _, err := ix.WriteTo(&buf); err != nil {
+		if _, err := ix.WriteGobTo(&buf); err != nil {
 			return cw.n, fmt.Errorf("match: encoding cluster index: %w", err)
 		}
 		if err := enc.Encode(buf.Bytes()); err != nil {
@@ -122,9 +173,28 @@ func (mr *MR) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadMR deserializes a matcher previously written with WriteTo.
+// ReadMR deserializes a matcher previously written with WriteTo — in
+// either layout; the compact format is recognized by its magic, any
+// other prefix is decoded as a legacy gob stream. The source is
+// consumed to EOF, and bytes after a valid matcher are an error in both
+// layouts.
 func ReadMR(r io.Reader) (*MR, error) {
-	dec := gob.NewDecoder(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("match: reading matcher: %w", err)
+	}
+	if len(data) >= 4 && string(data[:4]) == CompactMRMagic {
+		return decodeCompactMR(data)
+	}
+	return decodeGobMR(data)
+}
+
+// decodeGobMR parses a legacy gob matcher stream and rejects trailing
+// bytes — gob stops at its last value and would silently ignore
+// appended garbage.
+func decodeGobMR(data []byte) (*MR, error) {
+	br := bytes.NewReader(data)
+	dec := gob.NewDecoder(br)
 	var snap mrSnapshot
 	if err := dec.Decode(&snap); err != nil {
 		return nil, fmt.Errorf("match: decoding matcher: %w", err)
@@ -133,24 +203,12 @@ func ReadMR(r io.Reader) (*MR, error) {
 	if err := dec.Decode(&numClusters); err != nil {
 		return nil, err
 	}
+	if numClusters < 0 {
+		return nil, fmt.Errorf("match: matcher declares %d clusters", numClusters)
+	}
 	mr := &MR{
-		name: snap.Name,
-		cfg: MRConfig{
-			Strategy:       strategyFor(snap.Name, snap.Cfg.ContentVectors),
-			ContentVectors: snap.Cfg.ContentVectors,
-			ContentK:       snap.Cfg.ContentK,
-			Eps:            snap.Cfg.Eps,
-			MinPts:         snap.Cfg.MinPts,
-			SampleSize:     snap.Cfg.SampleSize,
-			KeepNoise:      snap.Cfg.KeepNoise,
-			Grouper:        Grouping(snap.Cfg.Grouper),
-			KMeansK:        snap.Cfg.KMeansK,
-			FullVectors:    snap.Cfg.FullVectors,
-			NFactor:        snap.Cfg.NFactor,
-			ScoreThreshold: snap.Cfg.ScoreThreshold,
-			NormalizeLists: snap.Cfg.NormalizeLists,
-			Seed:           snap.Cfg.Seed,
-		}.withDefaults(),
+		name:      snap.Name,
+		cfg:       snap.Cfg.restore(snap.Name),
 		unitDoc:   snap.UnitDoc,
 		before:    snap.Before,
 		after:     snap.After,
@@ -170,11 +228,61 @@ func ReadMR(r io.Reader) (*MR, error) {
 			return nil, fmt.Errorf("match: decoding cluster %d: %w", c, err)
 		}
 		mr.clusters[c] = index.New()
-		if _, err := mr.clusters[c].ReadFrom(bytes.NewReader(raw)); err != nil {
+		if err := mr.clusters[c].Load(raw); err != nil {
 			return nil, fmt.Errorf("match: decoding cluster %d: %w", c, err)
 		}
 	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("match: %d trailing bytes after matcher stream", br.Len())
+	}
+	if err := validateMR(mr); err != nil {
+		return nil, fmt.Errorf("match: invalid matcher snapshot: %w", err)
+	}
 	return mr, nil
+}
+
+// validateMR cross-checks the legacy-decoded tables the same way the
+// compact decoder does inline: every cluster/unit/doc reference in
+// range, ownership tables sized to their indices and agreeing with the
+// per-document segment lists. (The per-index posting invariants are
+// already enforced by index.Load.)
+func validateMR(mr *MR) error {
+	nClusters := len(mr.clusters)
+	nDocs := len(mr.docSegs)
+	if len(mr.unitDoc) != nClusters {
+		return fmt.Errorf("ownership table covers %d clusters, matcher has %d", len(mr.unitDoc), nClusters)
+	}
+	if len(mr.before) != nDocs || len(mr.after) != nDocs {
+		return fmt.Errorf("segment-count tables cover %d/%d documents, matcher has %d", len(mr.before), len(mr.after), nDocs)
+	}
+	for c, owners := range mr.unitDoc {
+		if len(owners) != mr.clusters[c].NumUnits() {
+			return fmt.Errorf("cluster %d ownership table has %d units, index has %d", c, len(owners), mr.clusters[c].NumUnits())
+		}
+		for u, d := range owners {
+			if d < 0 || d >= nDocs {
+				return fmt.Errorf("cluster %d unit %d owned by doc %d out of range [0, %d)", c, u, d, nDocs)
+			}
+		}
+	}
+	for d, segs := range mr.docSegs {
+		if mr.after[d] != len(segs) {
+			return fmt.Errorf("doc %d declares %d refined segments but carries %d", d, mr.after[d], len(segs))
+		}
+		for i, s := range segs {
+			if s.cluster < 0 || s.cluster >= nClusters {
+				return fmt.Errorf("doc %d segment %d cluster %d out of range [0, %d)", d, i, s.cluster, nClusters)
+			}
+			if s.unit < 0 || s.unit >= mr.clusters[s.cluster].NumUnits() {
+				return fmt.Errorf("doc %d segment %d unit %d out of range for cluster %d", d, i, s.unit, s.cluster)
+			}
+			if owner := mr.unitDoc[s.cluster][s.unit]; owner != d {
+				return fmt.Errorf("doc %d segment %d claims cluster %d unit %d, ownership table says doc %d",
+					d, i, s.cluster, s.unit, owner)
+			}
+		}
+	}
+	return nil
 }
 
 // strategyFor reconstructs the segmentation strategy a persisted matcher

@@ -327,9 +327,11 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		info.docID, info.hasDoc = req.DocID, true
 		info.k, info.hasK = req.K, true
 	}
-	// Doc validates the id under the pipeline lock, distinguishing a
-	// 404 from an empty (but valid) result list.
-	if s.p.Doc(req.DocID) == nil {
+	// HasDoc validates the id under the pipeline lock, distinguishing a
+	// 404 from an empty (but valid) result list. (Not Doc: pipelines
+	// restored from a snapshot do not retain the prepared documents,
+	// but every id below the document count is queryable.)
+	if !s.p.HasDoc(req.DocID) {
 		writeError(w, http.StatusNotFound, "unknown doc_id")
 		return
 	}

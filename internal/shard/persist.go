@@ -14,9 +14,12 @@ import (
 // Persistence for a shard group is a directory, not a single stream: a
 // small JSON manifest naming the topology (shard count, routing seed,
 // document and cluster counts) plus one shard file per shard, each in
-// the existing match.MR gob codec — so a shard file is readable by the
-// plain ReadMR and inspectable with the same tooling as an unsharded
-// snapshot. The manifest is what makes the directory reconstructible:
+// the match.MR codec — the compact section layout for new writes, with
+// legacy gob shard files still loading through ReadMR's magic sniffing —
+// so a shard file is readable by the plain ReadMR and inspectable with
+// the same tooling as an unsharded snapshot. The manifest records which
+// codec the directory was written with (informational; each file
+// self-describes via its magic). The manifest is what makes the directory reconstructible:
 // routing is a pure function of (seed, id), so the loader rebuilds the
 // whole global↔local id directory by replaying the route over
 // 0..Docs-1, then cross-checks every shard's document count against
@@ -41,6 +44,11 @@ type manifest struct {
 	RouteSeed uint64 `json:"route_seed"`
 	Docs      int    `json:"docs"`
 	Clusters  int    `json:"clusters"`
+	// Codec names the shard-file layout the directory was written with:
+	// "compact" for the section format, absent/empty in directories
+	// written before the field existed (legacy gob). Informational —
+	// the loader trusts each file's own magic, not this field.
+	Codec string `json:"codec,omitempty"`
 }
 
 // WriteDir persists the group into dir (created if needed): the
@@ -60,6 +68,7 @@ func (g *Group) WriteDir(dir string) error {
 		RouteSeed: g.seed,
 		Docs:      g.NumDocs(),
 		Clusters:  g.NumClusters(),
+		Codec:     "compact",
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

@@ -3,12 +3,16 @@
 # machine-readable snapshot so the repo keeps a perf trajectory across PRs.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, writes BENCH_PR5.json
+#   scripts/bench.sh                 # full run, writes BENCH_PR6.json
 #   scripts/bench.sh -smoke          # 1-iteration smoke (CI: bench code must compile and run)
 #   BENCH_OUT=perf.json scripts/bench.sh
+#   PERSIST_SIZES=1000 scripts/bench.sh   # shrink the persistence leg
 #
 # The JSON output maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
-# plus a "meta" block (go version, GOMAXPROCS, benchtime, count).
+# plus a "meta" block (go version, GOMAXPROCS, benchtime, count) and a
+# "persistence" block from cmd/persistbench: file size, load wall-time,
+# and post-load heap for the legacy gob vs compact snapshot layouts at
+# each corpus size (set PERSIST_SIZES=0 to skip the leg).
 #
 # The Fig11cRetrievalIntent / Fig11cRetrievalIntentObserved pair tracks
 # the observability tax on the query hot path (obs disabled vs enabled);
@@ -20,7 +24,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR5.json}"
+OUT="${BENCH_OUT:-BENCH_PR6.json}"
+PERSIST_SIZES="${PERSIST_SIZES:-1000,10000,100000}"
 PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntent$|BenchmarkFig11cRetrievalIntentObserved|BenchmarkMRBuild|BenchmarkPipelineBuild1k|BenchmarkConcurrentServe$|BenchmarkConcurrentServeReadOnly|BenchmarkConcurrentServeSharded|BenchmarkConcurrentServeShardedWriteHeavy'
 BENCHTIME="${BENCH_TIME:-2s}"
 COUNT="${BENCH_COUNT:-3}"
@@ -30,8 +35,10 @@ COUNT="${BENCH_COUNT:-3}"
 GOMP="${GOMAXPROCS:-$(nproc)}"
 
 if [[ "${1:-}" == "-smoke" ]]; then
-    # CI smoke: one iteration of the two acceptance benchmarks, no JSON.
-    exec go test -run '^$' -bench 'BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntentObserved|BenchmarkPipelineBuild1k' -benchtime 1x .
+    # CI smoke: one iteration of the acceptance benchmarks plus a 1k-doc
+    # persistbench pass (gob vs compact must both write, load, validate).
+    go test -run '^$' -bench 'BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntentObserved|BenchmarkPipelineBuild1k' -benchtime 1x .
+    exec go run ./cmd/persistbench -sizes 1000 -runs 2
 fi
 
 RAW="$(mktemp)"
@@ -69,6 +76,24 @@ END {
     }
     printf "  }\n}\n" > out
 }' "$RAW"
+
+# Persistence leg: gob-vs-compact file size, load time, and post-load
+# heap across corpus sizes, merged into the same snapshot.
+if [[ "$PERSIST_SIZES" != 0 ]]; then
+    PB="$(mktemp)"
+    trap 'rm -f "$RAW" "$PB"' EXIT
+    echo "running: go run ./cmd/persistbench -sizes $PERSIST_SIZES" >&2
+    go run ./cmd/persistbench -sizes "$PERSIST_SIZES" -out "$PB"
+    python3 - "$OUT" "$PB" <<'EOF'
+import json, sys
+out_path, pb_path = sys.argv[1], sys.argv[2]
+snap = json.load(open(out_path))
+snap["persistence"] = json.load(open(pb_path))["persistence"]
+with open(out_path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+EOF
+fi
 
 echo "wrote $OUT" >&2
 cat "$OUT"

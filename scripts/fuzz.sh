@@ -22,6 +22,10 @@ declare -a TARGETS=(
     "./internal/textproc FuzzStripHTML"
     "./internal/textproc FuzzDecodeEntity"
     "./internal/pos FuzzTagWords"
+    "./internal/secfile FuzzDecode"
+    "./internal/secfile FuzzParseStringTable"
+    "./internal/index FuzzIndexLoad"
+    "./internal/index FuzzGobSnapshot"
 )
 
 for entry in "${TARGETS[@]}"; do
