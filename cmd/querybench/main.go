@@ -1,0 +1,163 @@
+// Command querybench measures the Eq 7–9 query path: for a range of
+// synthetic index sizes it builds one posting index over a Zipf-shaped
+// vocabulary (a few very common terms, a long rare tail — the forum
+// shape), then times top-k retrieval through the exhaustive reference
+// scan and through the max-score pruned scan, reporting ns/op and the
+// postings actually scanned by each (from the index.scan.postings
+// counter). The two paths return bit-identical results — proven by the
+// property, golden, and shard tests — so the comparison isolates pure
+// scan cost. scripts/bench.sh merges the JSON into the per-PR BENCH
+// snapshot; with -require-speedup it exits non-zero if pruning fails to
+// pay at the largest size.
+//
+// Usage:
+//
+//	querybench                            # sizes 1000,10000,100000
+//	querybench -sizes 1000 -runs 32       # quick smoke
+//	querybench -require-speedup -out q.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/obs"
+)
+
+// sizeReport is one corpus-size measurement. The *_postings figures are
+// postings scanned per query (averaged over the measured queries);
+// PostingsRatio and SpeedupNS are exhaustive/pruned, so >1 means
+// pruning wins.
+type sizeReport struct {
+	Docs               int     `json:"docs"`
+	TopK               int     `json:"top_k"`
+	ExhaustiveNSPerOp  int64   `json:"exhaustive_ns_per_op"`
+	PrunedNSPerOp      int64   `json:"pruned_ns_per_op"`
+	ExhaustivePostings int64   `json:"exhaustive_postings_per_op"`
+	PrunedPostings     int64   `json:"pruned_postings_per_op"`
+	SpeedupNS          float64 `json:"speedup_ns"`
+	PostingsRatio      float64 `json:"postings_ratio"`
+}
+
+func buildCorpus(units, vocab int, seed int64) (*index.Index, []map[string]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(vocab-1))
+	ix := index.New()
+	docs := make([][]string, units)
+	for u := 0; u < units; u++ {
+		n := 20 + rng.Intn(40)
+		terms := make([]string, n)
+		for i := range terms {
+			terms[i] = fmt.Sprintf("t%05d", zipf.Uint64())
+		}
+		docs[u] = terms
+		ix.Add(terms)
+	}
+	queries := make([]map[string]float64, 64)
+	for i := range queries {
+		queries[i] = index.TermFrequencies(docs[rng.Intn(units)])
+	}
+	return ix, queries
+}
+
+// measure times fn over runs query invocations (cycling through the
+// query set) and returns median ns/op and postings scanned per op.
+func measure(queries []map[string]float64, runs int, fn func(q map[string]float64)) (nsPerOp, postingsPerOp int64) {
+	scanned := obs.GetOrNewCounter("index.scan.postings")
+	// Warm up pools and caches.
+	for i := 0; i < len(queries) && i < 8; i++ {
+		fn(queries[i])
+	}
+	times := make([]int64, 0, runs)
+	before := scanned.Value()
+	for i := 0; i < runs; i++ {
+		q := queries[i%len(queries)]
+		t0 := time.Now()
+		fn(q)
+		times = append(times, time.Since(t0).Nanoseconds())
+	}
+	postingsPerOp = (scanned.Value() - before) / int64(runs)
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	return times[len(times)/2], postingsPerOp
+}
+
+func main() {
+	sizes := flag.String("sizes", "1000,10000,100000", "comma-separated index sizes (units)")
+	runs := flag.Int("runs", 256, "measured queries per path per size")
+	vocab := flag.Int("vocab", 2000, "synthetic vocabulary size")
+	topK := flag.Int("k", 10, "retrieval depth")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	requireSpeedup := flag.Bool("require-speedup", false,
+		"exit 1 unless the pruned path is faster and scans fewer postings at the largest size")
+	flag.Parse()
+
+	obs.Enable() // the postings counters are recorded only when obs is on
+
+	var reports []sizeReport
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "querybench: bad size %q\n", s)
+			os.Exit(2)
+		}
+		ix, queries := buildCorpus(n, *vocab, *seed)
+		exNS, exPost := measure(queries, *runs, func(q map[string]float64) {
+			ix.QueryExhaustive(q, *topK, nil)
+		})
+		prNS, prPost := measure(queries, *runs, func(q map[string]float64) {
+			ix.Query(q, *topK, nil)
+		})
+		r := sizeReport{
+			Docs: n, TopK: *topK,
+			ExhaustiveNSPerOp: exNS, PrunedNSPerOp: prNS,
+			ExhaustivePostings: exPost, PrunedPostings: prPost,
+		}
+		if prNS > 0 {
+			r.SpeedupNS = float64(exNS) / float64(prNS)
+		}
+		if prPost > 0 {
+			r.PostingsRatio = float64(exPost) / float64(prPost)
+		}
+		reports = append(reports, r)
+		fmt.Fprintf(os.Stderr, "querybench: %d units: exhaustive %dns/%d postings, pruned %dns/%d postings (%.2fx ns, %.2fx postings)\n",
+			n, exNS, exPost, prNS, prPost, r.SpeedupNS, r.PostingsRatio)
+	}
+
+	data, err := json.MarshalIndent(map[string]any{"query": reports}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "querybench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "querybench:", err)
+		os.Exit(1)
+	}
+
+	if *requireSpeedup {
+		last := reports[len(reports)-1]
+		if last.PrunedNSPerOp >= last.ExhaustiveNSPerOp {
+			fmt.Fprintf(os.Stderr,
+				"querybench: FAIL: pruned path is not faster at %d units (pruned %dns/op vs exhaustive %dns/op) — max-score pruning has regressed\n",
+				last.Docs, last.PrunedNSPerOp, last.ExhaustiveNSPerOp)
+			os.Exit(1)
+		}
+		if last.PostingsRatio < 2 {
+			fmt.Fprintf(os.Stderr,
+				"querybench: FAIL: pruned path scans only %.2fx fewer postings at %d units (need >= 2x) — the bound ordering or early termination has regressed\n",
+				last.PostingsRatio, last.Docs)
+			os.Exit(1)
+		}
+	}
+}

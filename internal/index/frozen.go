@@ -45,11 +45,22 @@ func (ix *Index) FrozenScoring(terms []string) (idfs []float64, avgUnique float6
 // aligned query frequencies qf and pIDFs idfs. Accumulation follows the
 // supplied term order, so with factors frozen from the same collection
 // state the scores are bit-identical to QueryTraced's.
-func (ix *Index) QueryFrozen(terms []string, qf, idfs []float64, avgUnique float64, topN int, exclude func(unit int) bool, tr *obs.Trace) []Result {
+//
+// floor is an externally proven lower bound on the merged n-th best
+// score, or 0 when none is known. The sharded coordinator seeds it from
+// the reference document's home shard (whose leg runs first): the
+// global n-th best list score is at least any one shard's local n-th
+// best, so sibling legs may discard units that cannot reach it — they
+// would be cut from the merged list anyway — and still return exactly
+// the entries that survive the Algorithm 1 merge.
+func (ix *Index) QueryFrozen(terms []string, qf, idfs []float64, avgUnique float64, topN int, floor float64, exclude func(unit int) bool, tr *obs.Trace) []Result {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if topN <= 0 || len(ix.units) == 0 {
 		return nil
+	}
+	if ix.shouldPruneLocked(topN) {
+		return ix.scanPrunedLocked(terms, qf, idfs, avgUnique, topN, floor, exclude, tr)
 	}
 	ctrScorePoolGet.Inc()
 	sm := scorePool.Get().(*scoreMap)
@@ -60,6 +71,7 @@ func (ix *Index) QueryFrozen(terms []string, qf, idfs []float64, avgUnique float
 		clear(scores)
 		scorePool.Put(sm)
 	}()
+	var scanned int64
 	for i, term := range terms {
 		tIDF := idfs[i]
 		if tIDF == 0 {
@@ -70,9 +82,11 @@ func (ix *Index) QueryFrozen(terms []string, qf, idfs []float64, avgUnique float
 			continue
 		}
 		f := qf[i]
+		scanned += int64(len(posts))
 		for _, p := range posts {
 			scores[p.Unit] += f * ix.weightLocked(p, avgUnique) * tIDF
 		}
 	}
+	ctrScanPostings.Add(scanned)
 	return finishQuery(scores, poolHit, topN, exclude, tr)
 }

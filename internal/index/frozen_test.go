@@ -67,21 +67,21 @@ func TestQueryFrozenMatchesQueryTraced(t *testing.T) {
 	terms, qf, idfs, avg := frozenArgs(ix, queryTF)
 	for _, topN := range []int{1, 3, 8, 100} {
 		want := ix.QueryTraced(queryTF, topN, nil, nil)
-		got := ix.QueryFrozen(terms, qf, idfs, avg, topN, nil, nil)
+		got := ix.QueryFrozen(terms, qf, idfs, avg, topN, 0, nil, nil)
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("topN=%d: frozen %v != standard %v", topN, got, want)
 		}
 	}
 	excl := func(u int) bool { return u%2 == 0 }
 	want := ix.QueryTraced(queryTF, 10, excl, nil)
-	got := ix.QueryFrozen(terms, qf, idfs, avg, 10, excl, nil)
+	got := ix.QueryFrozen(terms, qf, idfs, avg, 10, 0, excl, nil)
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("excluded: frozen %v != standard %v", got, want)
 	}
-	if got := ix.QueryFrozen(terms, qf, idfs, avg, 0, nil, nil); got != nil {
+	if got := ix.QueryFrozen(terms, qf, idfs, avg, 0, 0, nil, nil); got != nil {
 		t.Errorf("topN=0 should return nil, got %v", got)
 	}
-	if got := New().QueryFrozen(terms, qf, idfs, avg, 5, nil, nil); got != nil {
+	if got := New().QueryFrozen(terms, qf, idfs, avg, 5, 0, nil, nil); got != nil {
 		t.Errorf("empty index should return nil, got %v", got)
 	}
 }
@@ -129,7 +129,7 @@ func TestQueryFrozenPooledPartitions(t *testing.T) {
 				t.Errorf("pooled pIDF(%s) = %g, unsharded %g", term, idfs[i], whole.IDF(term))
 			}
 		}
-		for _, r := range part.QueryFrozen(terms, qf, idfs, avg, len(units), nil, nil) {
+		for _, r := range part.QueryFrozen(terms, qf, idfs, avg, len(units), 0, nil, nil) {
 			g := globalOf[part][r.Unit]
 			want, ok := wantScore[g]
 			if !ok {

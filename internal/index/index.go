@@ -32,12 +32,16 @@ import (
 // candidate/result histograms size the scoring stage (how many units a
 // query touches, how many survive the top-n heap); the scorepool
 // counters expose the pooled score-map hit rate (hits = get − new).
-// All recording is gated on the obs enabled flag and free otherwise.
+// index.scan.postings counts postings actually touched by a scan
+// (full-list walks plus the pruned path's per-survivor binary probes) —
+// the denominator for the pruning counters in prune.go. All recording
+// is gated on the obs enabled flag and free otherwise.
 var (
 	histQueryCandidates = obs.NewCountHistogram("index.query.candidates")
 	histQueryResults    = obs.NewCountHistogram("index.query.results")
 	ctrScorePoolGet     = obs.NewCounter("index.scorepool.get")
 	ctrScorePoolNew     = obs.NewCounter("index.scorepool.new")
+	ctrScanPostings     = obs.NewCounter("index.scan.postings")
 )
 
 // Posting records one term occurrence list entry: the unit that contains
@@ -60,14 +64,6 @@ type unitStats struct {
 	unique int32
 }
 
-// idfEntry memoizes one term's pIDF with the inputs it was computed from;
-// an entry is valid only while the collection size and the term's document
-// frequency still match, so additions invalidate implicitly.
-type idfEntry struct {
-	n, df int
-	v     float64
-}
-
 // Index is an inverted full-text index over integer-identified units.
 type Index struct {
 	mu          sync.RWMutex
@@ -75,23 +71,26 @@ type Index struct {
 	units       []unitStats
 	totalUnique int64 // sum of unique-term counts, for the NU average
 
+	// bounds holds one score upper bound per posting list (term), the
+	// foundation of the max-score pruned scan (see prune.go). Maintained
+	// incrementally by Add under the write lock and rebuilt wholesale on
+	// snapshot load; read under the read lock.
+	bounds map[string]listBound
+
 	// global, when non-nil, is the shared collection-statistics pool the
 	// scoring reads Eq 9's N and n and the NU average from instead of the
 	// local state — the mechanism that makes a sharded partition of one
 	// collection score bit-identically to the whole (see GlobalStats).
 	// Written only by AttachStats under mu; read under mu.
 	global *GlobalStats
-
-	// idfCache memoizes per-term pIDF (term → idfEntry). It lives outside
-	// mu: queries populate it while holding only the read lock, and stale
-	// entries are rejected by the (n, df) validity check rather than
-	// cleared on Add.
-	idfCache sync.Map
 }
 
 // New returns an empty index.
 func New() *Index {
-	return &Index{postings: make(map[string][]Posting)}
+	return &Index{
+		postings: make(map[string][]Posting),
+		bounds:   make(map[string]listBound),
+	}
 }
 
 // scoreMap is the pooled per-query score accumulator. The reused flag
@@ -101,6 +100,8 @@ func New() *Index {
 // ctrScorePoolNew).
 type scoreMap struct {
 	m      map[int32]float64
+	alive  []int32   // pruned-scan scratch: candidate units after compaction
+	ascore []float64 // pruned-scan scratch: partial scores parallel to alive
 	reused bool
 }
 
@@ -140,13 +141,21 @@ func (ix *Index) Add(terms []string) int {
 	}
 	id := int32(len(ix.units))
 	var denom float64
-	for _, t := range unique {
+	logTFs := make([]float64, len(unique))
+	for i, t := range unique {
 		logTF := math.Log(float64(tf[t])) + 1
+		logTFs[i] = logTF
 		ix.postings[t] = append(ix.postings[t], Posting{Unit: id, TF: int32(tf[t]), LogTF: logTF})
 		denom += logTF
 		if g != nil {
 			g.df[t]++
 		}
+	}
+	// Second pass: fold the new unit into each touched list's score upper
+	// bound. The Eq 7 denominator is only known once every unique term has
+	// been summed, so this cannot ride along the first pass.
+	for i, t := range unique {
+		ix.bounds[t] = ix.bounds[t].add(logTFs[i], denom, int32(len(tf)))
 	}
 	ix.units = append(ix.units, unitStats{denom: denom, unique: int32(len(tf))})
 	ix.totalUnique += int64(len(tf))
@@ -248,20 +257,18 @@ func (ix *Index) IDF(term string) float64 {
 	return ix.idfLocked(term, ix.dfLocked(term, ix.postings[term]))
 }
 
-// idfLocked returns the memoized pIDF for a term with the given
-// (effective) document frequency. Callers must hold at least the read
-// lock, plus the pool read lock when attached — together they fix n and
-// df for the duration, making the cached entry exact.
+// idfLocked returns the pIDF for a term with the given (effective)
+// document frequency, computed directly — one subtraction, one
+// division, one math.Log. An earlier revision memoized the value in a
+// sync.Map keyed by term and validated by (n, df); under a mixed
+// serve/add load every add moves n, so the cache allocated a fresh
+// entry per term per probe without ever hitting, and on the read-only
+// path the two sync.Map operations cost as much as the log they saved
+// (BenchmarkQueryReadOnly pins the direct computation at parity).
+// Callers must hold at least the read lock, plus the pool read lock
+// when attached.
 func (ix *Index) idfLocked(term string, df int) float64 {
-	n := ix.nLocked()
-	if e, ok := ix.idfCache.Load(term); ok {
-		if e := e.(idfEntry); e.n == n && e.df == df {
-			return e.v
-		}
-	}
-	v := idf(n, df)
-	ix.idfCache.Store(term, idfEntry{n: n, df: df, v: v})
-	return v
+	return idf(ix.nLocked(), df)
 }
 
 func idf(n, df int) float64 {
@@ -284,9 +291,30 @@ type Result struct {
 // Query scores every unit containing at least one query term with Eq 9 —
 // Σ_t f_q(t)·w(t,unit)·pIDF(t) — and returns the topN results in
 // descending score order. The exclude predicate (may be nil) drops units
-// from the result, e.g. the query document's own segment.
+// from the result, e.g. the query document's own segment. On large
+// collections the scan prunes with per-list score upper bounds (see
+// prune.go); the results are bit-identical to QueryExhaustive's in
+// every case.
 func (ix *Index) Query(queryTF map[string]float64, topN int, exclude func(unit int) bool) []Result {
 	return ix.QueryTraced(queryTF, topN, exclude, nil)
+}
+
+// QueryExhaustive is the always-exhaustive reference scorer: every
+// posting of every query term is walked into the accumulator, exactly
+// as Query scored before max-score pruning existed. It exists for the
+// pruned-vs-exhaustive equivalence tests and benchmarks; serving paths
+// should use Query.
+func (ix *Index) QueryExhaustive(queryTF map[string]float64, topN int, exclude func(unit int) bool) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if topN <= 0 || len(ix.units) == 0 {
+		return nil
+	}
+	if ix.rlockStats() {
+		defer ix.global.mu.RUnlock()
+	}
+	terms := sortedTerms(queryTF)
+	return ix.scanExhaustiveLocked(terms, queryTF, topN, exclude, nil)
 }
 
 // QueryTraced is Query with request-scoped tracing: when tr is non-nil
@@ -305,15 +333,45 @@ func (ix *Index) QueryTraced(queryTF map[string]float64, topN int, exclude func(
 	if ix.rlockStats() {
 		defer ix.global.mu.RUnlock()
 	}
-	avgUnique := ix.avgUniqueLocked()
-	// Accumulate in sorted term order: float summation is not associative,
-	// so map-order iteration would make scores vary at the ULP level across
-	// runs and break tie determinism.
+	terms := sortedTerms(queryTF)
+	if ix.shouldPruneLocked(topN) {
+		// Resolve the per-term factors upfront (the frozen-scoring shape)
+		// and run the max-score scan. Factor values are identical to the
+		// inline resolution below — the index and pool locks are held for
+		// the whole call — so the scans are interchangeable bit-for-bit.
+		qf := make([]float64, len(terms))
+		idfs := make([]float64, len(terms))
+		n := ix.nLocked()
+		for i, t := range terms {
+			qf[i] = queryTF[t]
+			idfs[i] = idf(n, ix.dfLocked(t, ix.postings[t]))
+		}
+		avgUnique := ix.avgUniqueLocked()
+		return ix.scanPrunedLocked(terms, qf, idfs, avgUnique, topN, 0, exclude, tr)
+	}
+	return ix.scanExhaustiveLocked(terms, queryTF, topN, exclude, tr)
+}
+
+// sortedTerms returns the query's terms in ascending order — the Eq 9
+// accumulation order. Float summation is not associative, so map-order
+// iteration would make scores vary at the ULP level across runs and
+// break tie determinism.
+func sortedTerms(queryTF map[string]float64) []string {
 	terms := make([]string, 0, len(queryTF))
 	for term := range queryTF {
 		terms = append(terms, term)
 	}
 	sort.Strings(terms)
+	return terms
+}
+
+// scanExhaustiveLocked walks every posting of every query term into the
+// pooled accumulator — the pre-pruning scan, kept verbatim as the
+// reference semantics and as the fast path for collections too small
+// for pruning to pay. Callers hold the read lock (and the pool's when
+// attached).
+func (ix *Index) scanExhaustiveLocked(terms []string, queryTF map[string]float64, topN int, exclude func(unit int) bool, tr *obs.Trace) []Result {
+	avgUnique := ix.avgUniqueLocked()
 	ctrScorePoolGet.Inc()
 	sm := scorePool.Get().(*scoreMap)
 	poolHit := sm.reused
@@ -323,6 +381,7 @@ func (ix *Index) QueryTraced(queryTF map[string]float64, topN int, exclude func(
 		clear(scores)
 		scorePool.Put(sm)
 	}()
+	var scanned int64
 	for _, term := range terms {
 		qf := queryTF[term]
 		posts := ix.postings[term]
@@ -333,11 +392,12 @@ func (ix *Index) QueryTraced(queryTF map[string]float64, topN int, exclude func(
 		if tIDF == 0 {
 			continue
 		}
+		scanned += int64(len(posts))
 		for _, p := range posts {
 			scores[p.Unit] += qf * ix.weightLocked(p, avgUnique) * tIDF
 		}
 	}
-
+	ctrScanPostings.Add(scanned)
 	return finishQuery(scores, poolHit, topN, exclude, tr)
 }
 

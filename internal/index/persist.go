@@ -125,6 +125,13 @@ func (ix *Index) Load(data []byte) error {
 	ix.postings = snap.Postings
 	ix.units = units
 	ix.totalUnique = snap.TotalUnique
+	// Posting-list score bounds are derived state, not persisted by
+	// either codec; rebuild them from the swapped-in postings. The
+	// rebuild evaluates the same expressions Add does over the same
+	// operands (LogTF recomputed above, denom and unique validated
+	// against the postings), so a loaded index carries bit-identical
+	// bounds to the index that wrote the snapshot.
+	ix.rebuildBoundsLocked()
 	ix.mu.Unlock()
 	return nil
 }

@@ -1,0 +1,559 @@
+package index
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/topk"
+)
+
+// Max-score pruning (Turtle & Flood-style, term-at-a-time) over the
+// Eq 7–9 scan. The exhaustive scan walks every posting of every query
+// term; on a large collection almost all of that work scores units that
+// can never reach the top-n. This file replaces it — behind the
+// shouldPruneLocked gate, and provably bit-identical — with a
+// three-stage scan:
+//
+//  1. Bounds. Every posting list carries a precomputed upper bound on
+//     the Eq 7/8 weight of any posting in it (listBound, maintained by
+//     Add and rebuilt on snapshot load). A query term's contribution to
+//     any unit is then at most f_q(t) · bound(t) · pIDF(t), and the
+//     terms are processed in descending order of that bound — rare,
+//     decisive terms first — so the running threshold tightens as fast
+//     as possible.
+//  2. Essential prefix. Terms are scanned in full, accumulating partial
+//     scores, until the sum of the remaining terms' bounds falls below
+//     the running n-th-best partial score (the heap threshold θ): from
+//     that point no unseen unit can reach the top-n, so the remaining
+//     posting lists — typically the long, low-pIDF ones — are never
+//     walked. After each term, accumulated units whose partial score
+//     plus the remaining bound sum cannot reach θ are dropped.
+//  3. Exact rescore. The surviving candidates (a handful per query) are
+//     rescored exactly: every query term in ascending term order, the
+//     weight fetched by binary search. This both supplies the skipped
+//     lists' contributions to the survivors and reproduces the
+//     exhaustive scan's summation order, so the returned scores are
+//     bit-identical floats and the (score desc, id asc) tie-break is
+//     preserved exactly.
+//
+// Rank-equivalence argument (DESIGN.md §7 carries the long form):
+// partial scores only grow (every contribution is positive), so the
+// n-th best partial is a lower bound on the n-th best final score;
+// a unit pruned because its upper bound is below that lower bound —
+// with pruneGuard absorbing float rounding asymmetry — has a final
+// score strictly below the n-th best and cannot even tie into the
+// top-n. Everything that survives is rescored exactly.
+
+// Pruning observability. lists_skipped/postings_skipped count the work
+// the max-score cutoff avoided (whole posting lists never walked);
+// threshold_micros histograms the final heap threshold θ in millionths
+// of a score unit — the Fig11c-style view: retrieval cost drops as this
+// threshold rises. survivors sizes the exact-rescore stage.
+var (
+	ctrPruneLists      = obs.NewCounter("index.prune.lists_skipped")
+	ctrPrunePostings   = obs.NewCounter("index.prune.postings_skipped")
+	histPruneThreshold = obs.NewCountHistogram("index.prune.threshold_micros")
+	histPruneSurvivors = obs.NewCountHistogram("index.prune.survivors")
+)
+
+// PruneMinUnits is the smallest collection (unit count) the query path
+// prunes on; below it the exhaustive scan is used — on small lists the
+// bookkeeping (threshold heap, candidate compaction, exact rescore)
+// costs more than the walk it saves, and the exhaustive path keeps its
+// allocation profile. querybench puts the crossover near 10^4 units on
+// forum-shaped corpora, so the default sits just under it. Results are
+// bit-identical either way. It is read at query time without
+// synchronization: set it at startup (or in tests before spawning
+// queriers), not while serving.
+var PruneMinUnits = 8192
+
+// pruneMinFanout gates pruning on topN ≪ collection: a scan asked for a
+// quarter of the collection cannot skip much, so it runs exhaustively.
+const pruneMinFanout = 4
+
+// pruneGuard deflates the heap threshold in every prune comparison.
+// The bound arithmetic dominates the true contributions in exact
+// arithmetic; float evaluation of the two sides can disagree by a few
+// ULP (relative ~1e-13 even for thousand-term sums), so comparisons
+// keep a 1e-9 relative margin — six orders of magnitude wider than the
+// drift, six orders tighter than any score gap that matters. A unit is
+// pruned only when its upper bound is below θ·pruneGuard, so equality
+// with the threshold (a potential id-tie-break winner) always survives
+// to the exact rescore.
+const pruneGuard = 1 - 1e-9
+
+// boundSlack inflates each stored list bound at evaluation time, for
+// the same reason pruneGuard deflates the threshold: the b1 bound and
+// the actual Eq 7/8 weight place their roundings differently, so raw
+// float comparison could under-dominate by a ULP. The slacked bound
+// dominates every posting weight outright (property-tested).
+const boundSlack = 1 + 1e-9
+
+// listBound is one posting list's precomputed score upper bound, in two
+// halves because the NU length normalization of Eq 7/8 depends on the
+// query-time collection average:
+//
+//	weight(p) = LogTF / (denom · nu),  nu = max(1, unique/avgUnique)
+//	          = min(LogTF/denom, avgUnique · LogTF/(denom·unique))
+//
+// b0 caps the first form (nu = 1), b1 the second's avgUnique-free
+// factor; bound() combines them with the average the query resolved.
+// Both are maxima of per-posting quantities, so they are maintained
+// incrementally by Add in O(unique terms) and rebuilt on load in one
+// pass over the postings — and the rebuild reproduces the incremental
+// values exactly, because every operand (LogTF, denom, unique) is
+// persisted or recomputed bit-identically.
+type listBound struct {
+	b0 float64 // max over postings of LogTF/denom
+	b1 float64 // max over postings of LogTF/(denom·unique)
+}
+
+// add folds one new posting (logTF, in a unit with the given Eq 7
+// denominator and unique-term count) into the bound.
+func (lb listBound) add(logTF, denom float64, unique int32) listBound {
+	if denom <= 0 {
+		return lb
+	}
+	if c0 := logTF / denom; c0 > lb.b0 {
+		lb.b0 = c0
+	}
+	if c1 := logTF / (denom * float64(unique)); c1 > lb.b1 {
+		lb.b1 = c1
+	}
+	return lb
+}
+
+// bound returns the slacked weight upper bound for the collection
+// average avgUnique: no posting of the list can have an Eq 7/8 weight
+// above it (the domination property test pins this across arbitrary
+// Add/Load sequences).
+func (lb listBound) bound(avgUnique float64) float64 {
+	b := lb.b0
+	if avgUnique > 0 {
+		if alt := avgUnique * lb.b1; alt < b {
+			b = alt
+		}
+	}
+	return b * boundSlack
+}
+
+// rebuildBoundsLocked recomputes every posting list's bound from
+// scratch — the snapshot-load half of bound maintenance, shared by the
+// compact and legacy-gob read paths (both funnel through Load). Callers
+// hold the write lock (or own the index exclusively).
+func (ix *Index) rebuildBoundsLocked() {
+	ix.bounds = make(map[string]listBound, len(ix.postings))
+	for t, posts := range ix.postings {
+		var lb listBound
+		for _, p := range posts {
+			u := ix.units[p.Unit]
+			lb = lb.add(p.LogTF, u.denom, u.unique)
+		}
+		ix.bounds[t] = lb
+	}
+}
+
+// shouldPruneLocked reports whether the pruned scan is worth engaging
+// for a top-n request on this collection. Callers hold the read lock.
+func (ix *Index) shouldPruneLocked(topN int) bool {
+	return len(ix.units) >= PruneMinUnits && len(ix.units) >= pruneMinFanout*topN
+}
+
+// UpperBoundSum returns Σ_t f_q(t)·bound(t)·pIDF(t) over the probe's
+// terms — an upper bound on the score any single unit can reach, and
+// the key the matching layer orders Algorithm 1's list probes by
+// (descending) so high-impact lists are scanned first. Terms arrive
+// sorted with aligned query frequencies and pIDFs, exactly as
+// QueryFrozen takes them.
+func (ix *Index) UpperBoundSum(terms []string, qf, idfs []float64, avgUnique float64) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var sum float64
+	for i, t := range terms {
+		if idfs[i] == 0 {
+			continue
+		}
+		lb, ok := ix.bounds[t]
+		if !ok {
+			continue
+		}
+		sum += qf[i] * lb.bound(avgUnique) * idfs[i]
+	}
+	return sum
+}
+
+// runningTopK tracks the n-th best partial score over distinct units
+// while an accumulator is being updated in place — the job topk.Collector
+// cannot do, because a collector has no way to raise the score of an
+// entry it already holds (offering again would duplicate the unit and
+// inflate the threshold past the true n-th best, breaking the pruning
+// safety argument). It is a min-heap of at most k (unit, score) entries;
+// an in-heap unit's growing partial updates in place, found by linear
+// scan — k is a top-n depth (≤ a few dozen), where scanning a cache-hot
+// slice beats any index structure, and offer is reached only for scores
+// above the heap root, which gets rarer as the scan proceeds. Scores
+// only ever increase, so the root — the threshold — is monotone.
+// Callers may skip updates for scores at or below the root: a stale-low
+// in-heap entry can only understate the threshold, never overstate it.
+type runningTopK struct {
+	k int
+	h []runningEntry
+}
+
+type runningEntry struct {
+	unit  int32
+	score float64
+}
+
+func newRunningTopK(k int) *runningTopK {
+	return &runningTopK{k: k, h: make([]runningEntry, 0, k)}
+}
+
+// offer records unit's new partial score and returns the current
+// threshold: the k-th best score seen, or 0 while fewer than k distinct
+// units have been offered.
+func (r *runningTopK) offer(unit int32, s float64) float64 {
+	held := -1
+	for i := range r.h {
+		if r.h[i].unit == unit {
+			held = i
+			break
+		}
+	}
+	if held >= 0 {
+		r.h[held].score = s
+		r.down(held)
+	} else if len(r.h) < r.k {
+		r.h = append(r.h, runningEntry{unit: unit, score: s})
+		r.up(len(r.h) - 1)
+	} else if s > r.h[0].score {
+		r.h[0] = runningEntry{unit: unit, score: s}
+		r.down(0)
+	}
+	if len(r.h) == r.k {
+		return r.h[0].score
+	}
+	return 0
+}
+
+func (r *runningTopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if r.h[i].score >= r.h[parent].score {
+			break
+		}
+		r.h[i], r.h[parent] = r.h[parent], r.h[i]
+		i = parent
+	}
+}
+
+func (r *runningTopK) down(i int) {
+	n := len(r.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && r.h[right].score < r.h[left].score {
+			min = right
+		}
+		if r.h[min].score >= r.h[i].score {
+			break
+		}
+		r.h[i], r.h[min] = r.h[min], r.h[i]
+		i = min
+	}
+}
+
+// findPosting returns the position of unit u in the unit-sorted posting
+// list, or -1. A hand-rolled binary search: the probe phases call this
+// in tight loops where sort.Search's closure indirection is measurable.
+func findPosting(posts []Posting, u int32) int {
+	lo, hi := 0, len(posts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if posts[mid].Unit < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(posts) && posts[lo].Unit == u {
+		return lo
+	}
+	return -1
+}
+
+// prunedTerm is one query term of the max-score scan, in descending
+// upper-bound order.
+type prunedTerm struct {
+	idx   int     // position in ascending term order (the rescore order)
+	ub    float64 // slacked contribution upper bound f_q·bound·pIDF
+	qf    float64
+	idf   float64
+	posts []Posting
+}
+
+// scanPrunedLocked is the max-score scan. Terms arrive in ascending
+// order with aligned query frequencies and pIDFs (resolved under the
+// same lock hold, so they equal what the exhaustive scan would derive
+// inline); floor is an externally proven lower bound on the n-th best
+// score — 0 when none is known, the home shard's n-th list score on a
+// sharded scatter leg — and seeds the threshold before any partial
+// accumulates. Callers hold the read lock; only shard-local state
+// (postings, units, bounds) and the resolved factors are read, so the
+// scatter path's lock discipline carries over unchanged.
+func (ix *Index) scanPrunedLocked(terms []string, qf, idfs []float64, avgUnique float64, topN int, floor float64, exclude func(unit int) bool, tr *obs.Trace) []Result {
+	// Resolve the active terms (known, non-zero pIDF) and their bounds.
+	active := make([]prunedTerm, 0, len(terms))
+	var totalPostings int64
+	for i, t := range terms {
+		if idfs[i] == 0 {
+			continue
+		}
+		posts := ix.postings[t]
+		if len(posts) == 0 {
+			continue
+		}
+		totalPostings += int64(len(posts))
+		active = append(active, prunedTerm{
+			idx:   i,
+			ub:    qf[i] * ix.bounds[t].bound(avgUnique) * idfs[i],
+			qf:    qf[i],
+			idf:   idfs[i],
+			posts: posts,
+		})
+	}
+	// Descending upper bound; ascending term position on ties, so the
+	// processing order is deterministic.
+	sort.Slice(active, func(a, b int) bool {
+		if active[a].ub != active[b].ub {
+			return active[a].ub > active[b].ub
+		}
+		return active[a].idx < active[b].idx
+	})
+	// rem[j] = Σ_{i≥j} ub_i: the most any unit can still gain from terms
+	// j onward. Summed right-to-left so rem[j] is one float add per term.
+	rem := make([]float64, len(active)+1)
+	for j := len(active) - 1; j >= 0; j-- {
+		rem[j] = rem[j+1] + active[j].ub
+	}
+
+	ctrScorePoolGet.Inc()
+	sm := scorePool.Get().(*scoreMap)
+	poolHit := sm.reused
+	sm.reused = true
+	scores := sm.m
+	defer func() {
+		clear(scores)
+		scorePool.Put(sm)
+	}()
+
+	// Phase A: scan the essential prefix, maintaining θ — the n-th best
+	// partial score over distinct units — exactly, via a position-indexed
+	// top-n heap updated as partials grow. The fast path is one float
+	// compare per posting: a partial at or below the heap root cannot
+	// change θ and is skipped without touching the heap (the in-heap copy
+	// of that unit may go stale-low, which only understates θ — safe).
+	// θ is monotone, and every partial is a lower bound on that unit's
+	// final score (all contributions are positive), so θ never exceeds
+	// the final n-th best score: the cutoffs it drives are conservative.
+	theta := floor
+	var scanned int64
+	rt := newRunningTopK(topN)
+	stop := len(active)
+	for j, at := range active {
+		if theta > 0 && rem[j] < theta*pruneGuard {
+			// No unit — accumulated or unseen — can gain enough from the
+			// remaining lists to reach the top-n threshold. Stop scanning;
+			// the survivors' exact scores come from the rescore below.
+			stop = j
+			break
+		}
+		c := at.qf * at.idf
+		scanned += int64(len(at.posts))
+		for _, p := range at.posts {
+			s := scores[p.Unit] + c*ix.weightLocked(p, avgUnique)
+			scores[p.Unit] = s
+			if len(rt.h) == topN && s <= rt.h[0].score {
+				continue
+			}
+			if exclude != nil && exclude(int(p.Unit)) {
+				continue // excluded units must not inflate the threshold
+			}
+			if t := rt.offer(p.Unit, s); t > theta {
+				theta = t
+			}
+		}
+	}
+
+	// Phase A2, update mode (Turtle & Flood): past the cutoff no unseen
+	// unit can reach the top-n, but accumulated units still owe
+	// contributions from the remaining lists. Processing those lists
+	// against the accumulator — rather than the accumulator against the
+	// lists — turns each remaining list from a full scan into |alive|
+	// probes, and the alive set shrinks geometrically: before list j a
+	// unit survives only if its partial plus rem[j] can still reach θ,
+	// and both θ (monotone) and the partials keep moving as probes land.
+	// Probe-phase partials accumulate in upper-bound order, so they are
+	// pruning/threshold material only; the exact rescore below redoes the
+	// survivors in the summation order the exhaustive scan uses.
+	alive := sm.alive[:0]
+	guard := theta * pruneGuard
+	for u, s := range scores {
+		if theta > 0 && s+rem[stop] < guard {
+			continue
+		}
+		if exclude != nil && exclude(int(u)) {
+			continue
+		}
+		alive = append(alive, u)
+	}
+	// Ascending unit order — the order the posting lists are stored in —
+	// so the update-mode merges walk both sides monotonically.
+	slices.Sort(alive)
+	aliveScore := sm.ascore
+	if cap(aliveScore) < len(alive) {
+		aliveScore = make([]float64, len(alive))
+	} else {
+		aliveScore = aliveScore[:len(alive)]
+	}
+	for i, u := range alive {
+		aliveScore[i] = scores[u]
+	}
+	var probed int64 // update-mode contributions actually computed
+	for j := stop; j < len(active); j++ {
+		at := active[j]
+		guard = theta * pruneGuard
+		keep := 0
+		for i, u := range alive {
+			s := aliveScore[i]
+			if s+rem[j] < guard {
+				continue
+			}
+			alive[keep], aliveScore[keep] = u, s
+			keep++
+		}
+		alive, aliveScore = alive[:keep], aliveScore[:keep]
+		if keep == 0 {
+			break
+		}
+		c := at.qf * at.idf
+		if len(at.posts) < 4*keep {
+			// Dense list relative to the alive set: one linear merge beats
+			// per-unit binary searches.
+			pi := 0
+			for i, u := range alive {
+				for pi < len(at.posts) && at.posts[pi].Unit < u {
+					pi++
+				}
+				if pi == len(at.posts) {
+					break
+				}
+				if at.posts[pi].Unit == u {
+					s := aliveScore[i] + c*ix.weightLocked(at.posts[pi], avgUnique)
+					aliveScore[i] = s
+					probed++
+					if t := rt.offer(u, s); t > theta {
+						theta = t
+					}
+				}
+			}
+		} else {
+			for i, u := range alive {
+				pi := findPosting(at.posts, u)
+				if pi < 0 {
+					continue
+				}
+				s := aliveScore[i] + c*ix.weightLocked(at.posts[pi], avgUnique)
+				aliveScore[i] = s
+				probed++
+				if t := rt.offer(u, s); t > theta {
+					theta = t
+				}
+			}
+		}
+	}
+	// Final cut: everything is accounted for (rem = 0), so only units
+	// whose full — approximate, but guard-margined — score reaches θ can
+	// place in the top-n.
+	guard = theta * pruneGuard
+	keep := 0
+	for i, u := range alive {
+		if theta > 0 && aliveScore[i] < guard {
+			continue
+		}
+		alive[keep] = u
+		keep++
+	}
+	alive = alive[:keep]
+
+	// Phase B: exact rescore of the survivors, in ascending term order —
+	// the exhaustive scan's summation sequence — with each weight fetched
+	// by binary search. postsByIdx re-keys the active lists by ascending
+	// term position.
+	postsByIdx := make([]*prunedTerm, len(terms))
+	for j := range active {
+		postsByIdx[active[j].idx] = &active[j]
+	}
+	out := topk.New(topN)
+	for _, u := range alive {
+		var s float64
+		for i := range postsByIdx {
+			at := postsByIdx[i]
+			if at == nil {
+				continue
+			}
+			pi := findPosting(at.posts, u)
+			if pi < 0 {
+				continue
+			}
+			scanned++
+			s += at.qf * ix.weightLocked(at.posts[pi], avgUnique) * at.idf
+		}
+		if s > 0 {
+			out.Offer(int(u), s)
+		}
+	}
+
+	scanned += probed
+	listsSkipped := int64(len(active) - stop)
+	var postingsSkipped int64
+	for j := stop; j < len(active); j++ {
+		postingsSkipped += int64(len(active[j].posts))
+	}
+	postingsSkipped -= probed
+	units := alive
+	ctrScanPostings.Add(scanned)
+	ctrPruneLists.Add(listsSkipped)
+	ctrPrunePostings.Add(postingsSkipped)
+	histPruneThreshold.Observe(int64(theta * 1e6))
+	histPruneSurvivors.Observe(int64(len(units)))
+	histQueryCandidates.Observe(int64(len(scores)))
+	items := out.Results()
+	histQueryResults.Observe(int64(len(items)))
+	if tr != nil {
+		hit := int64(0)
+		if poolHit {
+			hit = 1
+		}
+		tr.Event("index.query",
+			obs.N("candidates", int64(len(scores))),
+			obs.N("results", int64(len(items))),
+			obs.N("pool_hit", hit))
+		tr.Event("index.prune",
+			obs.N("lists_skipped", listsSkipped),
+			obs.N("postings_skipped", postingsSkipped),
+			obs.N("survivors", int64(len(units))),
+			obs.N("postings_total", totalPostings),
+			obs.N("threshold_micros", int64(theta*1e6)))
+	}
+	sm.alive, sm.ascore = alive[:0], aliveScore[:0] // recycle the scratch with the map
+	res := make([]Result, len(items))
+	for i, it := range items {
+		res[i] = Result{Unit: it.ID, Score: it.Score}
+	}
+	return res
+}

@@ -72,14 +72,6 @@ func (ix *Index) AttachStats(gs *GlobalStats) {
 		gs.df[t] += len(posts)
 	}
 	ix.global = gs
-	// Drop pIDF memos computed against the local statistics; entries are
-	// validated by (n, df), which both just changed meaning. (Range +
-	// Delete rather than Clear: the module's go directive predates
-	// sync.Map.Clear.)
-	ix.idfCache.Range(func(k, _ any) bool {
-		ix.idfCache.Delete(k)
-		return true
-	})
 }
 
 // Stats returns the attached pool, or nil for a standalone index.

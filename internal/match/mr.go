@@ -513,6 +513,45 @@ func (mr *MR) queryListsLocked(docID, k int, tr *obs.Trace) ([]docSeg, [][]index
 	// them in segment order — float summation is not associative, so
 	// merge order must not depend on goroutine scheduling.
 	lists := make([][]index.Result, len(segs))
+	if mr.prunableLocked() {
+		// Pruned collections: resolve the frozen probes up front, estimate
+		// each list's score upper bound (Σ_t f_q·bound·pIDF), and start the
+		// highest-bound probes first. Cross-list thresholds cannot be shared
+		// (Algorithm 2 sums *across* lists, so a low-bound list's entries
+		// still matter), so the ordering is pure longest-work-first
+		// scheduling: the expensive, high-impact scans are in flight before
+		// the cheap ones, shrinking the parallel makespan. Slots are fixed
+		// by segment position, so results are identical for any order.
+		probes := mr.probesLocked(segs)
+		type ordered struct {
+			pos int
+			ub  float64
+		}
+		order := make([]ordered, len(segs))
+		for i, q := range probes {
+			order[i] = ordered{pos: i, ub: mr.clusters[q.Cluster].UpperBoundSum(q.Terms, q.QF, q.IDF, q.AvgUnique)}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if order[a].ub != order[b].ub {
+				return order[a].ub > order[b].ub
+			}
+			return order[a].pos < order[b].pos
+		})
+		par.Do(len(segs), mr.cfg.Workers, func(j int) {
+			i := order[j].pos
+			seg := segs[i]
+			q := probes[i]
+			own := seg.unit
+			lists[i] = mr.clusters[seg.cluster].QueryFrozen(
+				q.Terms, q.QF, q.IDF, q.AvgUnique, n, 0, func(u int) bool { return u == own }, tr)
+			if tr != nil {
+				tr.Event("match.list",
+					obs.N("cluster", int64(seg.cluster)),
+					obs.N("width", int64(len(lists[i]))))
+			}
+		})
+		return segs, lists, n
+	}
 	par.Do(len(segs), mr.cfg.Workers, func(i int) {
 		seg := segs[i]
 		own := seg.unit
@@ -525,6 +564,19 @@ func (mr *MR) queryListsLocked(docID, k int, tr *obs.Trace) ([]docSeg, [][]index
 		}
 	})
 	return segs, lists, n
+}
+
+// prunableLocked reports whether any intention cluster is large enough
+// for the index layer's max-score gate to engage — the signal that the
+// frozen, bound-ordered probe path is worth its probe-resolution
+// overhead. Callers must hold at least the read lock.
+func (mr *MR) prunableLocked() bool {
+	for _, ix := range mr.clusters {
+		if ix.NumUnits() >= index.PruneMinUnits {
+			return true
+		}
+	}
+	return false
 }
 
 // trimList applies the Algorithm 2 list post-processing Match and

@@ -47,7 +47,13 @@ func (mr *MR) QuerySegs(docID int) []ClusterQuery {
 	if docID < 0 || docID >= len(mr.docSegs) {
 		return nil
 	}
-	segs := mr.docSegs[docID]
+	return mr.probesLocked(mr.docSegs[docID])
+}
+
+// probesLocked resolves the frozen Algorithm 1 probes for a document's
+// refined segments — the shared core of QuerySegs and the ordered probe
+// scheduling in queryListsLocked. Callers hold at least the read lock.
+func (mr *MR) probesLocked(segs []docSeg) []ClusterQuery {
 	out := make([]ClusterQuery, len(segs))
 	for i, s := range segs {
 		tf := index.TermFrequencies(s.terms)
@@ -86,7 +92,16 @@ func (mr *MR) QuerySegs(docID int) []ClusterQuery {
 // would only multiply goroutines, and the single lock hold gives the
 // probes one consistent view of this shard (matching the snapshot
 // semantics Match has on the unsharded path).
-func (mr *MR) QueryClusterLists(probes []ClusterQuery, n, excludeDoc int, tr *obs.Trace) [][]Result {
+//
+// floors, when non-nil, carries one per-probe score floor (aligned with
+// probes): a proven lower bound on the globally merged list's n-th best
+// score for that probe's cluster, which the pruned scan may discard
+// candidates against (see index.QueryFrozen). The coordinator seeds it
+// from the reference document's home-shard lists; a nil floors (or a 0
+// entry) scans unfloored. Floors only ever remove entries the global
+// merge would cut anyway, so the merged lists — and the final ranking —
+// are unchanged.
+func (mr *MR) QueryClusterLists(probes []ClusterQuery, n, excludeDoc int, floors []float64, tr *obs.Trace) [][]Result {
 	mr.mu.RLock()
 	defer mr.mu.RUnlock()
 	lists := make([][]Result, len(probes))
@@ -101,7 +116,11 @@ func (mr *MR) QueryClusterLists(probes []ClusterQuery, n, excludeDoc int, tr *ob
 			// so excluding by owner is exactly the unsharded own-unit skip.
 			exclude = func(u int) bool { return owners[u] == excludeDoc }
 		}
-		res := mr.clusters[q.Cluster].QueryFrozen(q.Terms, q.QF, q.IDF, q.AvgUnique, n, exclude, tr)
+		var floor float64
+		if i < len(floors) {
+			floor = floors[i]
+		}
+		res := mr.clusters[q.Cluster].QueryFrozen(q.Terms, q.QF, q.IDF, q.AvgUnique, n, floor, exclude, tr)
 		out := make([]Result, len(res))
 		for j, r := range res {
 			out[j] = Result{DocID: owners[r.Unit], Score: r.Score}

@@ -54,7 +54,7 @@ func scatterMatch(cfg MRConfig, shards []*MR, globalIDs [][]int, owner, local []
 		if s == home {
 			excl = lq
 		}
-		perShard[s] = sh.QueryClusterLists(probes, n, excl, nil)
+		perShard[s] = sh.QueryClusterLists(probes, n, excl, nil, nil)
 	}
 	scores := make(map[int]float64)
 	for i := range probes {
@@ -222,7 +222,7 @@ func TestQueryClusterListsBadCluster(t *testing.T) {
 	tc := buildCorpus(t, forum.TechSupport, 20, 9)
 	mr := NewMR("MR", tc.docs, MRConfig{Seed: 42})
 	probes := []ClusterQuery{{Cluster: -1}, {Cluster: mr.NumClusters()}}
-	lists := mr.QueryClusterLists(probes, 5, -1, nil)
+	lists := mr.QueryClusterLists(probes, 5, -1, nil, nil)
 	if len(lists) != 2 || lists[0] != nil || lists[1] != nil {
 		t.Errorf("out-of-range clusters should yield nil lists, got %v", lists)
 	}
@@ -247,7 +247,7 @@ func TestExplainDocClusterReconciles(t *testing.T) {
 		if s == home {
 			excl = lq
 		}
-		perShard[s] = sh.QueryClusterLists(probes, n, excl, nil)
+		perShard[s] = sh.QueryClusterLists(probes, n, excl, nil, nil)
 	}
 	checked := 0
 	for i, p := range probes {

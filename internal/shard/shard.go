@@ -282,18 +282,42 @@ func (g *Group) gather(docID, k int, tr *obs.Trace) (probes []match.ClusterQuery
 
 	// Scatter: every shard answers every probe at the full unsharded
 	// depth n (invariant 2 of the package comment needs the union of
-	// per-shard top-n lists to cover the global top-n).
+	// per-shard top-n lists to cover the global top-n). The home shard's
+	// leg runs first and seeds a per-probe score floor for the siblings:
+	// when the home list is full at depth n, its n-th score is a lower
+	// bound on the globally merged list's n-th score (the merge is a
+	// top-n over a superset of the home candidates), so sibling legs may
+	// let the max-score scan discard candidates below it — those entries
+	// would be cut from the merged list regardless. Probes carry factors
+	// frozen on the home shard, so the floor stays comparable to sibling
+	// scores even while concurrent adds move the statistics pool.
 	perShard := make([][][]match.Result, g.n)
-	par.Do(g.n, g.cfg.Workers, func(s int) {
+	var homeFloors []float64
+	runLeg := func(s int) {
 		st := g.spanQuery[s].Start()
-		excl := -1
+		excl, floors := -1, homeFloors
 		if s == home {
-			excl = localQ
+			excl, floors = localQ, nil
 		}
-		perShard[s] = g.shards[s].QueryClusterLists(probes, n, excl, tr)
+		perShard[s] = g.shards[s].QueryClusterLists(probes, n, excl, floors, tr)
 		st.Stop()
 		g.ctrQueries[s].Inc()
-	})
+	}
+	runLeg(home)
+	homeFloors = make([]float64, len(probes))
+	for i, l := range perShard[home] {
+		if len(l) >= n {
+			homeFloors[i] = l[n-1].Score
+		}
+	}
+	if g.n > 1 {
+		par.Do(g.n-1, g.cfg.Workers, func(j int) {
+			if j >= home {
+				j++
+			}
+			runLeg(j)
+		})
+	}
 	for s := range perShard {
 		w := 0
 		for _, l := range perShard[s] {

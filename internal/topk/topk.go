@@ -58,6 +58,24 @@ func (c *Collector) Offer(id int, score float64) {
 	}
 }
 
+// Len reports how many items the collector currently retains.
+func (c *Collector) Len() int { return len(c.h) }
+
+// Threshold returns the k-th best score seen so far — the heap root —
+// and whether the collector is full. Until k items have been offered
+// there is no meaningful cutoff and ok is false. The max-score scan
+// uses this as its pruning threshold θ: once full, no candidate scoring
+// below the root can enter the top-k.
+func (c *Collector) Threshold() (score float64, ok bool) {
+	if c.k <= 0 || len(c.h) < c.k {
+		return 0, false
+	}
+	return c.h[0].Score, true
+}
+
+// Reset empties the collector for reuse, keeping its capacity.
+func (c *Collector) Reset() { c.h = c.h[:0] }
+
 // Results drains the collector and returns the retained items best first
 // (descending score, ascending id on ties). The Collector is empty
 // afterwards and may be reused.

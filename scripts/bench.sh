@@ -3,16 +3,21 @@
 # machine-readable snapshot so the repo keeps a perf trajectory across PRs.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, writes BENCH_PR6.json
+#   scripts/bench.sh                 # full run, writes BENCH_PR7.json
 #   scripts/bench.sh -smoke          # 1-iteration smoke (CI: bench code must compile and run)
 #   BENCH_OUT=perf.json scripts/bench.sh
 #   PERSIST_SIZES=1000 scripts/bench.sh   # shrink the persistence leg
+#   QUERY_SIZES=1000 scripts/bench.sh     # shrink the query-pruning leg
 #
 # The JSON output maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
 # plus a "meta" block (go version, GOMAXPROCS, benchtime, count) and a
 # "persistence" block from cmd/persistbench: file size, load wall-time,
 # and post-load heap for the legacy gob vs compact snapshot layouts at
-# each corpus size (set PERSIST_SIZES=0 to skip the leg).
+# each corpus size (set PERSIST_SIZES=0 to skip the leg), and a "query"
+# block from cmd/querybench: exhaustive vs max-score-pruned ns/op and
+# postings scanned per query at each corpus size (QUERY_SIZES=0 skips).
+# The full run enforces -require-speedup: the pruned path must be faster
+# and scan >= 2x fewer postings at the largest size, or the run fails.
 #
 # The Fig11cRetrievalIntent / Fig11cRetrievalIntentObserved pair tracks
 # the observability tax on the query hot path (obs disabled vs enabled);
@@ -24,8 +29,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR6.json}"
+OUT="${BENCH_OUT:-BENCH_PR7.json}"
 PERSIST_SIZES="${PERSIST_SIZES:-1000,10000,100000}"
+QUERY_SIZES="${QUERY_SIZES:-1000,10000,100000}"
 PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntent$|BenchmarkFig11cRetrievalIntentObserved|BenchmarkMRBuild|BenchmarkPipelineBuild1k|BenchmarkConcurrentServe$|BenchmarkConcurrentServeReadOnly|BenchmarkConcurrentServeSharded|BenchmarkConcurrentServeShardedWriteHeavy'
 BENCHTIME="${BENCH_TIME:-2s}"
 COUNT="${BENCH_COUNT:-3}"
@@ -36,9 +42,12 @@ GOMP="${GOMAXPROCS:-$(nproc)}"
 
 if [[ "${1:-}" == "-smoke" ]]; then
     # CI smoke: one iteration of the acceptance benchmarks plus a 1k-doc
-    # persistbench pass (gob vs compact must both write, load, validate).
+    # persistbench pass (gob vs compact must both write, load, validate)
+    # and a 1k-doc querybench pass (pruned vs exhaustive must both run;
+    # the speedup gate only applies at full scale, so it is not set here).
     go test -run '^$' -bench 'BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntentObserved|BenchmarkPipelineBuild1k' -benchtime 1x .
-    exec go run ./cmd/persistbench -sizes 1000 -runs 2
+    go run ./cmd/persistbench -sizes 1000 -runs 2
+    exec go run ./cmd/querybench -sizes 1000 -runs 16 -out /dev/null
 fi
 
 RAW="$(mktemp)"
@@ -89,6 +98,25 @@ import json, sys
 out_path, pb_path = sys.argv[1], sys.argv[2]
 snap = json.load(open(out_path))
 snap["persistence"] = json.load(open(pb_path))["persistence"]
+with open(out_path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+EOF
+fi
+
+# Query-pruning leg: exhaustive vs max-score ns/op and postings scanned
+# across corpus sizes, merged into the snapshot. -require-speedup makes
+# this the acceptance gate: a pruning regression fails the whole run.
+if [[ "$QUERY_SIZES" != 0 ]]; then
+    QB="$(mktemp)"
+    trap 'rm -f "$RAW" "${PB:-}" "$QB"' EXIT
+    echo "running: go run ./cmd/querybench -sizes $QUERY_SIZES -require-speedup" >&2
+    go run ./cmd/querybench -sizes "$QUERY_SIZES" -require-speedup -out "$QB"
+    python3 - "$OUT" "$QB" <<'EOF'
+import json, sys
+out_path, qb_path = sys.argv[1], sys.argv[2]
+snap = json.load(open(out_path))
+snap["query"] = json.load(open(qb_path))["query"]
 with open(out_path, "w") as f:
     json.dump(snap, f, indent=2)
     f.write("\n")
