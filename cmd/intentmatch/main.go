@@ -44,6 +44,8 @@ func main() {
 	save := flag.String("save", "", "write the built pipeline to this file and exit")
 	saveFormat := flag.String("save-format", "compact",
 		"snapshot layout for -save: compact (section format) or gob (legacy; for migration checks — loaders read both)")
+	saveShards := flag.Int("save-shards", 0,
+		"with -save: partition the build into this many shards and write a shard directory (servable whole with `serve -load`, or piecewise with `serve -shard-role shard -own N`)")
 	load := flag.String("load", "", "load a previously saved pipeline instead of building")
 	explain := flag.Bool("explain", false,
 		"print each result's Eq 7–9 score decomposition (per-cluster contributions and top terms)")
@@ -85,7 +87,7 @@ func main() {
 		fatal(fmt.Errorf("empty corpus"))
 	}
 
-	cfg := core.Config{Seed: *seed}
+	cfg := core.Config{Seed: *seed, Shards: *saveShards}
 	switch *method {
 	case "intent":
 		cfg.Method = core.IntentIntentMR
@@ -110,6 +112,13 @@ func main() {
 	fmt.Printf("built %s over %d posts (%d segments, %d clusters)\n",
 		p.Method(), st.NumDocs, st.NumSegments, st.NumClusters)
 
+	if *save != "" && *saveShards > 0 {
+		if err := p.WriteShardDir(*save); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %d-shard directory to %s\n", *saveShards, *save)
+		return
+	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {

@@ -10,14 +10,23 @@
 // snapshot; with -require-speedup it exits non-zero if pruning fails to
 // pay at the largest size.
 //
+// With -fleet-docs it also measures the serving-topology tax: the same
+// forum corpus queried through the unsharded matcher, the in-process
+// shard group, and the networked fleet coordinator over the in-process
+// transport — three bit-identical ranking paths, so the deltas are pure
+// scatter-gather protocol and merge cost (no sockets).
+//
 // Usage:
 //
 //	querybench                            # sizes 1000,10000,100000
 //	querybench -sizes 1000 -runs 32       # quick smoke
+//	querybench -sizes 1000000             # the 1M-unit leg
+//	querybench -fleet-docs 10000          # add the fleet-overhead block
 //	querybench -require-speedup -out q.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,8 +37,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fleet"
+	"repro/internal/forum"
 	"repro/internal/index"
+	"repro/internal/match"
 	"repro/internal/obs"
+	"repro/internal/segment"
+	"repro/internal/shard"
 )
 
 // sizeReport is one corpus-size measurement. The *_postings figures are
@@ -89,6 +103,94 @@ func measure(queries []map[string]float64, runs int, fn func(q map[string]float6
 	return times[len(times)/2], postingsPerOp
 }
 
+// fleetReport is one fleet-overhead measurement: median ns/op for the
+// same top-k query through the unsharded matcher, the in-process shard
+// group, and the fleet coordinator over LocalTransport. FleetOverhead
+// is fleet/single — the cost multiple of serving the collection as a
+// networked fleet instead of one index.
+type fleetReport struct {
+	Docs          int     `json:"docs"`
+	Shards        int     `json:"shards"`
+	TopK          int     `json:"top_k"`
+	SingleNSPerOp int64   `json:"single_ns_per_op"`
+	GroupNSPerOp  int64   `json:"group_ns_per_op"`
+	FleetNSPerOp  int64   `json:"fleet_ns_per_op"`
+	FleetOverhead float64 `json:"fleet_overhead"`
+}
+
+// benchFleet builds one forum corpus, serves it three ways, checks the
+// rankings agree, and times each path over the same query mix.
+func benchFleet(nDocs, shards, topK, runs int, seed int64) (fleetReport, error) {
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: nDocs, Seed: seed})
+	docs := make([]*segment.Doc, len(posts))
+	for i, p := range posts {
+		docs[i] = segment.NewDoc(p.Text)
+	}
+	mr := match.NewMR("IntentIntent-MR", docs, match.MRConfig{Seed: seed})
+	g, err := shard.NewGroup(mr, shards, uint64(seed))
+	if err != nil {
+		return fleetReport{}, err
+	}
+	hosts := fleet.HostsForGroup(g)
+	lt := fleet.NewLocalTransport()
+	var topo fleet.Topology
+	for s := 0; s < shards; s++ {
+		ep := fmt.Sprintf("s%d", s)
+		lt.AddHost(ep, hosts[s])
+		topo.Endpoints = append(topo.Endpoints, fleet.ShardEndpoints{Shard: s, Primary: ep})
+	}
+	c, err := fleet.New(context.Background(), topo, fleet.Options{Transport: lt})
+	if err != nil {
+		return fleetReport{}, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	queries := make([]int, 64)
+	for i := range queries {
+		queries[i] = rng.Intn(nDocs)
+	}
+	for _, doc := range queries[:4] { // the three paths must agree before timing means anything
+		want := mr.Match(doc, topK)
+		res, err := c.Related(context.Background(), doc, topK, nil)
+		if err != nil || res.Partial {
+			return fleetReport{}, fmt.Errorf("fleet query doc %d: partial=%v err=%v", doc, res != nil && res.Partial, err)
+		}
+		if len(res.Results) != len(want) {
+			return fleetReport{}, fmt.Errorf("fleet query doc %d: %d results, single index has %d", doc, len(res.Results), len(want))
+		}
+		for i := range want {
+			if res.Results[i] != want[i] {
+				return fleetReport{}, fmt.Errorf("fleet query doc %d diverges from the single index at rank %d", doc, i)
+			}
+		}
+	}
+
+	timePath := func(fn func(doc int)) int64 {
+		for i := 0; i < len(queries) && i < 8; i++ {
+			fn(queries[i])
+		}
+		times := make([]int64, 0, runs)
+		for i := 0; i < runs; i++ {
+			doc := queries[i%len(queries)]
+			t0 := time.Now()
+			fn(doc)
+			times = append(times, time.Since(t0).Nanoseconds())
+		}
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+		return times[len(times)/2]
+	}
+	r := fleetReport{
+		Docs: nDocs, Shards: shards, TopK: topK,
+		SingleNSPerOp: timePath(func(doc int) { mr.Match(doc, topK) }),
+		GroupNSPerOp:  timePath(func(doc int) { g.Match(doc, topK) }),
+		FleetNSPerOp:  timePath(func(doc int) { _, _ = c.Related(context.Background(), doc, topK, nil) }),
+	}
+	if r.SingleNSPerOp > 0 {
+		r.FleetOverhead = float64(r.FleetNSPerOp) / float64(r.SingleNSPerOp)
+	}
+	return r, nil
+}
+
 func main() {
 	sizes := flag.String("sizes", "1000,10000,100000", "comma-separated index sizes (units)")
 	runs := flag.Int("runs", 256, "measured queries per path per size")
@@ -96,6 +198,9 @@ func main() {
 	topK := flag.Int("k", 10, "retrieval depth")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	out := flag.String("out", "", "output JSON file (default stdout)")
+	fleetDocs := flag.Int("fleet-docs", 0,
+		"forum corpus size for the fleet-overhead leg (0 skips it; the build segments and clusters the corpus, so this is far costlier per doc than -sizes units)")
+	fleetShards := flag.Int("fleet-shards", 4, "shard count for the fleet-overhead leg")
 	requireSpeedup := flag.Bool("require-speedup", false,
 		"exit 1 unless the pruned path is faster and scans fewer postings at the largest size")
 	flag.Parse()
@@ -132,7 +237,19 @@ func main() {
 			n, exNS, exPost, prNS, prPost, r.SpeedupNS, r.PostingsRatio)
 	}
 
-	data, err := json.MarshalIndent(map[string]any{"query": reports}, "", "  ")
+	payload := map[string]any{"query": reports}
+	if *fleetDocs > 0 {
+		fr, err := benchFleet(*fleetDocs, *fleetShards, *topK, *runs, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "querybench: fleet leg:", err)
+			os.Exit(1)
+		}
+		payload["fleet"] = fr
+		fmt.Fprintf(os.Stderr, "querybench: fleet %d docs x %d shards: single %dns, group %dns, fleet %dns (%.2fx overhead)\n",
+			fr.Docs, fr.Shards, fr.SingleNSPerOp, fr.GroupNSPerOp, fr.FleetNSPerOp, fr.FleetOverhead)
+	}
+
+	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "querybench:", err)
 		os.Exit(1)

@@ -8,6 +8,12 @@
 // the "Serving over HTTP" section of README.md for the endpoint
 // reference and a metrics glossary.
 //
+// The same binary also runs as one process of a networked shard fleet
+// (-shard-role): "shard" serves one or more partitions of a shard
+// directory over the internal probe endpoints, "coordinator" serves the
+// public /related surface by scattering over a fleet topology file. See
+// the "Networked shard fleet" section of README.md.
+//
 // Usage:
 //
 //	serve -addr :8080 -domain tech -n 1000 -seed 42
@@ -15,6 +21,8 @@
 //	serve -load built.idx                      # cmd/intentmatch -save output
 //	serve -load sharddir/                      # core.WriteShardDir output
 //	serve -trace-slow 50ms -trace-rate 5       # capture policy
+//	serve -shard-role shard -load sharddir/ -own 0 -addr :9000
+//	serve -shard-role coordinator -fleet topology.json -addr :8080
 //	curl -s localhost:8080/related -d '{"doc_id": 3, "k": 5, "explain": true}'
 //	curl -s localhost:8080/metrics?format=prometheus
 //	curl -s localhost:8080/debug/traces | jq '.traces[0]'
@@ -30,13 +38,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/forum"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -54,6 +66,16 @@ func main() {
 		"always capture traces of requests at least this slow (0 captures every request, negative disables)")
 	traceRate := flag.Int("trace-rate", 1, "rate-sample up to this many request traces per second (0 disables)")
 	traceRing := flag.Int("trace-ring", 0, "retained finished traces (0 = default 256)")
+	shardRole := flag.String("shard-role", "",
+		"fleet process role: empty (single-process pipeline), shard (serve partitions of a -load shard directory on the internal probe endpoints), or coordinator (scatter-gather over a -fleet topology)")
+	own := flag.String("own", "", "shard role: comma-separated shard ids this process serves (default all shards in the directory)")
+	fleetFile := flag.String("fleet", "", "coordinator role: fleet topology JSON file (fleet.Topology layout)")
+	fleetTimeout := flag.Duration("fleet-timeout", 2*time.Second, "coordinator: whole-query budget")
+	fleetAttempt := flag.Duration("fleet-attempt-timeout", 500*time.Millisecond, "coordinator: per-attempt deadline")
+	fleetRetries := flag.Int("fleet-retries", 2, "coordinator: per-leg retries beyond the first attempt (-1 disables)")
+	fleetBackoff := flag.Duration("fleet-backoff", 25*time.Millisecond, "coordinator: base retry backoff (doubles per attempt)")
+	fleetHedge := flag.Duration("fleet-hedge-after", 100*time.Millisecond, "coordinator: hedge-to-replica delay until latency history accrues")
+	fleetBootstrap := flag.Duration("fleet-bootstrap", 15*time.Second, "coordinator: how long to keep retrying the topology bootstrap while shard servers come up")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -67,6 +89,47 @@ func main() {
 	obs.Enable()
 	stopPoller := obs.StartRuntimePoller(10 * time.Second)
 	defer stopPoller()
+
+	scfg := serve.Config{
+		Logger:        logger,
+		TraceRate:     *traceRate,
+		SlowQuery:     *traceSlow,
+		TraceRingSize: *traceRing,
+	}
+	switch *shardRole {
+	case "":
+		// Single-process pipeline below.
+	case "shard":
+		h, err := loadShardHost(*load, *own)
+		if err != nil {
+			fatal("shard host", err)
+		}
+		m := h.Meta()
+		logger.Info("shard host ready", "path", *load, "own", m.Shards,
+			"total_shards", m.TotalShards, "docs", m.Docs, "epoch", m.Epoch)
+		runServer(*addr, serve.NewShardServer(h, scfg).Handler(), logger,
+			"POST /internal/home, POST /internal/probe, POST /internal/explain, GET /internal/meta, GET /metrics, GET /healthz")
+		return
+	case "coordinator":
+		c, err := bootstrapCoordinator(*fleetFile, fleet.Options{
+			Transport:      fleet.NewHTTPTransport(),
+			Timeout:        *fleetTimeout,
+			AttemptTimeout: *fleetAttempt,
+			Retries:        *fleetRetries,
+			Backoff:        *fleetBackoff,
+			HedgeAfter:     *fleetHedge,
+		}, *fleetBootstrap, logger)
+		if err != nil {
+			fatal("coordinator bootstrap", err)
+		}
+		logger.Info("coordinator ready", "topology", *fleetFile,
+			"shards", c.NumShards(), "docs", c.NumDocs(), "epoch", c.Epoch())
+		runServer(*addr, serve.NewFleetServer(c, scfg).Handler(), logger,
+			"POST /related, GET /stats, GET /metrics, GET /healthz, GET /debug/traces")
+		return
+	default:
+		fatal("flags", fmt.Errorf("unknown -shard-role %q (shard, coordinator)", *shardRole))
+	}
 
 	var p *core.Pipeline
 	if *load != "" {
@@ -105,23 +168,24 @@ func main() {
 			"index_ms", st.Indexing.Milliseconds())
 	}
 
-	handler := serve.New(p, serve.Config{
-		Logger:        logger,
-		TraceRate:     *traceRate,
-		SlowQuery:     *traceSlow,
-		TraceRingSize: *traceRing,
-	})
+	runServer(*addr, serve.New(p, scfg).Handler(), logger,
+		"POST /related, POST /add, GET /stats, GET /metrics, GET /debug/traces, GET /debug/pprof/")
+}
+
+// runServer serves handler on addr until SIGINT/SIGTERM, then drains
+// with a 10s grace period. Shared by all three roles so a fleet process
+// shuts down exactly like the single binary.
+func runServer(addr string, handler http.Handler, logger *slog.Logger, endpoints string) {
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler.Handler(),
+		Addr:              addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
-		logger.Info("serving", "addr", *addr,
-			"endpoints", "POST /related, POST /add, GET /stats, GET /metrics, GET /debug/traces, GET /debug/pprof/",
-			"trace_slow", traceSlow.String(), "trace_rate", *traceRate)
+		logger.Info("serving", "addr", addr, "endpoints", endpoints)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			fatal("listen", err)
+			logger.Error("listen", "err", err)
+			os.Exit(1)
 		}
 	}()
 
@@ -133,6 +197,65 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("shutdown", "err", err)
+	}
+}
+
+// loadShardHost builds the shard-role backend: the shards named in own
+// (all of them when empty) from a shard directory, with the statistics
+// pools accumulated over the whole collection so scores stay
+// collection-global.
+func loadShardHost(dir, own string) (*fleet.Host, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("-shard-role shard needs -load pointing at a shard directory")
+	}
+	m, err := shard.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	if own == "" {
+		for s := 0; s < m.Shards; s++ {
+			ids = append(ids, s)
+		}
+	} else {
+		for _, part := range strings.Split(own, ",") {
+			s, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad -own id %q", part)
+			}
+			ids = append(ids, s)
+		}
+	}
+	return fleet.LoadHostDir(dir, ids)
+}
+
+// bootstrapCoordinator reads the topology file and bootstraps against
+// it, retrying while shard servers are still coming up — fleet
+// processes are typically started together, and the coordinator is the
+// last one to become healthy.
+func bootstrapCoordinator(path string, opts fleet.Options, patience time.Duration, logger *slog.Logger) (*fleet.Coordinator, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-shard-role coordinator needs -fleet pointing at a topology JSON file")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var topo fleet.Topology
+	if err := json.Unmarshal(raw, &topo); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	deadline := time.Now().Add(patience)
+	for {
+		c, err := fleet.New(context.Background(), topo, opts)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		logger.Info("bootstrap retry", "err", err.Error())
+		time.Sleep(300 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Chaos wraps a Transport with scripted faults: per-(endpoint, call
+// kind) schedules of delays, errors, and drops, consumed one action
+// per call in arrival order. Delays are rescheduled through the Clock,
+// so under a VirtualClock a whole fault schedule — slow shards, flappy
+// errors, black-holed packets, late duplicate replies — plays out
+// deterministically with zero wall-clock sleeping: the scripted
+// deliveries fire inside the coordinator's own Wait, in timestamp
+// order, on the coordinator's goroutine.
+//
+// Script keys: Script(endpoint, kind, ...) scopes a schedule to one
+// call kind ("home", "probe", "explain", "meta"); kind "" matches any
+// call to the endpoint. Exact keys win over wildcard keys. A call with
+// no scripted action left falls through to Fallback (if set), else
+// passes through untouched.
+
+// ChaosAction is one scripted fault. The zero value passes the call
+// through unchanged.
+type ChaosAction struct {
+	// Delay postpones the whole call (request + reply) by this much —
+	// the slow-shard fault. The inner transport is not even invoked
+	// until the delay elapses, so canceling the attempt in the meantime
+	// suppresses the reply (the request never "reached the server").
+	Delay time.Duration
+	// ReplyDelay lets the request reach the server immediately but
+	// postpones the reply — the slow-trickle fault. The work happens up
+	// front, so a reply already in flight arrives even after the
+	// coordinator gave up on the attempt: the late-duplicate case the
+	// dedup machinery exists for.
+	ReplyDelay time.Duration
+	// Err, when non-nil, is delivered instead of invoking the inner
+	// transport (after Delay/ReplyDelay, if set) — the failing-shard
+	// fault.
+	Err error
+	// Drop black-holes the call: the inner transport is never invoked
+	// and deliver is never called. Only the coordinator's attempt
+	// timeout recovers, exactly like a lost packet.
+	Drop bool
+}
+
+// Chaos is the fault-injecting Transport wrapper.
+type Chaos struct {
+	inner Transport
+	clock Clock
+
+	mu     sync.Mutex
+	script map[string][]ChaosAction
+	used   map[string]int
+
+	// Fallback, when set, supplies the action for calls with no
+	// scripted entry — the stress test plugs a seeded generator in
+	// here to degrade shards pseudo-randomly but reproducibly.
+	Fallback func(endpoint, kind string, call int) ChaosAction
+	calls    map[string]int
+}
+
+// NewChaos wraps inner, scheduling delayed actions on clock.
+func NewChaos(inner Transport, clock Clock) *Chaos {
+	return &Chaos{
+		inner:  inner,
+		clock:  clock,
+		script: make(map[string][]ChaosAction),
+		used:   make(map[string]int),
+		calls:  make(map[string]int),
+	}
+}
+
+func scriptKey(endpoint, kind string) string { return endpoint + "\x00" + kind }
+
+// Script appends actions to the schedule for (endpoint, kind); kind ""
+// applies to every call kind at the endpoint.
+func (c *Chaos) Script(endpoint, kind string, actions ...ChaosAction) {
+	c.mu.Lock()
+	k := scriptKey(endpoint, kind)
+	c.script[k] = append(c.script[k], actions...)
+	c.mu.Unlock()
+}
+
+// next consumes the action for one call.
+func (c *Chaos) next(endpoint, kind string) ChaosAction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, k := range [2]string{scriptKey(endpoint, kind), scriptKey(endpoint, "")} {
+		if u, s := c.used[k], c.script[k]; u < len(s) {
+			c.used[k] = u + 1
+			return s[u]
+		}
+	}
+	if c.Fallback != nil {
+		n := c.calls[endpoint]
+		c.calls[endpoint] = n + 1
+		return c.Fallback(endpoint, kind, n)
+	}
+	return ChaosAction{}
+}
+
+// lateDeliver wraps a deliver callback so the reply rides the clock.
+func lateDeliver[T any](clock Clock, d time.Duration, deliver func(T, error)) func(T, error) {
+	if d <= 0 {
+		return deliver
+	}
+	return func(v T, err error) {
+		clock.AfterFunc(d, func() { deliver(v, err) })
+	}
+}
+
+// schedule runs step now or after the action's request delay.
+func (c *Chaos) schedule(act ChaosAction, step func()) {
+	if act.Delay > 0 {
+		c.clock.AfterFunc(act.Delay, step)
+		return
+	}
+	step()
+}
+
+// Home implements Transport.
+func (c *Chaos) Home(ctx context.Context, endpoint string, req *HomeRequest, deliver func(*HomeResponse, error)) {
+	act := c.next(endpoint, "home")
+	if act.Drop {
+		return
+	}
+	del := lateDeliver(c.clock, act.ReplyDelay, deliver)
+	step := func() { c.inner.Home(ctx, endpoint, req, del) }
+	if act.Err != nil {
+		err := act.Err
+		step = func() { del(nil, err) }
+	}
+	c.schedule(act, step)
+}
+
+// Probe implements Transport.
+func (c *Chaos) Probe(ctx context.Context, endpoint string, req *ProbeRequest, deliver func(*ProbeResponse, error)) {
+	act := c.next(endpoint, "probe")
+	if act.Drop {
+		return
+	}
+	del := lateDeliver(c.clock, act.ReplyDelay, deliver)
+	step := func() { c.inner.Probe(ctx, endpoint, req, del) }
+	if act.Err != nil {
+		err := act.Err
+		step = func() { del(nil, err) }
+	}
+	c.schedule(act, step)
+}
+
+// Explain implements Transport.
+func (c *Chaos) Explain(ctx context.Context, endpoint string, req *ExplainRequest, deliver func(*ExplainResponse, error)) {
+	act := c.next(endpoint, "explain")
+	if act.Drop {
+		return
+	}
+	del := lateDeliver(c.clock, act.ReplyDelay, deliver)
+	step := func() { c.inner.Explain(ctx, endpoint, req, del) }
+	if act.Err != nil {
+		err := act.Err
+		step = func() { del(nil, err) }
+	}
+	c.schedule(act, step)
+}
+
+// Meta implements Transport.
+func (c *Chaos) Meta(ctx context.Context, endpoint string, deliver func(*Meta, error)) {
+	act := c.next(endpoint, "meta")
+	if act.Drop {
+		return
+	}
+	del := lateDeliver(c.clock, act.ReplyDelay, deliver)
+	step := func() { c.inner.Meta(ctx, endpoint, del) }
+	if act.Err != nil {
+		err := act.Err
+		step = func() { del(nil, err) }
+	}
+	c.schedule(act, step)
+}

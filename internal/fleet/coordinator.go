@@ -1,0 +1,1036 @@
+package fleet
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/match"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/topk"
+)
+
+// The coordinator is the client half of the fleet: it owns the fleet's
+// topology (which endpoints serve which shards), answers Related
+// queries by scattering the home leg and sibling probes over a
+// Transport, and merges the replies with exactly the in-process
+// scatter-gather's equivalence mechanisms — shared collection-global
+// statistics (frozen into the probes by the home shard), full-depth
+// per-cluster cuts merged before trimming, and order-preserving id
+// assignment so the (score desc, id asc) tie-break survives the merge.
+// With every shard answering, its results are bit-identical to
+// shard.Group and to the single index.
+//
+// Degradation is explicit and typed. Each leg gets per-attempt
+// deadlines with retry-with-backoff on transient errors, hedged
+// requests to replicas once an attempt outlives the shard's observed
+// latency percentile, and deduplication of late duplicate replies by
+// (shard, epoch). A sibling that exhausts its budget is dropped from
+// the merge and named in Missing with Partial=true; a home shard that
+// cannot answer is a typed 503 — without the reference document's
+// probes there is nothing correct to return. Replies from a different
+// snapshot epoch are never merged.
+//
+// Concurrency model: each query runs a single-threaded event loop.
+// Transports deliver into a mutex-guarded inbox and nudge a notify
+// channel; retries, hedges, and attempt timeouts are actions on a
+// time-ordered heap the loop itself fires. The loop blocks only in
+// Clock.Wait — under the real clock that is a plain select; under
+// VirtualClock the whole query (scripted fault deliveries included)
+// executes deterministically on one goroutine.
+
+// Coordinator-level observability. Per-shard instruments are resolved
+// per Coordinator via the GetOrNew registrars.
+var (
+	spanFleetRelated   = obs.NewSpan("fleet.related")
+	ctrRetries         = obs.NewCounter("fleet.retries")
+	ctrHedges          = obs.NewCounter("fleet.hedges")
+	ctrHedgeWins       = obs.NewCounter("fleet.hedge_wins")
+	ctrPartial         = obs.NewCounter("fleet.partial")
+	ctrDupReplies      = obs.NewCounter("fleet.dup_replies")
+	ctrAttemptTimeouts = obs.NewCounter("fleet.attempt_timeouts")
+	ctrEpochMismatch   = obs.NewCounter("fleet.epoch_mismatch")
+)
+
+// ShardEndpoints names where one shard partition is served: a primary
+// plus optional read replicas (hedge targets).
+type ShardEndpoints struct {
+	Shard    int      `json:"shard"`
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Topology is the fleet's endpoint map, one entry per shard.
+type Topology struct {
+	Endpoints []ShardEndpoints `json:"endpoints"`
+}
+
+// Options tunes the coordinator's degradation machinery. The zero
+// value gets serving-grade defaults from withDefaults; Transport is
+// the one mandatory field.
+type Options struct {
+	// Transport reaches the shard servers. Required.
+	Transport Transport
+	// Clock drives every timeout, backoff, and hedge decision.
+	// RealClock{} when nil; tests install a VirtualClock.
+	Clock Clock
+	// Timeout is the whole-query budget: when it expires, unanswered
+	// siblings become Missing and an unanswered home becomes a 503.
+	// Default 2s.
+	Timeout time.Duration
+	// AttemptTimeout bounds each individual attempt; an attempt that
+	// exceeds it is canceled and (budget permitting) retried. Default
+	// 500ms.
+	AttemptTimeout time.Duration
+	// Retries is the per-leg retry budget beyond the first attempt.
+	// Default 2.
+	Retries int
+	// Backoff is the base delay before a retry after a fast transient
+	// error, doubling per attempt. (Attempt timeouts retry immediately —
+	// the wait already happened.) Default 25ms.
+	Backoff time.Duration
+	// HedgeAfter is the hedge delay used until a shard has latency
+	// history: when a leg's first attempt outlives it and the shard has
+	// replicas, a second attempt goes to the next endpoint. Default
+	// 100ms.
+	HedgeAfter time.Duration
+	// HedgeQuantile replaces HedgeAfter once a shard has enough
+	// completed legs: hedge when the attempt outlives this quantile of
+	// the shard's recent latencies. Default 0.9.
+	HedgeQuantile float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = RealClock{}
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 500 * time.Millisecond
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 25 * time.Millisecond
+	}
+	if o.HedgeAfter <= 0 {
+		o.HedgeAfter = 100 * time.Millisecond
+	}
+	if o.HedgeQuantile <= 0 || o.HedgeQuantile >= 1 {
+		o.HedgeQuantile = 0.9
+	}
+	return o
+}
+
+// latRingSize bounds the per-shard latency history feeding the
+// adaptive hedge delay; latMinSamples gates the switch from the fixed
+// HedgeAfter floor to the observed quantile.
+const (
+	latRingSize   = 64
+	latMinSamples = 8
+)
+
+// FleetResult is one answered Related query. When Partial is false the
+// ranking is proven complete — bit-identical to the unsharded index.
+// When true, Missing names the shards whose lists could not be
+// fetched in budget; the ranking is exactly what the in-process merge
+// would produce over the remaining shards.
+type FleetResult struct {
+	Results []match.Result
+	Partial bool
+	Missing []int
+}
+
+// Coordinator scatters Related queries across a shard fleet.
+type Coordinator struct {
+	opts  Options
+	tr    Transport
+	clock Clock
+
+	name     string
+	total    int
+	seed     uint64
+	clusters int
+	epoch    uint64
+	mcfg     match.MRConfig // ScoreThreshold/NormalizeLists for TrimParams
+
+	eps map[int][]string // shard → primary, replicas...
+
+	// Global↔local id directory, replayed from (seed, doc count) exactly
+	// like shard.Group's and grown as servers report larger counts.
+	dirMu  sync.RWMutex
+	owner  []int32
+	local  []int32
+	global [][]int32
+
+	// Per-shard completed-leg latencies for the adaptive hedge delay.
+	latMu  sync.Mutex
+	lat    [][]time.Duration
+	latPos []int
+
+	ctrLegOK   []*obs.Counter // fleet.leg.NN.ok: legs merged
+	ctrLegMiss []*obs.Counter // fleet.leg.NN.missing: legs dropped as missing
+	spanLeg    []*obs.Span    // fleet.leg.NN: leg latency (first launch → win)
+}
+
+// New bootstraps a coordinator against a topology: it fetches
+// /internal/meta from each shard's endpoints (first to answer wins),
+// verifies that every server agrees on the snapshot epoch and that the
+// topology covers every shard, and replays the routing directory from
+// the manifest-reported document count.
+func New(ctx context.Context, topo Topology, opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	if opts.Transport == nil {
+		return nil, fmt.Errorf("fleet: Options.Transport is required")
+	}
+	eps := make(map[int][]string, len(topo.Endpoints))
+	for _, e := range topo.Endpoints {
+		if _, dup := eps[e.Shard]; dup {
+			return nil, fmt.Errorf("fleet: topology lists shard %d twice", e.Shard)
+		}
+		if e.Primary == "" {
+			return nil, fmt.Errorf("fleet: topology shard %d has no primary", e.Shard)
+		}
+		eps[e.Shard] = append([]string{e.Primary}, e.Replicas...)
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("fleet: topology is empty")
+	}
+
+	c := &Coordinator{opts: opts, tr: opts.Transport, clock: opts.Clock, eps: eps}
+	var first *Meta
+	for s, list := range eps {
+		m, err := c.bootstrapMeta(ctx, list)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bootstrapping shard %d: %w", s, err)
+		}
+		owns := false
+		for _, o := range m.Shards {
+			owns = owns || o == s
+		}
+		if !owns {
+			return nil, fmt.Errorf("fleet: endpoint for shard %d serves shards %v", s, m.Shards)
+		}
+		if first == nil {
+			first = m
+			continue
+		}
+		if m.Epoch != first.Epoch {
+			return nil, fmt.Errorf("fleet: shard %d endpoint is on epoch %d, fleet is on %d (mixed snapshots)", s, m.Epoch, first.Epoch)
+		}
+	}
+	if first.TotalShards != len(eps) {
+		return nil, fmt.Errorf("fleet: servers declare %d shards, topology lists %d", first.TotalShards, len(eps))
+	}
+	for s := 0; s < first.TotalShards; s++ {
+		if _, ok := eps[s]; !ok {
+			return nil, fmt.Errorf("fleet: topology is missing shard %d", s)
+		}
+	}
+
+	c.name = first.Name
+	c.total = first.TotalShards
+	c.seed = first.Seed
+	c.clusters = first.Clusters
+	c.epoch = first.Epoch
+	c.mcfg = match.MRConfig{
+		NFactor:        first.Params.NFactor,
+		ScoreThreshold: first.Params.ScoreThreshold,
+		NormalizeLists: first.Params.NormalizeLists,
+	}
+	c.global = make([][]int32, c.total)
+	c.lat = make([][]time.Duration, c.total)
+	c.latPos = make([]int, c.total)
+	c.ctrLegOK = make([]*obs.Counter, c.total)
+	c.ctrLegMiss = make([]*obs.Counter, c.total)
+	c.spanLeg = make([]*obs.Span, c.total)
+	for s := 0; s < c.total; s++ {
+		lbl := fmt.Sprintf("fleet.leg.%02d", s)
+		c.ctrLegOK[s] = obs.GetOrNewCounter(lbl + ".ok")
+		c.ctrLegMiss[s] = obs.GetOrNewCounter(lbl + ".missing")
+		c.spanLeg[s] = obs.GetOrNewSpan(lbl)
+	}
+	c.growDir(first.Docs)
+	return c, nil
+}
+
+// bootstrapMeta fetches a shard's self-description, trying each
+// endpoint once in order with the per-attempt timeout.
+func (c *Coordinator) bootstrapMeta(ctx context.Context, eps []string) (*Meta, error) {
+	var lastErr error
+	for _, ep := range eps {
+		m, err := c.fetchMeta(ctx, ep)
+		if err == nil {
+			return m, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// fetchMeta is a synchronous-over-async /internal/meta call using the
+// same Clock.Wait discipline as the query loop (so it works under
+// VirtualClock and chaos too).
+func (c *Coordinator) fetchMeta(ctx context.Context, ep string) (*Meta, error) {
+	notify := make(chan struct{}, 1)
+	var mu sync.Mutex
+	var got *Meta
+	var gerr error
+	done := false
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	c.tr.Meta(cctx, ep, func(m *Meta, err error) {
+		mu.Lock()
+		if !done {
+			got, gerr, done = m, err, true
+		}
+		mu.Unlock()
+		select {
+		case notify <- struct{}{}:
+		default:
+		}
+	})
+	deadline := c.clock.Now().Add(c.opts.AttemptTimeout)
+	for {
+		mu.Lock()
+		d, m, err := done, got, gerr
+		mu.Unlock()
+		if d {
+			return m, err
+		}
+		switch c.clock.Wait(ctx, notify, deadline) {
+		case WaitCanceled:
+			return nil, ctx.Err()
+		case WaitDeadline:
+			mu.Lock()
+			d, m, err = done, got, gerr
+			mu.Unlock()
+			if d {
+				return m, err
+			}
+			return nil, &RPCError{Status: 0, Kind: "timeout", Msg: fmt.Sprintf("meta from %s exceeded %v", ep, c.opts.AttemptTimeout)}
+		}
+	}
+}
+
+// Epoch returns the fleet's snapshot epoch.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// Name returns the collection's method name.
+func (c *Coordinator) Name() string { return c.name }
+
+// NumShards returns the fleet's shard count.
+func (c *Coordinator) NumShards() int { return c.total }
+
+// NumDocs returns the coordinator's current view of the collection
+// size (grows as servers report adds).
+func (c *Coordinator) NumDocs() int {
+	c.dirMu.RLock()
+	defer c.dirMu.RUnlock()
+	return len(c.owner)
+}
+
+// growDir replays routing to extend the directory to docs entries.
+// Registration order is global-id order, which is what keeps local ids
+// ascending per shard — the tie-break invariant.
+func (c *Coordinator) growDir(docs int) {
+	c.dirMu.Lock()
+	for gid := len(c.owner); gid < docs; gid++ {
+		s := shard.RouteDoc(c.seed, gid, c.total)
+		c.owner = append(c.owner, int32(s))
+		c.local = append(c.local, int32(len(c.global[s])))
+		c.global[s] = append(c.global[s], int32(gid))
+	}
+	c.dirMu.Unlock()
+}
+
+// lookup resolves a global doc id to its (home shard, local id). An id
+// beyond the coordinator's current view is resolved by routing replay
+// WITHOUT committing it to the directory — existence is settled by the
+// home server, and a query for a bogus id must not inflate NumDocs.
+// The directory itself only grows to counts servers actually reported.
+func (c *Coordinator) lookup(docID int) (home, local int) {
+	c.dirMu.RLock()
+	defer c.dirMu.RUnlock()
+	if docID < len(c.owner) {
+		return int(c.owner[docID]), int(c.local[docID])
+	}
+	home = shard.RouteDoc(c.seed, docID, c.total)
+	local = len(c.global[home])
+	for gid := len(c.owner); gid < docID; gid++ {
+		if shard.RouteDoc(c.seed, gid, c.total) == home {
+			local++
+		}
+	}
+	return home, local
+}
+
+// hedgeDelay returns how long a shard's leg waits before hedging to a
+// replica: the shard's observed latency quantile once there is enough
+// history, the fixed HedgeAfter floor before that.
+func (c *Coordinator) hedgeDelay(s int) time.Duration {
+	c.latMu.Lock()
+	samples := append([]time.Duration(nil), c.lat[s]...)
+	c.latMu.Unlock()
+	if len(samples) < latMinSamples {
+		return c.opts.HedgeAfter
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[int(c.opts.HedgeQuantile*float64(len(samples)-1))]
+}
+
+// recordLatency feeds a completed leg's latency into the shard's ring.
+func (c *Coordinator) recordLatency(s int, d time.Duration) {
+	c.latMu.Lock()
+	if len(c.lat[s]) < latRingSize {
+		c.lat[s] = append(c.lat[s], d)
+	} else {
+		c.lat[s][c.latPos[s]%latRingSize] = d
+	}
+	c.latPos[s]++
+	c.latMu.Unlock()
+}
+
+// legKind selects which RPC a leg issues.
+type legKind int
+
+const (
+	kindHome legKind = iota
+	kindProbe
+	kindExplain
+)
+
+// leg is one shard's state machine within a query: endpoints to
+// rotate through, the attempt budget, in-flight accounting, and the
+// winning response.
+type leg struct {
+	kind    legKind
+	shard   int
+	eps     []string
+	started time.Time
+
+	homeReq    *HomeRequest
+	probeReq   *ProbeRequest
+	explainReq *ExplainRequest
+
+	attempts int          // attempts launched
+	inflight int          // attempts neither answered nor timed out
+	closed   map[int]bool // attempt → no longer expected to deliver
+	nextEp   int
+	hedged   bool
+	cancels  []context.CancelFunc
+
+	done    bool
+	failed  error
+	home    *HomeResponse
+	probe   *ProbeResponse
+	explain *ExplainResponse
+}
+
+// maxAttempts is a leg's total attempt budget: first + retries + one
+// hedge slot.
+func (l *leg) maxAttempts(retries int) int { return retries + 2 }
+
+func (l *leg) cancelAll() {
+	for _, cancel := range l.cancels {
+		cancel()
+	}
+}
+
+// delivery is one transport reply landing in the inbox.
+type delivery struct {
+	shard   int
+	attempt int
+	hedge   bool
+	sentAt  time.Time
+	home    *HomeResponse
+	probe   *ProbeResponse
+	explain *ExplainResponse
+	err     error
+}
+
+// errBudget is the loop-internal "whole-query deadline reached"
+// sentinel.
+var errBudget = &RPCError{Status: http.StatusServiceUnavailable, Kind: "fleet_timeout", Msg: "query budget exhausted"}
+
+// scatter is one query's event loop: the inbox, the action heap, and
+// the legs in flight. It lives on a single goroutine; transports only
+// touch the inbox.
+type scatter struct {
+	c        *Coordinator
+	ctx      context.Context
+	deadline time.Time
+	tr       *obs.Trace
+
+	mu     sync.Mutex
+	queue  []delivery
+	notify chan struct{}
+
+	actions eventHeap
+	aseq    int64
+
+	legs    map[int]*leg
+	nProbes int // expected list count on probe replies
+	maxDocs int
+}
+
+func (c *Coordinator) newScatter(ctx context.Context, tr *obs.Trace) *scatter {
+	return &scatter{
+		c:        c,
+		ctx:      ctx,
+		deadline: c.clock.Now().Add(c.opts.Timeout),
+		tr:       tr,
+		notify:   make(chan struct{}, 1),
+		legs:     make(map[int]*leg),
+	}
+}
+
+// push is the transport-facing inbox append; safe from any goroutine.
+func (sc *scatter) push(d delivery) {
+	sc.mu.Lock()
+	sc.queue = append(sc.queue, d)
+	sc.mu.Unlock()
+	select {
+	case sc.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (sc *scatter) pop() (delivery, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if len(sc.queue) == 0 {
+		return delivery{}, false
+	}
+	d := sc.queue[0]
+	sc.queue = sc.queue[1:]
+	return d, true
+}
+
+// after schedules a coordinator action (retry, hedge, attempt timeout)
+// on the loop's own heap. Actions fire from the loop goroutine only.
+func (sc *scatter) after(d time.Duration, fn func()) {
+	sc.aseq++
+	heap.Push(&sc.actions, event{at: sc.c.clock.Now().Add(d), seq: sc.aseq, fn: fn})
+}
+
+// launch starts one attempt of a leg: pick the next endpoint
+// round-robin, issue the RPC with a cancelable context, arm the
+// attempt timeout, and (first attempt with replicas) arm the hedge.
+func (sc *scatter) launch(l *leg, hedge bool) {
+	ep := l.eps[l.nextEp%len(l.eps)]
+	l.nextEp++
+	attempt := l.attempts
+	l.attempts++
+	l.inflight++
+	actx, cancel := context.WithCancel(sc.ctx)
+	l.cancels = append(l.cancels, cancel)
+	sentAt := sc.c.clock.Now()
+	shardID := l.shard
+	switch l.kind {
+	case kindHome:
+		sc.c.tr.Home(actx, ep, l.homeReq, func(r *HomeResponse, err error) {
+			sc.push(delivery{shard: shardID, attempt: attempt, hedge: hedge, sentAt: sentAt, home: r, err: err})
+		})
+	case kindProbe:
+		sc.c.tr.Probe(actx, ep, l.probeReq, func(r *ProbeResponse, err error) {
+			sc.push(delivery{shard: shardID, attempt: attempt, hedge: hedge, sentAt: sentAt, probe: r, err: err})
+		})
+	case kindExplain:
+		sc.c.tr.Explain(actx, ep, l.explainReq, func(r *ExplainResponse, err error) {
+			sc.push(delivery{shard: shardID, attempt: attempt, hedge: hedge, sentAt: sentAt, explain: r, err: err})
+		})
+	}
+	sc.after(sc.c.opts.AttemptTimeout, func() { sc.onAttemptTimeout(l, attempt, cancel) })
+	if !hedge && attempt == 0 && len(l.eps) > 1 {
+		sc.after(sc.c.hedgeDelay(l.shard), func() { sc.onHedgeTimer(l) })
+	}
+}
+
+// startLeg registers and launches a leg for a shard.
+func (sc *scatter) startLeg(l *leg) {
+	l.closed = make(map[int]bool)
+	l.started = sc.c.clock.Now()
+	sc.legs[l.shard] = l
+	sc.launch(l, false)
+}
+
+// onAttemptTimeout fires when an attempt outlives AttemptTimeout
+// without delivering: cancel it and retry immediately (the backoff
+// already happened — we waited the whole attempt budget), or fail the
+// leg when nothing is left.
+func (sc *scatter) onAttemptTimeout(l *leg, attempt int, cancel context.CancelFunc) {
+	if l.done || l.failed != nil || l.closed[attempt] {
+		return
+	}
+	l.closed[attempt] = true
+	l.inflight--
+	cancel()
+	ctrAttemptTimeouts.Inc()
+	if l.attempts < l.maxAttempts(sc.c.opts.Retries) {
+		ctrRetries.Inc()
+		sc.launch(l, false)
+		return
+	}
+	if l.inflight == 0 {
+		l.failed = &RPCError{Status: http.StatusGatewayTimeout, Kind: "leg_timeout",
+			Msg: fmt.Sprintf("shard %d: all %d attempts timed out", l.shard, l.attempts)}
+		l.cancelAll()
+	}
+}
+
+// onHedgeTimer fires when a leg's first attempt has outlived the hedge
+// delay: launch a parallel attempt at the next endpoint (the replica).
+func (sc *scatter) onHedgeTimer(l *leg) {
+	if l.done || l.failed != nil || l.hedged || l.attempts >= l.maxAttempts(sc.c.opts.Retries) {
+		return
+	}
+	l.hedged = true
+	ctrHedges.Inc()
+	sc.launch(l, true)
+}
+
+// onError handles a delivered failure: transient errors consume a
+// retry (with doubling backoff) against the next endpoint; permanent
+// ones fail the leg at once.
+func (sc *scatter) onError(l *leg, err error) {
+	if !IsTransient(err) {
+		l.failed = err
+		l.cancelAll()
+		return
+	}
+	if l.attempts < l.maxAttempts(sc.c.opts.Retries) {
+		backoff := sc.c.opts.Backoff << uint(l.attempts-1)
+		sc.after(backoff, func() {
+			if l.done || l.failed != nil {
+				return
+			}
+			ctrRetries.Inc()
+			sc.launch(l, false)
+		})
+		return
+	}
+	if l.inflight == 0 {
+		l.failed = err
+		l.cancelAll()
+	}
+}
+
+// handleDelivery is the loop-side intake for one reply: dedup against
+// finished legs and closed attempts, validate epoch and shape, then
+// either settle the leg or route the error.
+func (sc *scatter) handleDelivery(d delivery) {
+	l := sc.legs[d.shard]
+	if l == nil || l.done || l.failed != nil || l.closed[d.attempt] {
+		ctrDupReplies.Inc()
+		return
+	}
+	l.closed[d.attempt] = true
+	l.inflight--
+	if d.err != nil {
+		sc.onError(l, d.err)
+		return
+	}
+	var epoch uint64
+	var docs int
+	switch {
+	case d.home != nil:
+		epoch, docs = d.home.Epoch, d.home.Docs
+	case d.probe != nil:
+		epoch, docs = d.probe.Epoch, d.probe.Docs
+		if len(d.probe.Lists) != sc.nProbes {
+			sc.onError(l, &RPCError{Status: http.StatusBadGateway, Kind: "malformed",
+				Msg: fmt.Sprintf("shard %d returned %d lists for %d probes", d.shard, len(d.probe.Lists), sc.nProbes)})
+			return
+		}
+	case d.explain != nil:
+		epoch = d.explain.Epoch
+		if len(d.explain.Items) != len(l.explainReq.Items) {
+			sc.onError(l, &RPCError{Status: http.StatusBadGateway, Kind: "malformed",
+				Msg: fmt.Sprintf("shard %d returned %d explain items for %d", d.shard, len(d.explain.Items), len(l.explainReq.Items))})
+			return
+		}
+	default:
+		sc.onError(l, &RPCError{Status: http.StatusBadGateway, Kind: "malformed", Msg: "empty delivery"})
+		return
+	}
+	if epoch != sc.c.epoch {
+		ctrEpochMismatch.Inc()
+		sc.onError(l, ErrEpochMismatch)
+		return
+	}
+	if docs > sc.maxDocs {
+		sc.maxDocs = docs
+	}
+	l.done = true
+	l.home, l.probe, l.explain = d.home, d.probe, d.explain
+	l.cancelAll()
+	now := sc.c.clock.Now()
+	sc.c.recordLatency(l.shard, now.Sub(d.sentAt))
+	sc.c.spanLeg[l.shard].Record(now.Sub(l.started))
+	if d.hedge {
+		ctrHedgeWins.Inc()
+	}
+	if sc.tr != nil {
+		hedge := int64(0)
+		if d.hedge {
+			hedge = 1
+		}
+		sc.tr.Event("fleet.leg",
+			obs.N("shard", int64(l.shard)),
+			obs.N("attempts", int64(l.attempts)),
+			obs.N("hedge_won", hedge))
+	}
+}
+
+// await runs the loop until done reports true, the query budget
+// expires (errBudget), or the context is canceled. Tie policy at equal
+// instants: deliveries beat actions, so a reply landing exactly at its
+// attempt's deadline still wins.
+func (sc *scatter) await(done func() bool) error {
+	for {
+		if d, ok := sc.pop(); ok {
+			sc.handleDelivery(d)
+			continue
+		}
+		now := sc.c.clock.Now()
+		if len(sc.actions) > 0 && !sc.actions[0].at.After(now) {
+			ev := heap.Pop(&sc.actions).(event)
+			ev.fn()
+			continue
+		}
+		if done() {
+			return nil
+		}
+		until := sc.deadline
+		if len(sc.actions) > 0 && sc.actions[0].at.Before(until) {
+			until = sc.actions[0].at
+		}
+		switch sc.c.clock.Wait(sc.ctx, sc.notify, until) {
+		case WaitCanceled:
+			return sc.ctx.Err()
+		case WaitNotified:
+			continue
+		case WaitDeadline:
+			if !sc.c.clock.Now().Before(sc.deadline) {
+				// Budget gone. One last drain so replies that raced the
+				// deadline still count.
+				if d, ok := sc.pop(); ok {
+					sc.handleDelivery(d)
+					if done() {
+						return nil
+					}
+				}
+				return errBudget
+			}
+		}
+	}
+}
+
+// cancelAllLegs releases every outstanding attempt — the mid-scatter
+// cancellation and deadline paths both end here, so no leg goroutine
+// outlives the query.
+func (sc *scatter) cancelAllLegs() {
+	for _, l := range sc.legs {
+		l.cancelAll()
+	}
+}
+
+// coordList mirrors shard.Group's mergedList: one cluster's globally
+// merged, trimmed candidate list plus the Algorithm 2 divisor.
+type coordList struct {
+	cluster int
+	items   []topk.Item
+	norm    float64
+}
+
+// gatherOut is the scatter-gather front half's product, shared by
+// Related and RelatedExplained.
+type gatherOut struct {
+	home    int
+	local   int
+	probes  []WireProbe
+	n       int
+	lists   []coordList
+	scores  map[int]float64
+	missing []int
+}
+
+// gather runs the two-phase networked scatter: home leg first (probes
+// + home lists + depth), then every sibling in parallel with
+// home-seeded floors, then the global merge. Sibling failures fall
+// into missing; home failures are returned as typed errors.
+func (c *Coordinator) gather(ctx context.Context, docID, k int, tr *obs.Trace) (*gatherOut, error) {
+	if docID < 0 {
+		return nil, ErrUnknownDoc
+	}
+	home, local := c.lookup(docID)
+	sc := c.newScatter(ctx, tr)
+	defer sc.cancelAllLegs()
+	if tr != nil {
+		tr.Event("fleet.scatter", obs.N("shards", int64(c.total)), obs.N("home", int64(home)))
+	}
+
+	// Phase 1: the home leg. Without it there are no probes, no frozen
+	// factors, and no depth — nothing correct to degrade to.
+	hl := &leg{kind: kindHome, shard: home, eps: c.eps[home],
+		homeReq: &HomeRequest{Shard: home, LocalDoc: local, K: k}}
+	sc.startLeg(hl)
+	err := sc.await(func() bool { return hl.done || hl.failed != nil })
+	if err != nil && err != errBudget {
+		return nil, err // context canceled mid-scatter
+	}
+	if !hl.done {
+		ferr := hl.failed
+		if ferr == nil {
+			ferr = errBudget
+		}
+		var rpc *RPCError
+		if errors.As(ferr, &rpc) && rpc.Status == http.StatusNotFound {
+			return nil, ErrUnknownDoc
+		}
+		c.ctrLegMiss[home].Inc()
+		return nil, &RPCError{Status: http.StatusServiceUnavailable, Kind: "fleet_unavailable",
+			Msg: fmt.Sprintf("home shard %d unavailable: %v", home, ferr)}
+	}
+	resp := hl.home
+	if len(resp.Probes) > 0 && len(resp.Lists) != len(resp.Probes) {
+		return nil, &RPCError{Status: http.StatusBadGateway, Kind: "malformed",
+			Msg: fmt.Sprintf("home shard %d returned %d lists for %d probes", home, len(resp.Lists), len(resp.Probes))}
+	}
+	c.ctrLegOK[home].Inc()
+	sc.nProbes = len(resp.Probes)
+
+	// Phase 2: siblings, all at the home-reported depth, pruning under
+	// the home floors (each floor is a proven lower bound on the merged
+	// list's n-th score — see shard.Group.gather).
+	n := resp.N
+	floors := make([]float64, len(resp.Probes))
+	for i, l := range resp.Lists {
+		if len(l) >= n && n > 0 {
+			floors[i] = l[n-1].Score
+		}
+	}
+	if c.total > 1 {
+		probeReq := func(s int) *ProbeRequest {
+			return &ProbeRequest{Shard: s, Probes: resp.Probes, Depth: n, Floors: floors}
+		}
+		for s := 0; s < c.total; s++ {
+			if s == home {
+				continue
+			}
+			sc.startLeg(&leg{kind: kindProbe, shard: s, eps: c.eps[s], probeReq: probeReq(s)})
+		}
+		err = sc.await(func() bool {
+			for s, l := range sc.legs {
+				if s != home && !l.done && l.failed == nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil && err != errBudget {
+			return nil, err // context canceled mid-scatter
+		}
+	}
+	sc.cancelAllLegs()
+
+	out := &gatherOut{home: home, local: local, probes: resp.Probes, n: n}
+	for s := 0; s < c.total; s++ {
+		if s == home {
+			continue
+		}
+		l := sc.legs[s]
+		if l != nil && l.done {
+			c.ctrLegOK[s].Inc()
+			continue
+		}
+		out.missing = append(out.missing, s)
+		c.ctrLegMiss[s].Inc()
+	}
+	if len(out.missing) > 0 {
+		ctrPartial.Inc()
+		if tr != nil {
+			tr.Event("fleet.partial", obs.N("missing", int64(len(out.missing))))
+		}
+	}
+
+	// Merge: identical to shard.Group.gather — per probe, one top-n
+	// heap over every answering shard's list in ascending shard order,
+	// trim, then the Algorithm 2 sums in ascending probe order.
+	if sc.maxDocs > c.NumDocs() {
+		c.growDir(sc.maxDocs)
+	}
+	out.scores = make(map[int]float64)
+	out.lists = make([]coordList, len(resp.Probes))
+	c.dirMu.RLock()
+	for i := range resp.Probes {
+		col := topk.New(n)
+		for s := 0; s < c.total; s++ {
+			var wl []WireResult
+			if s == home {
+				wl = resp.Lists[i]
+			} else if l := sc.legs[s]; l != nil && l.done {
+				wl = l.probe.Lists[i]
+			} else {
+				continue
+			}
+			glb := c.global[s]
+			for _, r := range wl {
+				if r.Doc >= len(glb) {
+					continue // committed but not yet registered coordinator-side
+				}
+				col.Offer(int(glb[r.Doc]), r.Score)
+			}
+		}
+		items := col.Results()
+		norm := 1.0
+		if len(items) > 0 {
+			cut, nrm := c.mcfg.TrimParams(items[0].Score)
+			norm = nrm
+			for j, it := range items {
+				if it.Score < cut {
+					items = items[:j]
+					break
+				}
+				out.scores[it.ID] += it.Score / norm
+			}
+		}
+		out.lists[i] = coordList{cluster: resp.Probes[i].Cluster, items: items, norm: norm}
+	}
+	c.dirMu.RUnlock()
+	return out, nil
+}
+
+// Related answers one top-k query over the networked fleet. With all
+// shards answering, the result is bit-identical to shard.Group and the
+// single index; with siblings missing it is the exact merge over the
+// remaining shards, flagged Partial with the missing shard ids.
+func (c *Coordinator) Related(ctx context.Context, docID, k int, tr *obs.Trace) (*FleetResult, error) {
+	if k <= 0 {
+		return &FleetResult{}, nil
+	}
+	tm := spanFleetRelated.Start()
+	defer tm.Stop()
+	g, err := c.gather(ctx, docID, k, tr)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetResult{
+		Results: match.TopKScores(g.scores, k, docID),
+		Partial: len(g.missing) > 0,
+		Missing: g.missing,
+	}, nil
+}
+
+// RelatedExplained is Related plus term-level Eq 7–9 breakdowns,
+// fetched from each result document's owning shard. Explain legs run
+// under the same budget machinery; a shard that cannot answer leaves
+// its documents' Clusters empty and joins Missing.
+func (c *Coordinator) RelatedExplained(ctx context.Context, docID, k int, tr *obs.Trace) (*FleetResult, []match.Explanation, error) {
+	if k <= 0 {
+		return &FleetResult{}, nil, nil
+	}
+	tm := spanFleetRelated.Start()
+	defer tm.Stop()
+	g, err := c.gather(ctx, docID, k, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := match.TopKScores(g.scores, k, docID)
+
+	// Plan the explain batches: for each result, every merged list it
+	// appears in contributes one (doc, cluster) item on its owning
+	// shard, carrying the probe's term context and the list's divisor.
+	type ref struct{ ri, ci int } // result index, cluster slot
+	exps := make([]match.Explanation, len(results))
+	reqs := make(map[int]*ExplainRequest)
+	refs := make(map[int][]ref)
+	c.dirMu.RLock()
+	for ri, r := range results {
+		exps[ri] = match.Explanation{DocID: r.DocID, Score: r.Score}
+		s, l := int(c.owner[r.DocID]), int(c.local[r.DocID])
+		for i, ml := range g.lists {
+			found := false
+			var score float64
+			for _, it := range ml.items {
+				if it.ID == r.DocID {
+					found, score = true, it.Score/ml.norm
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			exps[ri].Clusters = append(exps[ri].Clusters, match.ClusterContribution{
+				Cluster: ml.cluster,
+				Score:   score,
+			})
+			req := reqs[s]
+			if req == nil {
+				req = &ExplainRequest{Shard: s}
+				reqs[s] = req
+			}
+			req.Items = append(req.Items, ExplainItem{
+				LocalDoc: l, Cluster: ml.cluster,
+				Terms: g.probes[i].Terms, QF: g.probes[i].QF, Norm: ml.norm,
+			})
+			refs[s] = append(refs[s], ref{ri: ri, ci: len(exps[ri].Clusters) - 1})
+		}
+	}
+	c.dirMu.RUnlock()
+
+	if len(reqs) > 0 {
+		sc := c.newScatter(ctx, tr)
+		defer sc.cancelAllLegs()
+		for s, req := range reqs {
+			sc.startLeg(&leg{kind: kindExplain, shard: s, eps: c.eps[s], explainReq: req})
+		}
+		err = sc.await(func() bool {
+			for _, l := range sc.legs {
+				if !l.done && l.failed == nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil && err != errBudget {
+			return nil, nil, err
+		}
+		sc.cancelAllLegs()
+		for s, l := range sc.legs {
+			if l.done {
+				for j, rf := range refs[s] {
+					exps[rf.ri].Clusters[rf.ci].Terms = l.explain.Items[j]
+				}
+				continue
+			}
+			already := false
+			for _, m := range g.missing {
+				already = already || m == s
+			}
+			if !already {
+				g.missing = append(g.missing, s)
+				ctrPartial.Inc()
+			}
+		}
+		sort.Ints(g.missing)
+	}
+
+	return &FleetResult{
+		Results: results,
+		Partial: len(g.missing) > 0,
+		Missing: g.missing,
+	}, exps, nil
+}

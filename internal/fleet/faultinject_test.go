@@ -1,0 +1,383 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/forum"
+	"repro/internal/match"
+	"repro/internal/obs"
+)
+
+// The fault-injection harness: every scenario runs a real Coordinator
+// over the in-process fleet with a scripted Chaos transport and a
+// VirtualClock, so the entire degraded execution — delays, retries,
+// backoffs, hedges, attempt timeouts, late duplicates — is
+// deterministic and sleeps zero wall-clock time. Each scenario pins one
+// fault class to its contract:
+//
+//   - healthy fleet        → byte-identical to shard.Group (never partial)
+//   - transient error      → retried within budget, full correct answer
+//   - sibling black-holed  → well-formed partial, equal to the oracle
+//     merge over the surviving shards (refPartial)
+//   - slow trickle         → late duplicate deduped, full correct answer
+//   - slow primary         → hedge to replica wins, full correct answer
+//   - hedged but fast      → primary still wins, no spurious hedge win
+//   - home shard dead      → typed 503 fleet_unavailable, never a wrong answer
+//   - every sibling dead   → partial = home-only merge
+//   - epoch mismatch       → replies rejected, shard reported missing
+//   - cancel mid-scatter   → context error, all legs released
+//   - budget exhausted     → partial (siblings) or typed 503 (home)
+//
+// The invariant across all of them: a response is either complete and
+// bit-identical to the unsharded index, or explicitly partial and
+// bit-identical to the merge without the missing shards, or a typed
+// error. Never a hang, never wrong-but-complete.
+
+// delta snapshots a counter so scenarios can assert on increments
+// regardless of what earlier tests recorded.
+func delta(c *obs.Counter) func() int64 {
+	start := c.Value()
+	return func() int64 { return c.Value() - start }
+}
+
+// repeat builds an n-long schedule of the same action.
+func repeat(a ChaosAction, n int) []ChaosAction {
+	out := make([]ChaosAction, n)
+	for i := range out {
+		out[i] = a
+	}
+	return out
+}
+
+// scenario wires one scripted run: fresh clock, fresh chaos over the
+// shared backend, fresh coordinator (so latency history and hedge
+// state start clean).
+type scenario struct {
+	f     *testFleet
+	clock *VirtualClock
+	ch    *Chaos
+	c     *Coordinator
+}
+
+func newScenario(t testing.TB, f *testFleet, replicas int, tune func(*Options)) *scenario {
+	t.Helper()
+	clock := NewVirtualClock(time.Unix(0, 0))
+	ch := NewChaos(f.lt, clock)
+	opts := vopts(ch, clock)
+	if tune != nil {
+		tune(&opts)
+	}
+	return &scenario{f: f, clock: clock, ch: ch, c: f.coordinator(t, f.topo(replicas), opts)}
+}
+
+// sibsOf lists every shard except home, ascending.
+func sibsOf(f *testFleet, home int) []int {
+	var sibs []int
+	for s := 0; s < f.g.NumShards(); s++ {
+		if s != home {
+			sibs = append(sibs, s)
+		}
+	}
+	return sibs
+}
+
+func TestFaultInjection(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	docs := genDocs(t, forum.TechSupport, 120, 42)
+	f := buildBackend(t, docs, match.MRConfig{Seed: 7}, 4, 42, 1)
+	const doc, k = 3, 6
+	home := f.g.Route(doc)
+	sibs := sibsOf(f, home)
+	full := f.g.Match(doc, k)
+
+	// assertFull: the response is complete and bit-identical to the
+	// in-process sharded answer.
+	assertFull := func(t *testing.T, res *FleetResult, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if res.Partial || len(res.Missing) != 0 {
+			t.Fatalf("expected complete answer, got partial=%v missing=%v", res.Partial, res.Missing)
+		}
+		sameResults(t, "full", full, res.Results)
+	}
+
+	// assertPartial: the response is flagged, names exactly the expected
+	// shards, and equals the oracle merge over the survivors.
+	assertPartial := func(t *testing.T, res *FleetResult, err error, missing ...int) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !res.Partial {
+			t.Fatalf("expected partial, got complete: %+v", res)
+		}
+		got := append([]int(nil), res.Missing...)
+		sort.Ints(got)
+		want := append([]int(nil), missing...)
+		sort.Ints(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("missing shards %v, want %v", got, want)
+		}
+		miss := make(map[int]bool, len(want))
+		for _, s := range want {
+			miss[s] = true
+		}
+		sameResults(t, "partial-oracle", refPartial(t, f, doc, k, miss), res.Results)
+	}
+
+	t.Run("healthy", func(t *testing.T) {
+		sc := newScenario(t, f, 1, nil)
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertFull(t, res, err)
+		if sc.clock.Now() != time.Unix(0, 0) {
+			t.Fatalf("healthy query consumed virtual time: %v", sc.clock.Now())
+		}
+	})
+
+	t.Run("transient-error-retried", func(t *testing.T) {
+		sc := newScenario(t, f, 0, nil)
+		retries := delta(ctrRetries)
+		sc.ch.Script(epName(sibs[0], 0), "probe", ChaosAction{Err: &RPCError{Status: 500, Kind: "injected", Msg: "flap"}})
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertFull(t, res, err)
+		if retries() < 1 {
+			t.Fatalf("expected at least one retry, got %d", retries())
+		}
+	})
+
+	t.Run("sibling-black-holed-partial", func(t *testing.T) {
+		sc := newScenario(t, f, 1, nil)
+		partials := delta(ctrPartial)
+		timeouts := delta(ctrAttemptTimeouts)
+		// Both endpoints of the shard swallow everything: attempts, the
+		// hedge, and every retry vanish. Only timeouts recover.
+		sc.ch.Script(epName(sibs[0], 0), "", repeat(ChaosAction{Drop: true}, 8)...)
+		sc.ch.Script(epName(sibs[0], 1), "", repeat(ChaosAction{Drop: true}, 8)...)
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertPartial(t, res, err, sibs[0])
+		if partials() < 1 || timeouts() < 2 {
+			t.Fatalf("partial=%d attempt_timeouts=%d, want >=1 and >=2", partials(), timeouts())
+		}
+	})
+
+	t.Run("slow-trickle-late-duplicate", func(t *testing.T) {
+		sc := newScenario(t, f, 0, nil)
+		dups := delta(ctrDupReplies)
+		// sibs[0]'s first reply trickles in at t=150ms — after its attempt
+		// timed out at t=100ms and the retry already answered. sibs[1]
+		// stays pending past t=150ms so the loop is alive to observe the
+		// stale duplicate.
+		sc.ch.Script(epName(sibs[0], 0), "probe", ChaosAction{ReplyDelay: 150 * time.Millisecond})
+		sc.ch.Script(epName(sibs[1], 0), "probe",
+			ChaosAction{Drop: true}, ChaosAction{Delay: 120 * time.Millisecond})
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertFull(t, res, err)
+		if dups() < 1 {
+			t.Fatalf("expected the stale reply to be counted as duplicate, got %d", dups())
+		}
+	})
+
+	t.Run("hedge-replica-wins", func(t *testing.T) {
+		sc := newScenario(t, f, 1, nil)
+		hedges, wins := delta(ctrHedges), delta(ctrHedgeWins)
+		// Primary is near-dead; the hedge fires at 50ms and the replica
+		// answers instantly.
+		sc.ch.Script(epName(sibs[0], 0), "probe", ChaosAction{Delay: 10 * time.Second})
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertFull(t, res, err)
+		if hedges() < 1 || wins() < 1 {
+			t.Fatalf("hedges=%d hedge_wins=%d, want both >=1", hedges(), wins())
+		}
+	})
+
+	t.Run("hedge-fired-primary-wins", func(t *testing.T) {
+		sc := newScenario(t, f, 1, nil)
+		hedges, wins := delta(ctrHedges), delta(ctrHedgeWins)
+		// Primary answers at 60ms — after the 50ms hedge fires, before the
+		// replica's 90ms reply. The primary's answer must win and the
+		// hedge must not count as a win.
+		sc.ch.Script(epName(sibs[0], 0), "probe", ChaosAction{ReplyDelay: 60 * time.Millisecond})
+		sc.ch.Script(epName(sibs[0], 1), "probe", ChaosAction{ReplyDelay: 40 * time.Millisecond})
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertFull(t, res, err)
+		if hedges() < 1 {
+			t.Fatalf("expected a hedge, got %d", hedges())
+		}
+		if wins() != 0 {
+			t.Fatalf("primary won but hedge_wins moved by %d", wins())
+		}
+	})
+
+	t.Run("home-shard-dead-typed-503", func(t *testing.T) {
+		sc := newScenario(t, f, 0, nil)
+		sc.ch.Script(epName(home, 0), "", repeat(ChaosAction{Err: &RPCError{Status: 503, Kind: "injected", Msg: "down"}}, 8)...)
+		_, err := sc.c.Related(context.Background(), doc, k, nil)
+		var rpc *RPCError
+		if !errors.As(err, &rpc) || rpc.Status != http.StatusServiceUnavailable || rpc.Kind != "fleet_unavailable" {
+			t.Fatalf("want typed 503 fleet_unavailable, got %v", err)
+		}
+	})
+
+	t.Run("all-siblings-down", func(t *testing.T) {
+		sc := newScenario(t, f, 0, nil)
+		for _, s := range sibs {
+			sc.ch.Script(epName(s, 0), "", repeat(ChaosAction{Drop: true}, 8)...)
+		}
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertPartial(t, res, err, sibs...)
+	})
+
+	t.Run("epoch-mismatch-rejected", func(t *testing.T) {
+		sc := newScenario(t, f, 0, nil)
+		mism := delta(ctrEpochMismatch)
+		// After bootstrap, sibs[0]'s endpoint is redeployed with a host
+		// from a different snapshot lineage (different name → different
+		// epoch). Its replies must never be merged.
+		imposter := NewHost("other-build", f.g.NumShards(), f.g.Seed(), f.g.NumClusters(),
+			map[int]*match.MR{sibs[0]: f.g.ShardMR(sibs[0])}, f.g.NumDocs)
+		f.lt.AddHost(epName(sibs[0], 0), imposter)
+		t.Cleanup(func() { f.lt.AddHost(epName(sibs[0], 0), f.hosts[sibs[0]]) })
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertPartial(t, res, err, sibs[0])
+		if mism() < 1 {
+			t.Fatalf("expected epoch mismatches to be counted, got %d", mism())
+		}
+	})
+
+	t.Run("cancel-mid-scatter", func(t *testing.T) {
+		sc := newScenario(t, f, 0, nil)
+		for _, s := range sibs {
+			sc.ch.Script(epName(s, 0), "probe", repeat(ChaosAction{Delay: time.Hour}, 8)...)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		sc.clock.AfterFunc(30*time.Millisecond, cancel)
+		_, err := sc.c.Related(ctx, doc, k, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	})
+
+	t.Run("budget-exhausted-siblings-missing", func(t *testing.T) {
+		// Attempt timeout larger than the query budget: nothing recovers a
+		// silent sibling except the whole-query deadline.
+		sc := newScenario(t, f, 0, func(o *Options) {
+			o.Timeout = 200 * time.Millisecond
+			o.AttemptTimeout = 10 * time.Second
+		})
+		for _, s := range sibs {
+			sc.ch.Script(epName(s, 0), "probe", ChaosAction{Delay: time.Hour})
+		}
+		res, err := sc.c.Related(context.Background(), doc, k, nil)
+		assertPartial(t, res, err, sibs...)
+		if got := sc.clock.Now().Sub(time.Unix(0, 0)); got != 200*time.Millisecond {
+			t.Fatalf("query should end exactly at the 200ms budget, took %v", got)
+		}
+	})
+
+	t.Run("budget-exhausted-home-missing", func(t *testing.T) {
+		sc := newScenario(t, f, 0, func(o *Options) {
+			o.Timeout = 200 * time.Millisecond
+			o.AttemptTimeout = 10 * time.Second
+		})
+		sc.ch.Script(epName(home, 0), "home", ChaosAction{Delay: time.Hour})
+		_, err := sc.c.Related(context.Background(), doc, k, nil)
+		var rpc *RPCError
+		if !errors.As(err, &rpc) || rpc.Status != http.StatusServiceUnavailable || rpc.Kind != "fleet_unavailable" {
+			t.Fatalf("want typed 503 fleet_unavailable, got %v", err)
+		}
+	})
+
+	t.Run("unknown-doc", func(t *testing.T) {
+		sc := newScenario(t, f, 0, nil)
+		if _, err := sc.c.Related(context.Background(), f.g.NumDocs()+50, k, nil); !errors.Is(err, ErrUnknownDoc) {
+			t.Fatalf("beyond-corpus doc: want ErrUnknownDoc, got %v", err)
+		}
+		if _, err := sc.c.Related(context.Background(), -1, k, nil); !errors.Is(err, ErrUnknownDoc) {
+			t.Fatalf("negative doc: want ErrUnknownDoc, got %v", err)
+		}
+	})
+
+	t.Run("explain-shard-degrades-to-partial", func(t *testing.T) {
+		sc := newScenario(t, f, 0, nil)
+		// Related legs succeed; the explain batch on sibs[0] is dropped.
+		sc.ch.Script(epName(sibs[0], 0), "explain", repeat(ChaosAction{Drop: true}, 8)...)
+		res, exps, err := sc.c.RelatedExplained(context.Background(), doc, k, nil)
+		if err != nil {
+			t.Fatalf("explain: %v", err)
+		}
+		sameResults(t, "explain-results", full, res.Results)
+		owned := false
+		for _, r := range res.Results {
+			if f.g.Route(r.DocID) == sibs[0] {
+				owned = true
+			}
+		}
+		if !owned {
+			t.Skipf("no result doc routed to shard %d; scenario vacuous for this corpus", sibs[0])
+		}
+		if !res.Partial {
+			t.Fatalf("explain shard down: expected partial flag")
+		}
+		for i, e := range exps {
+			s := f.g.Route(res.Results[i].DocID)
+			for _, cc := range e.Clusters {
+				if s == sibs[0] && cc.Terms != nil {
+					t.Fatalf("doc %d on dead shard has term breakdown", res.Results[i].DocID)
+				}
+				if s != sibs[0] && len(cc.Terms) == 0 {
+					t.Fatalf("doc %d on healthy shard %d missing term breakdown", res.Results[i].DocID, s)
+				}
+			}
+		}
+	})
+}
+
+// TestFaultScheduleDeterminism runs one rich scripted schedule twice —
+// fresh clock, chaos, and coordinator each time — and requires the two
+// executions to produce byte-identical outputs. This is the property
+// that makes the whole suite trustworthy: a scripted fault schedule has
+// exactly one possible interleaving.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	docs := genDocs(t, forum.TechSupport, 120, 42)
+	f := buildBackend(t, docs, match.MRConfig{Seed: 7}, 4, 42, 1)
+
+	run := func() []byte {
+		sc := newScenario(t, f, 1, nil)
+		// A bit of everything: flapping errors, drops, slow replies, a
+		// near-dead primary forcing a hedge.
+		sc.ch.Script("s0", "probe", ChaosAction{Err: &RPCError{Status: 500, Kind: "injected", Msg: "flap"}})
+		sc.ch.Script("s1", "", repeat(ChaosAction{Drop: true}, 8)...)
+		sc.ch.Script("s1-r1", "", repeat(ChaosAction{Drop: true}, 8)...)
+		sc.ch.Script("s2", "probe",
+			ChaosAction{ReplyDelay: 150 * time.Millisecond},
+			ChaosAction{Delay: 60 * time.Millisecond})
+		sc.ch.Script("s3", "probe", ChaosAction{Delay: 10 * time.Second})
+		var out bytes.Buffer
+		for _, doc := range []int{3, 17, 42} {
+			res, err := sc.c.Related(context.Background(), doc, 6, nil)
+			if err != nil {
+				fmt.Fprintf(&out, "doc %d err %v\n", doc, err)
+				continue
+			}
+			fmt.Fprintf(&out, "doc %d partial %v missing %v at %v %s\n",
+				doc, res.Partial, res.Missing, sc.clock.Now().Sub(time.Unix(0, 0)), mustJSON(t, res.Results))
+		}
+		return out.Bytes()
+	}
+
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same schedule, different executions:\nrun A:\n%srun B:\n%s", a, b)
+	}
+}

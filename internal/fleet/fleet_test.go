@@ -1,0 +1,369 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/forum"
+	"repro/internal/index"
+	"repro/internal/match"
+	"repro/internal/segment"
+	"repro/internal/shard"
+	"repro/internal/topk"
+)
+
+// The tests in this file pin the networked fleet's headline contract:
+// with every shard answering, a Coordinator over any Transport returns
+// byte-for-byte the same ranking as the in-process shard.Group and the
+// single unsharded matcher — at every shard count, with the max-score
+// pruning forced both on and off, over the golden corpus. The
+// fault-injection scenarios (what happens when shards do NOT answer)
+// live in faultinject_test.go.
+
+func genDocs(t testing.TB, domain forum.Domain, n int, seed int64) []*segment.Doc {
+	t.Helper()
+	posts := forum.Generate(forum.Config{Domain: domain, NumPosts: n, Seed: seed})
+	docs := make([]*segment.Doc, len(posts))
+	for i, p := range posts {
+		docs[i] = segment.NewDoc(p.Text)
+	}
+	return docs
+}
+
+// testFleet is one in-process backend: the unsharded oracle, the
+// sharded oracle, and the same partitions wrapped as fleet Hosts behind
+// a LocalTransport.
+type testFleet struct {
+	mr    *match.MR
+	g     *shard.Group
+	hosts map[int]*Host
+	lt    *LocalTransport
+}
+
+// epName names the LocalTransport endpoint for (shard, replica);
+// replica 0 is the primary.
+func epName(s, r int) string {
+	if r == 0 {
+		return fmt.Sprintf("s%d", s)
+	}
+	return fmt.Sprintf("s%d-r%d", s, r)
+}
+
+// buildBackend splits one matcher into nShards partitions and serves
+// each as a Host at its primary endpoint plus `replicas` extra
+// endpoints (same host — a read replica of the same snapshot).
+func buildBackend(t testing.TB, docs []*segment.Doc, cfg match.MRConfig, nShards int, seed uint64, replicas int) *testFleet {
+	t.Helper()
+	mr := match.NewMR("MR", docs, cfg)
+	g, err := shard.NewGroup(mr, nShards, seed)
+	if err != nil {
+		t.Fatalf("NewGroup(%d): %v", nShards, err)
+	}
+	f := &testFleet{mr: mr, g: g, hosts: HostsForGroup(g), lt: NewLocalTransport()}
+	for s := 0; s < nShards; s++ {
+		for r := 0; r <= replicas; r++ {
+			f.lt.AddHost(epName(s, r), f.hosts[s])
+		}
+	}
+	return f
+}
+
+// topo builds the coordinator-side endpoint map with the given replica
+// count per shard.
+func (f *testFleet) topo(replicas int) Topology {
+	var topo Topology
+	for s := 0; s < f.g.NumShards(); s++ {
+		se := ShardEndpoints{Shard: s, Primary: epName(s, 0)}
+		for r := 1; r <= replicas; r++ {
+			se.Replicas = append(se.Replicas, epName(s, r))
+		}
+		topo.Endpoints = append(topo.Endpoints, se)
+	}
+	return topo
+}
+
+// vopts is the fault-suite Options profile: a virtual clock and round
+// numbers so scripted schedules are easy to reason about. All timing
+// below is virtual — the suite never sleeps.
+func vopts(tr Transport, clock Clock) Options {
+	return Options{
+		Transport:      tr,
+		Clock:          clock,
+		Timeout:        time.Second,
+		AttemptTimeout: 100 * time.Millisecond,
+		Retries:        2,
+		Backoff:        10 * time.Millisecond,
+		HedgeAfter:     50 * time.Millisecond,
+	}
+}
+
+// coordinator bootstraps a Coordinator over the backend or fails the
+// test.
+func (f *testFleet) coordinator(t testing.TB, topo Topology, opts Options) *Coordinator {
+	t.Helper()
+	c, err := New(context.Background(), topo, opts)
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	return c
+}
+
+// mustJSON marshals for byte-for-byte comparisons: Go's float64
+// encoding is shortest-round-trip, so equal bytes ⇔ bit-equal scores
+// in identical order.
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// sameResults asserts bit-for-bit equality of two rankings.
+func sameResults(t *testing.T, ctx string, want, got []match.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results want vs %d got\nwant: %v\ngot:  %v", ctx, len(want), len(got), want, got)
+	}
+	for i := range want {
+		if want[i].DocID != got[i].DocID || want[i].Score != got[i].Score {
+			t.Fatalf("%s: result %d diverges: want %d/%v got %d/%v",
+				ctx, i, want[i].DocID, want[i].Score, got[i].DocID, got[i].Score)
+		}
+	}
+}
+
+// forcePruning pins index.PruneMinUnits for the test (global knob, so
+// these tests must not run in parallel).
+func forcePruning(t *testing.T, minUnits int) {
+	t.Helper()
+	old := index.PruneMinUnits
+	index.PruneMinUnits = minUnits
+	t.Cleanup(func() { index.PruneMinUnits = old })
+}
+
+// TestFleetEquivalenceMatrix is satellite (2): networked fleet over a
+// fault-free transport vs in-process shard.Group vs single index,
+// byte-for-byte, at shard counts {1, 2, 4}, with max-score pruning
+// forced on and off.
+func TestFleetEquivalenceMatrix(t *testing.T) {
+	docs := genDocs(t, forum.TechSupport, 200, 42)
+	pruneModes := []struct {
+		name     string
+		minUnits int
+	}{
+		{"pruned", 1},
+		{"exhaustive", 1 << 30},
+	}
+	for _, pm := range pruneModes {
+		t.Run(pm.name, func(t *testing.T) {
+			forcePruning(t, pm.minUnits)
+			for _, ns := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("shards%d", ns), func(t *testing.T) {
+					f := buildBackend(t, docs, match.MRConfig{Seed: 7}, ns, 42, 0)
+					c := f.coordinator(t, f.topo(0), vopts(f.lt, NewVirtualClock(time.Unix(0, 0))))
+					for doc := 0; doc < len(docs); doc++ {
+						for _, k := range []int{1, 5, 12} {
+							single := f.mr.Match(doc, k)
+							group := f.g.Match(doc, k)
+							res, err := c.Related(context.Background(), doc, k, nil)
+							if err != nil {
+								t.Fatalf("doc %d k %d: fleet error: %v", doc, k, err)
+							}
+							if res.Partial || len(res.Missing) != 0 {
+								t.Fatalf("doc %d k %d: healthy fleet reported partial=%v missing=%v", doc, k, res.Partial, res.Missing)
+							}
+							ctx := fmt.Sprintf("doc %d k %d", doc, k)
+							sameResults(t, ctx+" group-vs-single", single, group)
+							sameResults(t, ctx+" fleet-vs-single", single, res.Results)
+							if sb, fb := mustJSON(t, single), mustJSON(t, res.Results); !bytes.Equal(sb, fb) {
+								t.Fatalf("%s: JSON diverges:\nsingle: %s\nfleet:  %s", ctx, sb, fb)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestFleetExplainEquivalence pins the networked explain path to the
+// in-process one: same rankings, same per-cluster contributions, same
+// term breakdowns, and cluster contributions that sum back to the
+// final score.
+func TestFleetExplainEquivalence(t *testing.T) {
+	docs := genDocs(t, forum.TechSupport, 200, 42)
+	f := buildBackend(t, docs, match.MRConfig{Seed: 7}, 4, 42, 0)
+	c := f.coordinator(t, f.topo(0), vopts(f.lt, NewVirtualClock(time.Unix(0, 0))))
+	for _, doc := range []int{0, 17, 63, 149} {
+		k := 5
+		wantRes, wantExp := f.g.MatchExplained(doc, k)
+		res, exps, err := c.RelatedExplained(context.Background(), doc, k, nil)
+		if err != nil {
+			t.Fatalf("doc %d: fleet explain error: %v", doc, err)
+		}
+		if res.Partial {
+			t.Fatalf("doc %d: healthy fleet explain reported partial", doc)
+		}
+		ctx := fmt.Sprintf("doc %d", doc)
+		sameResults(t, ctx, wantRes, res.Results)
+		if !reflect.DeepEqual(wantExp, exps) {
+			t.Fatalf("%s: explanations diverge:\nwant: %+v\ngot:  %+v", ctx, wantExp, exps)
+		}
+		for i, e := range exps {
+			sum := 0.0
+			for _, cc := range e.Clusters {
+				sum += cc.Score
+			}
+			if diff := sum - res.Results[i].Score; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s: result %d cluster contributions sum to %v, score is %v", ctx, i, sum, res.Results[i].Score)
+			}
+		}
+	}
+}
+
+// TestLoadHostDirFleet runs the snapshot path end to end: WriteDir,
+// two hosts each loading a two-shard slice of the directory, a
+// coordinator routing a four-shard topology onto them — results still
+// byte-identical to the single matcher.
+func TestLoadHostDirFleet(t *testing.T) {
+	docs := genDocs(t, forum.TechSupport, 160, 42)
+	mr := match.NewMR("MR", docs, match.MRConfig{Seed: 7})
+	g, err := shard.NewGroup(mr, 4, 99)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	dir := t.TempDir()
+	if err := g.WriteDir(dir); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	hostA, err := LoadHostDir(dir, []int{0, 1})
+	if err != nil {
+		t.Fatalf("LoadHostDir A: %v", err)
+	}
+	hostB, err := LoadHostDir(dir, []int{2, 3})
+	if err != nil {
+		t.Fatalf("LoadHostDir B: %v", err)
+	}
+	if hostA.Epoch() != hostB.Epoch() {
+		t.Fatalf("hosts from one directory disagree on epoch: %d vs %d", hostA.Epoch(), hostB.Epoch())
+	}
+	if !hostA.Owns(0) || !hostA.Owns(1) || hostA.Owns(2) {
+		t.Fatalf("host A owns wrong shards: %v", hostA.Meta().Shards)
+	}
+	lt := NewLocalTransport()
+	lt.AddHost("a", hostA)
+	lt.AddHost("b", hostB)
+	topo := Topology{Endpoints: []ShardEndpoints{
+		{Shard: 0, Primary: "a"}, {Shard: 1, Primary: "a"},
+		{Shard: 2, Primary: "b"}, {Shard: 3, Primary: "b"},
+	}}
+	c, err := New(context.Background(), topo, vopts(lt, NewVirtualClock(time.Unix(0, 0))))
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	if c.NumDocs() != len(docs) || c.NumShards() != 4 {
+		t.Fatalf("coordinator sees %d docs / %d shards, want %d / 4", c.NumDocs(), c.NumShards(), len(docs))
+	}
+	for doc := 0; doc < len(docs); doc += 7 {
+		want := mr.Match(doc, 8)
+		res, err := c.Related(context.Background(), doc, 8, nil)
+		if err != nil {
+			t.Fatalf("doc %d: %v", doc, err)
+		}
+		if res.Partial {
+			t.Fatalf("doc %d: partial over healthy snapshot fleet", doc)
+		}
+		sameResults(t, fmt.Sprintf("doc %d", doc), want, res.Results)
+	}
+}
+
+// refPartial is the test-side oracle for degraded answers: an
+// independent reimplementation of the scatter-gather merge over the
+// non-missing shards only, straight against the shard matchers. A
+// partial fleet answer must equal this exactly — "partial" means
+// missing shards were excluded, never that the surviving merge was
+// approximated.
+func refPartial(t testing.TB, f *testFleet, docID, k int, missing map[int]bool) []match.Result {
+	t.Helper()
+	home := f.g.Route(docID)
+	if missing[home] {
+		t.Fatalf("refPartial: home shard %d cannot be missing (that is a typed error, not a partial)", home)
+	}
+	nShards := f.g.NumShards()
+	local := 0
+	glb := make([][]int, nShards)
+	for d := 0; d < f.g.NumDocs(); d++ {
+		s := f.g.Route(d)
+		if d == docID {
+			local = len(glb[s])
+		}
+		glb[s] = append(glb[s], d)
+	}
+	hmr := f.g.ShardMR(home)
+	probes := hmr.QuerySegs(local)
+	if probes == nil {
+		t.Fatalf("refPartial: doc %d has no segments", docID)
+	}
+	cfg := f.mr.Config()
+	n := cfg.ListDepth(k)
+	homeLists := hmr.QueryClusterLists(probes, n, local, nil, nil)
+	floors := make([]float64, len(probes))
+	for i, l := range homeLists {
+		if n > 0 && len(l) >= n {
+			floors[i] = l[n-1].Score
+		}
+	}
+	lists := make(map[int][][]match.Result)
+	lists[home] = homeLists
+	for s := 0; s < nShards; s++ {
+		if s == home || missing[s] {
+			continue
+		}
+		lists[s] = f.g.ShardMR(s).QueryClusterLists(probes, n, -1, floors, nil)
+	}
+	scores := make(map[int]float64)
+	for i := range probes {
+		col := topk.New(n)
+		for s := 0; s < nShards; s++ {
+			sl, ok := lists[s]
+			if !ok {
+				continue
+			}
+			for _, r := range sl[i] {
+				col.Offer(glb[s][r.DocID], r.Score)
+			}
+		}
+		items := col.Results()
+		if len(items) == 0 {
+			continue
+		}
+		cut, norm := cfg.TrimParams(items[0].Score)
+		for _, it := range items {
+			if it.Score < cut {
+				break
+			}
+			scores[it.ID] += it.Score / norm
+		}
+	}
+	return match.TopKScores(scores, k, docID)
+}
+
+// TestRefPartialOracleMatchesGroup sanity-checks the oracle itself:
+// with nothing missing it must agree with shard.Group bit-for-bit,
+// otherwise every partial assertion downstream would be vacuous.
+func TestRefPartialOracleMatchesGroup(t *testing.T) {
+	docs := genDocs(t, forum.TechSupport, 120, 42)
+	f := buildBackend(t, docs, match.MRConfig{Seed: 7}, 4, 42, 0)
+	for doc := 0; doc < len(docs); doc += 11 {
+		want := f.g.Match(doc, 6)
+		got := refPartial(t, f, doc, 6, nil)
+		sameResults(t, fmt.Sprintf("doc %d", doc), want, got)
+	}
+}

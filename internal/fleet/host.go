@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/match"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// Host is the server half of the fleet: one process holding one or
+// more shard partitions of a collection and answering the internal
+// probe surface (home leg, sibling scan, explain, meta). It is
+// transport-agnostic — internal/serve wraps it in HTTP handlers, and
+// LocalTransport calls it directly so the fault-injection suite runs a
+// whole fleet in one process with zero sockets.
+type Host struct {
+	name     string
+	total    int
+	seed     uint64
+	clusters int
+	epoch    uint64
+	cfg      match.MRConfig
+	shards   map[int]*match.MR
+	docs     func() int
+
+	ctrHome    map[int]*obs.Counter // fleet.host.NN.home: home legs answered
+	ctrProbe   map[int]*obs.Counter // fleet.host.NN.probe: sibling scans answered
+	ctrExplain map[int]*obs.Counter // fleet.host.NN.explain: explain batches answered
+	spanProbe  map[int]*obs.Span    // fleet.host.NN.scan: scan latency (home + sibling)
+}
+
+// NewHost assembles a host over already-loaded shard matchers. docs
+// reports the collection's global document count — static for snapshot
+// fleets, live for an in-process backend that keeps adding. Every
+// matcher must already be attached to pools covering the whole
+// collection; that is what makes its scores collection-global.
+func NewHost(name string, totalShards int, seed uint64, clusters int, shards map[int]*match.MR, docs func() int) *Host {
+	var cfg match.MRConfig
+	for _, mr := range shards {
+		cfg = mr.Config()
+		break
+	}
+	h := &Host{
+		name:     name,
+		total:    totalShards,
+		seed:     seed,
+		clusters: clusters,
+		epoch:    SnapshotEpoch(name, totalShards, seed, clusters),
+		cfg:      cfg,
+		shards:   shards,
+		docs:     docs,
+
+		ctrHome:    make(map[int]*obs.Counter, len(shards)),
+		ctrProbe:   make(map[int]*obs.Counter, len(shards)),
+		ctrExplain: make(map[int]*obs.Counter, len(shards)),
+		spanProbe:  make(map[int]*obs.Span, len(shards)),
+	}
+	for s := range shards {
+		lbl := fmt.Sprintf("fleet.host.%02d", s)
+		h.ctrHome[s] = obs.GetOrNewCounter(lbl + ".home")
+		h.ctrProbe[s] = obs.GetOrNewCounter(lbl + ".probe")
+		h.ctrExplain[s] = obs.GetOrNewCounter(lbl + ".explain")
+		h.spanProbe[s] = obs.GetOrNewSpan(lbl + ".scan")
+	}
+	return h
+}
+
+// LoadHostDir loads a host from a shard directory (shard.WriteDir
+// layout) serving only the shards in own. Every shard file is streamed
+// through the shared statistics pools — Eq 7–9 scores depend on
+// collection-global unit counts, document frequencies, and unique-term
+// averages, so even a host owning one partition must accumulate all of
+// them — but only the owned matchers are kept, so steady-state memory
+// is proportional to the owned partitions, not the fleet.
+func LoadHostDir(dir string, own []int) (*Host, error) {
+	shards, m, err := shard.ReadDirShards(dir, own)
+	if err != nil {
+		return nil, err
+	}
+	docs := m.Docs
+	return NewHost(m.Name, m.Shards, m.RouteSeed, m.Clusters, shards, func() int { return docs }), nil
+}
+
+// HostsForGroup wraps a live shard.Group as one Host per shard, all
+// sharing the group's matchers and pools — the in-process fleet backend
+// the chaos stress test runs Related and Add against concurrently.
+func HostsForGroup(g *shard.Group) map[int]*Host {
+	out := make(map[int]*Host, g.NumShards())
+	for s := 0; s < g.NumShards(); s++ {
+		out[s] = NewHost(g.Name(), g.NumShards(), g.Seed(), g.NumClusters(),
+			map[int]*match.MR{s: g.ShardMR(s)}, g.NumDocs)
+	}
+	return out
+}
+
+// Meta implements the /internal/meta self-description.
+func (h *Host) Meta() *Meta {
+	own := make([]int, 0, len(h.shards))
+	for s := range h.shards {
+		own = append(own, s)
+	}
+	for i := 1; i < len(own); i++ { // insertion sort; a host owns a handful
+		for j := i; j > 0 && own[j] < own[j-1]; j-- {
+			own[j], own[j-1] = own[j-1], own[j]
+		}
+	}
+	return &Meta{
+		Name:        h.name,
+		Shards:      own,
+		TotalShards: h.total,
+		Seed:        h.seed,
+		Docs:        h.docs(),
+		Clusters:    h.clusters,
+		Epoch:       h.epoch,
+		Params: MetaParams{
+			NFactor:        h.cfg.NFactor,
+			ScoreThreshold: h.cfg.ScoreThreshold,
+			NormalizeLists: h.cfg.NormalizeLists,
+		},
+	}
+}
+
+// Epoch returns the host's snapshot epoch.
+func (h *Host) Epoch() uint64 { return h.epoch }
+
+// Owns reports whether this host serves shard s.
+func (h *Host) Owns(s int) bool { _, ok := h.shards[s]; return ok }
+
+// badRequest builds the typed 400 for malformed internal requests.
+func badRequest(format string, args ...any) *RPCError {
+	return &RPCError{Status: http.StatusBadRequest, Kind: "bad_request", Msg: fmt.Sprintf(format, args...)}
+}
+
+// errNotOwned is the typed failure for probing a shard this host does
+// not serve — permanent: retrying the same endpoint cannot help.
+func errNotOwned(s int) *RPCError {
+	return &RPCError{Status: http.StatusMisdirectedRequest, Kind: "not_owned", Msg: fmt.Sprintf("shard %d not served here", s)}
+}
+
+// HandleHome answers a home leg: resolve the reference document's
+// frozen probes and scan this shard's partition with the document
+// itself excluded, at the full unsharded depth for k.
+func (h *Host) HandleHome(req *HomeRequest) (*HomeResponse, error) {
+	mr, ok := h.shards[req.Shard]
+	if !ok {
+		return nil, errNotOwned(req.Shard)
+	}
+	if req.K <= 0 {
+		return nil, badRequest("home leg needs k >= 1, got %d", req.K)
+	}
+	probes := mr.QuerySegs(req.LocalDoc)
+	if probes == nil {
+		return nil, ErrUnknownDoc
+	}
+	n := h.cfg.ListDepth(req.K)
+	st := h.spanProbe[req.Shard].Start()
+	lists := mr.QueryClusterLists(probes, n, req.LocalDoc, nil, nil)
+	st.Stop()
+	h.ctrHome[req.Shard].Inc()
+	return &HomeResponse{
+		Probes: toWireProbes(probes),
+		Lists:  toWireLists(lists),
+		N:      n,
+		Epoch:  h.epoch,
+		Docs:   h.docs(),
+	}, nil
+}
+
+// HandleProbe answers a sibling scan: frozen probes against this
+// shard's partition, optionally pruning below the home-seeded floors.
+func (h *Host) HandleProbe(req *ProbeRequest) (*ProbeResponse, error) {
+	mr, ok := h.shards[req.Shard]
+	if !ok {
+		return nil, errNotOwned(req.Shard)
+	}
+	if req.Depth <= 0 {
+		return nil, badRequest("probe needs depth >= 1, got %d", req.Depth)
+	}
+	if len(req.Floors) != 0 && len(req.Floors) != len(req.Probes) {
+		return nil, badRequest("floors length %d does not match %d probes", len(req.Floors), len(req.Probes))
+	}
+	probes := toClusterQueries(req.Probes)
+	st := h.spanProbe[req.Shard].Start()
+	lists := mr.QueryClusterLists(probes, req.Depth, -1, req.Floors, nil)
+	st.Stop()
+	h.ctrProbe[req.Shard].Inc()
+	return &ProbeResponse{
+		Lists: toWireLists(lists),
+		Epoch: h.epoch,
+		Docs:  h.docs(),
+	}, nil
+}
+
+// HandleExplain answers term-level Eq 7–9 breakdowns for result
+// documents owned by one of this host's shards.
+func (h *Host) HandleExplain(req *ExplainRequest) (*ExplainResponse, error) {
+	mr, ok := h.shards[req.Shard]
+	if !ok {
+		return nil, errNotOwned(req.Shard)
+	}
+	out := make([][]match.TermContribution, len(req.Items))
+	for i, it := range req.Items {
+		out[i] = mr.ExplainDocCluster(it.LocalDoc, it.Cluster, probeTF(it.Terms, it.QF), it.Norm)
+	}
+	h.ctrExplain[req.Shard].Inc()
+	return &ExplainResponse{Items: out, Epoch: h.epoch}, nil
+}

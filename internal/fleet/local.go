@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// LocalTransport is the in-process Transport: endpoints are plain
+// names mapped to Hosts, and deliveries happen synchronously before
+// the call returns. It is the substrate of the fault-injection suite —
+// wrap it in a Chaos with a VirtualClock and an entire degraded fleet
+// runs deterministically on one goroutine — and of the -race stress
+// test, where hosts come and go mid-flight.
+type LocalTransport struct {
+	mu    sync.RWMutex
+	hosts map[string]*Host
+}
+
+// NewLocalTransport returns an empty in-process fleet.
+func NewLocalTransport() *LocalTransport {
+	return &LocalTransport{hosts: make(map[string]*Host)}
+}
+
+// AddHost serves h at endpoint.
+func (t *LocalTransport) AddHost(endpoint string, h *Host) {
+	t.mu.Lock()
+	t.hosts[endpoint] = h
+	t.mu.Unlock()
+}
+
+// RemoveHost kills the server at endpoint: subsequent calls fail like
+// a refused connection.
+func (t *LocalTransport) RemoveHost(endpoint string) {
+	t.mu.Lock()
+	delete(t.hosts, endpoint)
+	t.mu.Unlock()
+}
+
+func (t *LocalTransport) host(endpoint string) (*Host, error) {
+	t.mu.RLock()
+	h := t.hosts[endpoint]
+	t.mu.RUnlock()
+	if h == nil {
+		return nil, &RPCError{Kind: "dial", Msg: fmt.Sprintf("connect %s: connection refused", endpoint)}
+	}
+	return h, nil
+}
+
+// Home implements Transport.
+func (t *LocalTransport) Home(ctx context.Context, endpoint string, req *HomeRequest, deliver func(*HomeResponse, error)) {
+	if ctx.Err() != nil {
+		return
+	}
+	h, err := t.host(endpoint)
+	if err != nil {
+		deliver(nil, err)
+		return
+	}
+	deliver(h.HandleHome(req))
+}
+
+// Probe implements Transport.
+func (t *LocalTransport) Probe(ctx context.Context, endpoint string, req *ProbeRequest, deliver func(*ProbeResponse, error)) {
+	if ctx.Err() != nil {
+		return
+	}
+	h, err := t.host(endpoint)
+	if err != nil {
+		deliver(nil, err)
+		return
+	}
+	deliver(h.HandleProbe(req))
+}
+
+// Explain implements Transport.
+func (t *LocalTransport) Explain(ctx context.Context, endpoint string, req *ExplainRequest, deliver func(*ExplainResponse, error)) {
+	if ctx.Err() != nil {
+		return
+	}
+	h, err := t.host(endpoint)
+	if err != nil {
+		deliver(nil, err)
+		return
+	}
+	deliver(h.HandleExplain(req))
+}
+
+// Meta implements Transport.
+func (t *LocalTransport) Meta(ctx context.Context, endpoint string, deliver func(*Meta, error)) {
+	if ctx.Err() != nil {
+		return
+	}
+	h, err := t.host(endpoint)
+	if err != nil {
+		deliver(nil, err)
+		return
+	}
+	deliver(h.Meta(), nil)
+}

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"strconv"
+
+	"repro/internal/match"
+)
+
+// Wire types for the shard fleet's internal RPC surface. Everything
+// crossing the network is plain JSON: Go's encoder emits the shortest
+// decimal that round-trips each float64, so scores survive the hop
+// bit-identically and the coordinator's merge stays byte-for-byte
+// equivalent to the in-process scatter-gather (the property the
+// equivalence matrix pins).
+//
+// A probe omits the reference segment's TF map deliberately: the map is
+// exactly zip(Terms, QF) (index.TermFrequencies output keyed by the
+// sorted term list), so shipping it would double the payload to say the
+// same thing. Receivers that need the map — the explain path —
+// reconstruct it with probeTF.
+
+// WireProbe is one Algorithm 1 probe in transit: match.ClusterQuery
+// minus the redundant TF map.
+type WireProbe struct {
+	Cluster   int       `json:"cluster"`
+	Terms     []string  `json:"terms"`
+	QF        []float64 `json:"qf"`
+	IDF       []float64 `json:"idf"`
+	AvgUnique float64   `json:"avg_unique"`
+}
+
+// WireResult is one scored candidate in a per-cluster list, carrying
+// the answering shard's local document id.
+type WireResult struct {
+	Doc   int     `json:"d"`
+	Score float64 `json:"s"`
+}
+
+// HomeRequest asks a document's owning shard to run the query's home
+// leg: resolve the Algorithm 1 probes (frozen factors included) and
+// scan its own partition with the reference document excluded.
+type HomeRequest struct {
+	Shard    int `json:"shard"`
+	LocalDoc int `json:"local_doc"`
+	K        int `json:"k"`
+}
+
+// HomeResponse carries the home leg's outcome. N is the full unsharded
+// list depth the server scanned at (cfg.ListDepth(k)); the coordinator
+// probes every sibling at the same depth and merges with a top-N heap,
+// which is what keeps the networked ranking exactly equivalent to the
+// single index. Docs is the answering server's current document count
+// for this shard's partition-owner view — the coordinator grows its
+// routing directory up to it before mapping local ids.
+type HomeResponse struct {
+	Probes []WireProbe    `json:"probes"`
+	Lists  [][]WireResult `json:"lists"`
+	N      int            `json:"n"`
+	Epoch  uint64         `json:"epoch"`
+	Docs   int            `json:"docs"`
+}
+
+// ProbeRequest asks a sibling shard to scan the frozen probes against
+// its partition at the given depth, optionally pruning below the
+// per-probe floors seeded from the home leg.
+type ProbeRequest struct {
+	Shard  int         `json:"shard"`
+	Probes []WireProbe `json:"probes"`
+	Depth  int         `json:"depth"`
+	Floors []float64   `json:"floors,omitempty"`
+}
+
+// ProbeResponse is a sibling leg's per-probe candidate lists.
+type ProbeResponse struct {
+	Lists [][]WireResult `json:"lists"`
+	Epoch uint64         `json:"epoch"`
+	Docs  int            `json:"docs"`
+}
+
+// ExplainItem names one (result document, intention cluster) pair to
+// decompose: the probe's term context and the Algorithm 2 divisor the
+// coordinator's merge applied.
+type ExplainItem struct {
+	LocalDoc int       `json:"local_doc"`
+	Cluster  int       `json:"cluster"`
+	Terms    []string  `json:"terms"`
+	QF       []float64 `json:"qf"`
+	Norm     float64   `json:"norm"`
+}
+
+// ExplainRequest asks the shard owning a set of result documents for
+// term-level Eq 7–9 contribution breakdowns.
+type ExplainRequest struct {
+	Shard int           `json:"shard"`
+	Items []ExplainItem `json:"items"`
+}
+
+// ExplainResponse carries one contribution list per requested item,
+// aligned with ExplainRequest.Items.
+type ExplainResponse struct {
+	Items [][]match.TermContribution `json:"items"`
+	Epoch uint64                     `json:"epoch"`
+}
+
+// MetaParams is the slice of match.MRConfig the coordinator needs to
+// reproduce the merge: TrimParams (threshold cut + normalization) and,
+// informationally, the list-depth factor.
+type MetaParams struct {
+	NFactor        int     `json:"n_factor"`
+	ScoreThreshold float64 `json:"score_threshold"`
+	NormalizeLists bool    `json:"normalize_lists"`
+}
+
+// Meta is a shard server's self-description, served on /internal/meta.
+// The coordinator bootstraps its topology view from any one server and
+// cross-checks the rest: Seed + TotalShards reconstruct the routing
+// directory (routing is a pure function of (seed, id, n)), Epoch
+// identifies the snapshot lineage, Shards lists which partitions this
+// server holds.
+type Meta struct {
+	Name        string     `json:"name"`
+	Shards      []int      `json:"shards"`
+	TotalShards int        `json:"total_shards"`
+	Seed        uint64     `json:"seed"`
+	Docs        int        `json:"docs"`
+	Clusters    int        `json:"clusters"`
+	Epoch       uint64     `json:"epoch"`
+	Params      MetaParams `json:"params"`
+}
+
+// SnapshotEpoch derives the fleet epoch from the topology identity:
+// collection name, shard count, routing seed, cluster count. Every
+// server loaded from the same shard directory computes the same value;
+// a server from a different build, seed, or topology computes a
+// different one, and the coordinator rejects its replies instead of
+// merging incomparable lists. Document count is deliberately excluded —
+// the live in-process backend grows under Add without changing lineage.
+func SnapshotEpoch(name string, totalShards int, seed uint64, clusters int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(totalShards)))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.FormatUint(seed, 10)))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(clusters)))
+	return h.Sum64()
+}
+
+// toWireProbes strips the redundant TF maps from resolved probes.
+func toWireProbes(probes []match.ClusterQuery) []WireProbe {
+	out := make([]WireProbe, len(probes))
+	for i, p := range probes {
+		out[i] = WireProbe{
+			Cluster: p.Cluster, Terms: p.Terms, QF: p.QF,
+			IDF: p.IDF, AvgUnique: p.AvgUnique,
+		}
+	}
+	return out
+}
+
+// probeTF reconstructs the reference segment's term-frequency map from
+// the aligned (Terms, QF) columns — the inverse of the TF omission in
+// WireProbe.
+func probeTF(terms []string, qf []float64) map[string]float64 {
+	tf := make(map[string]float64, len(terms))
+	for i, t := range terms {
+		tf[t] = qf[i]
+	}
+	return tf
+}
+
+// toClusterQueries rebuilds full match probes (TF included) for the
+// matcher-side scan and explain surfaces.
+func toClusterQueries(probes []WireProbe) []match.ClusterQuery {
+	out := make([]match.ClusterQuery, len(probes))
+	for i, p := range probes {
+		out[i] = match.ClusterQuery{
+			Cluster: p.Cluster, TF: probeTF(p.Terms, p.QF),
+			Terms: p.Terms, QF: p.QF, IDF: p.IDF, AvgUnique: p.AvgUnique,
+		}
+	}
+	return out
+}
+
+// toWireLists converts matcher result lists to wire form.
+func toWireLists(lists [][]match.Result) [][]WireResult {
+	out := make([][]WireResult, len(lists))
+	for i, l := range lists {
+		w := make([]WireResult, len(l))
+		for j, r := range l {
+			w[j] = WireResult{Doc: r.DocID, Score: r.Score}
+		}
+		out[i] = w
+	}
+	return out
+}

@@ -275,7 +275,7 @@ func TestStringTableNegativePaths(t *testing.T) {
 		wantSub string
 	}{
 		{"empty", nil, "count"},
-		{"count overruns input", AppendUvarint(nil, 1 << 40), "declares"},
+		{"count overruns input", AppendUvarint(nil, 1<<40), "declares"},
 		{"truncated offsets", valid[:3], "truncated string table offsets"},
 		{"truncated blob", valid[:len(valid)-2], "truncated string table blob"},
 		{

@@ -1,0 +1,296 @@
+// The fleet halves of the serving layer: ShardServer exposes one
+// fleet.Host's internal probe surface over HTTP, FleetServer exposes
+// the public /related surface backed by a fleet.Coordinator. Both
+// reuse the package's observe middleware, so fleet processes get the
+// same access logs, trace rings, and /metrics as the single-process
+// server.
+//
+// Shard server endpoints (internal, consumed by the coordinator):
+//
+//	POST /internal/home     home leg: resolve probes + scan own partition
+//	POST /internal/probe    sibling leg: scan frozen probes
+//	POST /internal/explain  term-level Eq 7–9 breakdowns
+//	GET  /internal/meta     topology self-description + snapshot epoch
+//	GET  /metrics, /healthz
+//
+// Coordinator endpoints (public, same wire shapes as the single
+// binary; /related answers byte-identically when the fleet is
+// healthy):
+//
+//	POST /related           scatter-gather query; adds partial_results +
+//	                        shards_missing when degraded
+//	POST /add               501: the networked fleet serves read-only
+//	                        snapshots (writes go through rebuilds)
+//	GET  /stats             fleet topology view
+//	GET  /metrics, /healthz, /debug/traces
+//
+// Error bodies on these surfaces are typed:
+// {"error": {"kind": "...", "message": "..."}} — the kind strings
+// ("unknown_doc", "fleet_unavailable", ...) are stable contract, so
+// clients and the coordinator's transport can switch on them without
+// parsing prose.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// Fleet-surface request counters, distinct from the single-process
+// http.* family so a coordinator's /metrics separates its own protocol
+// layer from any embedded pipeline.
+var (
+	ctrFleetRelated = obs.NewCounter("http.fleet.related.requests")
+	ctrFleetPartial = obs.NewCounter("http.fleet.related.partial")
+	ctrShardHome    = obs.NewCounter("http.shard.home.requests")
+	ctrShardProbe   = obs.NewCounter("http.shard.probe.requests")
+	ctrShardExplain = obs.NewCounter("http.shard.explain.requests")
+	ctrShardMeta    = obs.NewCounter("http.shard.meta.requests")
+	ctrTypedErrors  = obs.NewCounter("http.fleet.errors")
+)
+
+// ErrorBody is the typed error envelope of the fleet surfaces.
+type ErrorBody struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// writeTypedError answers with the fleet error envelope, mapping
+// *fleet.RPCError to its status and kind.
+func writeTypedError(w http.ResponseWriter, err error) {
+	ctrTypedErrors.Inc()
+	status, kind := http.StatusBadGateway, "internal"
+	var rpc *fleet.RPCError
+	switch {
+	case errors.As(err, &rpc):
+		status, kind = rpc.Status, rpc.Kind
+		if status == 0 {
+			status = http.StatusBadGateway
+		}
+		if kind == "" {
+			kind = "internal"
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		status, kind = http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		status, kind = 499, "canceled" // nginx's client-closed-request
+	}
+	writeJSON(w, status, map[string]ErrorBody{"error": {Kind: kind, Message: err.Error()}})
+}
+
+// ShardServer serves one fleet.Host's internal probe surface.
+type ShardServer struct {
+	host *fleet.Host
+	mux  *http.ServeMux
+	observer
+}
+
+// NewShardServer wraps a host in its HTTP surface.
+func NewShardServer(h *fleet.Host, cfg Config) *ShardServer {
+	s := &ShardServer{host: h, mux: http.NewServeMux(), observer: newObserver(cfg)}
+	s.mux.HandleFunc("POST /internal/home", s.observe("/internal/home", false, s.handleHome))
+	s.mux.HandleFunc("POST /internal/probe", s.observe("/internal/probe", false, s.handleProbe))
+	s.mux.HandleFunc("POST /internal/explain", s.observe("/internal/explain", false, s.handleExplain))
+	s.mux.HandleFunc("GET /internal/meta", s.observe("/internal/meta", false, s.handleMeta))
+	s.mux.HandleFunc("GET /metrics", s.observe("/metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.observe("/healthz", false, s.handleHealthz))
+	return s
+}
+
+// Handler returns the shard server's root handler.
+func (s *ShardServer) Handler() http.Handler { return s.mux }
+
+func (s *ShardServer) handleHome(w http.ResponseWriter, r *http.Request) {
+	ctrShardHome.Inc()
+	var req fleet.HomeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.host.HandleHome(&req)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *ShardServer) handleProbe(w http.ResponseWriter, r *http.Request) {
+	ctrShardProbe.Inc()
+	var req fleet.ProbeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.host.HandleProbe(&req)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *ShardServer) handleExplain(w http.ResponseWriter, r *http.Request) {
+	ctrShardExplain.Inc()
+	var req fleet.ExplainRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.host.HandleExplain(&req)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *ShardServer) handleMeta(w http.ResponseWriter, r *http.Request) {
+	ctrShardMeta.Inc()
+	writeJSON(w, http.StatusOK, s.host.Meta())
+}
+
+func (s *ShardServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ctrMetricsRequests.Inc()
+	snap := obs.Default.Snapshot()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *ShardServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// FleetServer serves the public surface backed by a coordinator.
+type FleetServer struct {
+	c   *fleet.Coordinator
+	mux *http.ServeMux
+	observer
+}
+
+// NewFleetServer wraps a bootstrapped coordinator in the public HTTP
+// surface.
+func NewFleetServer(c *fleet.Coordinator, cfg Config) *FleetServer {
+	s := &FleetServer{c: c, mux: http.NewServeMux(), observer: newObserver(cfg)}
+	s.mux.HandleFunc("POST /related", s.observe("/related", true, s.handleRelated))
+	s.mux.HandleFunc("POST /add", s.observe("/add", false, s.handleAdd))
+	s.mux.HandleFunc("GET /stats", s.observe("/stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.observe("/metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.observe("/healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /debug/traces", s.observe("/debug/traces", false, s.handleTraces))
+	return s
+}
+
+// Handler returns the fleet server's root handler.
+func (s *FleetServer) Handler() http.Handler { return s.mux }
+
+func (s *FleetServer) handleRelated(w http.ResponseWriter, r *http.Request) {
+	ctrFleetRelated.Inc()
+	var req RelatedRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.K == 0 {
+		req.K = 5
+	}
+	if req.K < 0 || req.K > 100 {
+		writeTypedError(w, &fleet.RPCError{Status: http.StatusBadRequest, Kind: "bad_request", Msg: "k must be in [1,100]"})
+		return
+	}
+	if info := infoFrom(r.Context()); info != nil {
+		info.docID, info.hasDoc = req.DocID, true
+		info.k, info.hasK = req.K, true
+	}
+	tr := obs.TraceFrom(r.Context())
+
+	resp := RelatedResponse{DocID: req.DocID, K: req.K}
+	if req.Explain {
+		ctrExplainRequests.Inc()
+		res, exps, err := s.c.RelatedExplained(r.Context(), req.DocID, req.K, tr)
+		if err != nil {
+			writeTypedError(w, err)
+			return
+		}
+		resp.Results = make([]RelatedResult, len(res.Results))
+		for i, rr := range res.Results {
+			resp.Results[i] = RelatedResult{
+				DocID:   rr.DocID,
+				Score:   rr.Score,
+				Explain: explainClusters(exps[i]),
+			}
+		}
+		resp.PartialResults, resp.ShardsMissing = res.Partial, res.Missing
+	} else {
+		res, err := s.c.Related(r.Context(), req.DocID, req.K, tr)
+		if err != nil {
+			writeTypedError(w, err)
+			return
+		}
+		resp.Results = make([]RelatedResult, len(res.Results))
+		for i, rr := range res.Results {
+			resp.Results[i] = RelatedResult{DocID: rr.DocID, Score: rr.Score}
+		}
+		resp.PartialResults, resp.ShardsMissing = res.Partial, res.Missing
+	}
+	if resp.PartialResults {
+		ctrFleetPartial.Inc()
+	}
+	if info := infoFrom(r.Context()); info != nil {
+		info.results, info.hasResults = len(resp.Results), true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *FleetServer) handleAdd(w http.ResponseWriter, r *http.Request) {
+	ctrAddRequests.Inc()
+	writeTypedError(w, &fleet.RPCError{
+		Status: http.StatusNotImplemented, Kind: "read_only",
+		Msg: "the networked fleet serves read-only snapshots; ingest through the offline build and redeploy the shard directory",
+	})
+}
+
+// FleetStatsResponse is the coordinator's GET /stats reply: the fleet
+// topology view.
+type FleetStatsResponse struct {
+	Method  string `json:"method"`
+	NumDocs int    `json:"num_docs"`
+	Shards  int    `json:"shards"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+func (s *FleetServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	ctrStatsRequests.Inc()
+	writeJSON(w, http.StatusOK, FleetStatsResponse{
+		Method:  s.c.Name(),
+		NumDocs: s.c.NumDocs(),
+		Shards:  s.c.NumShards(),
+		Epoch:   s.c.Epoch(),
+	})
+}
+
+func (s *FleetServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ctrMetricsRequests.Inc()
+	snap := obs.Default.Snapshot()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *FleetServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *FleetServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ctrTraceRequests.Inc()
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.tracer.Snapshot()})
+}

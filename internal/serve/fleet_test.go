@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/forum"
+	"repro/internal/match"
+	"repro/internal/obs"
+	"repro/internal/segment"
+	"repro/internal/shard"
+)
+
+// End-to-end tests of the networked fleet's HTTP surfaces: real
+// ShardServers on real sockets, the real HTTPTransport, a coordinator,
+// and a FleetServer — compared byte-for-byte against the single-process
+// Server over the same corpus. This is the HTTP leg of the equivalence
+// matrix: it proves JSON round-trips (shortest-round-trip float
+// encoding) and the omitempty partial fields keep healthy fleet
+// responses indistinguishable from single-process responses.
+
+// fleetFixture shares one sharded build across the fleet HTTP tests.
+// Its matcher is constructed exactly like testPipeline's (same texts,
+// same MRConfig), so the two rank identically.
+type fleetFixture struct {
+	g     *shard.Group
+	hosts map[int]*fleet.Host
+}
+
+var fleetBackend = sync.OnceValue(func() *fleetFixture {
+	posts := forum.Generate(forum.Config{Domain: forum.TechSupport, NumPosts: 150, Seed: 42})
+	docs := make([]*segment.Doc, len(posts))
+	for i, p := range posts {
+		docs[i] = segment.NewDoc(p.Text)
+	}
+	mr := match.NewMR("IntentIntent-MR", docs, match.MRConfig{Seed: 42})
+	g, err := shard.NewGroup(mr, 4, 42)
+	if err != nil {
+		panic(err)
+	}
+	return &fleetFixture{g: g, hosts: fleet.HostsForGroup(g)}
+})
+
+// typedError decodes the fleet error envelope.
+func typedError(t *testing.T, body []byte) ErrorBody {
+	t.Helper()
+	var e struct {
+		Error ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("not a typed error envelope: %v in %s", err, body)
+	}
+	return e.Error
+}
+
+func TestFleetServeEndToEnd(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	f := fleetBackend()
+
+	// Four shard servers, plus one replica of shard 0 (same host, its
+	// own socket).
+	shardTS := make([]*httptest.Server, f.g.NumShards())
+	for s := 0; s < f.g.NumShards(); s++ {
+		shardTS[s] = httptest.NewServer(NewShardServer(f.hosts[s], Config{}).Handler())
+		t.Cleanup(shardTS[s].Close)
+	}
+	replica0 := httptest.NewServer(NewShardServer(f.hosts[0], Config{}).Handler())
+	t.Cleanup(replica0.Close)
+
+	topo := fleet.Topology{}
+	for s := 0; s < f.g.NumShards(); s++ {
+		se := fleet.ShardEndpoints{Shard: s, Primary: shardTS[s].URL}
+		if s == 0 {
+			se.Replicas = []string{replica0.URL}
+		}
+		topo.Endpoints = append(topo.Endpoints, se)
+	}
+	c, err := fleet.New(context.Background(), topo, fleet.Options{
+		Transport:      fleet.NewHTTPTransport(),
+		Timeout:        5 * time.Second,
+		AttemptTimeout: 2 * time.Second,
+		Retries:        1,
+		Backoff:        5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("fleet.New over HTTP: %v", err)
+	}
+	fleetTS := httptest.NewServer(NewFleetServer(c, Config{}).Handler())
+	t.Cleanup(fleetTS.Close)
+	singleTS := httptest.NewServer(New(testPipeline(), Config{}).Handler())
+	t.Cleanup(singleTS.Close)
+
+	t.Run("related-byte-identical-to-single-process", func(t *testing.T) {
+		for _, doc := range []int{0, 9, 31, 77, 149} {
+			for _, body := range []string{
+				fmt.Sprintf(`{"doc_id": %d, "k": 5}`, doc),
+				fmt.Sprintf(`{"doc_id": %d, "k": 10, "explain": true}`, doc),
+			} {
+				sResp, sBody := postJSON(t, singleTS.URL+"/related", body)
+				fResp, fBody := postJSON(t, fleetTS.URL+"/related", body)
+				if sResp.StatusCode != http.StatusOK || fResp.StatusCode != http.StatusOK {
+					t.Fatalf("%s: status single=%d fleet=%d", body, sResp.StatusCode, fResp.StatusCode)
+				}
+				if string(sBody) != string(fBody) {
+					t.Fatalf("%s: bodies diverge:\nsingle: %s\nfleet:  %s", body, sBody, fBody)
+				}
+				if strings.Contains(string(fBody), "partial_results") {
+					t.Fatalf("%s: healthy fleet leaked partial fields: %s", body, fBody)
+				}
+			}
+		}
+	})
+
+	t.Run("shard-surface", func(t *testing.T) {
+		resp, err := http.Get(shardTS[1].URL + "/internal/meta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m fleet.Meta
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("meta decode: %v", err)
+		}
+		resp.Body.Close()
+		if m.TotalShards != 4 || len(m.Shards) != 1 || m.Shards[0] != 1 || m.Epoch != c.Epoch() {
+			t.Fatalf("unexpected meta: %+v", m)
+		}
+
+		resp, body := postJSON(t, shardTS[1].URL+"/internal/home", `{"shard": 1, "local_doc": 999999, "k": 5}`)
+		if resp.StatusCode != http.StatusNotFound || typedError(t, body).Kind != "unknown_doc" {
+			t.Fatalf("unknown doc: status %d body %s", resp.StatusCode, body)
+		}
+		resp, body = postJSON(t, shardTS[1].URL+"/internal/probe", `{"shard": 2, "probes": [], "depth": 10}`)
+		if resp.StatusCode != http.StatusMisdirectedRequest || typedError(t, body).Kind != "not_owned" {
+			t.Fatalf("misdirected probe: status %d body %s", resp.StatusCode, body)
+		}
+		resp, body = postJSON(t, shardTS[1].URL+"/internal/home", `{bad json`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad json: status %d body %s", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("coordinator-surface", func(t *testing.T) {
+		resp, body := postJSON(t, fleetTS.URL+"/related", `{"doc_id": 3, "k": 200}`)
+		if resp.StatusCode != http.StatusBadRequest || typedError(t, body).Kind != "bad_request" {
+			t.Fatalf("k out of range: status %d body %s", resp.StatusCode, body)
+		}
+		resp, body = postJSON(t, fleetTS.URL+"/related", `{"doc_id": 100000, "k": 5}`)
+		if resp.StatusCode != http.StatusNotFound || typedError(t, body).Kind != "unknown_doc" {
+			t.Fatalf("unknown doc: status %d body %s", resp.StatusCode, body)
+		}
+		resp, body = postJSON(t, fleetTS.URL+"/add", `{"text": "new post"}`)
+		if resp.StatusCode != http.StatusNotImplemented || typedError(t, body).Kind != "read_only" {
+			t.Fatalf("add on fleet: status %d body %s", resp.StatusCode, body)
+		}
+		gresp, err := http.Get(fleetTS.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st FleetStatsResponse
+		if err := json.NewDecoder(gresp.Body).Decode(&st); err != nil {
+			t.Fatalf("stats decode: %v", err)
+		}
+		gresp.Body.Close()
+		if st.Method != "IntentIntent-MR" || st.NumDocs != 150 || st.Shards != 4 || st.Epoch != c.Epoch() {
+			t.Fatalf("unexpected fleet stats: %+v", st)
+		}
+		for _, ep := range []string{"/healthz", "/metrics", "/debug/traces"} {
+			r, err := http.Get(fleetTS.URL + ep)
+			if err != nil || r.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: %v / %v", ep, err, r)
+			}
+			r.Body.Close()
+		}
+	})
+
+	// Destructive leg last: kill one sibling shard server and require a
+	// well-formed partial rather than an error or a silent wrong answer.
+	t.Run("kill-one-shard-partial", func(t *testing.T) {
+		const doc = 3
+		home := f.g.Route(doc)
+		victim := -1
+		for s := 1; s < f.g.NumShards(); s++ { // shard 0 has a replica; pick one without
+			if s != home {
+				victim = s
+				break
+			}
+		}
+		shardTS[victim].Close()
+		resp, body := postJSON(t, fleetTS.URL+"/related", fmt.Sprintf(`{"doc_id": %d, "k": 5}`, doc))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("degraded query status %d: %s", resp.StatusCode, body)
+		}
+		var rr RelatedResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !rr.PartialResults || len(rr.ShardsMissing) != 1 || rr.ShardsMissing[0] != victim {
+			t.Fatalf("want partial_results with shards_missing=[%d], got %s", victim, body)
+		}
+		if len(rr.Results) == 0 {
+			t.Fatalf("partial answer carried no results at all: %s", body)
+		}
+	})
+}
+
+// TestFleetServeCancellationReleasesGoroutines drives the real HTTP
+// transport against a shard server that black-holes probes, cancels the
+// query, and requires the process to return to its goroutine baseline —
+// the network-level version of the leg-release guarantee.
+func TestFleetServeCancellationReleasesGoroutines(t *testing.T) {
+	f := fleetBackend()
+	shardTS := make([]*httptest.Server, f.g.NumShards())
+	var hanging atomic.Int64 // probe handlers currently parked; polled, not WaitGroup'd (Wait would race with late Adds)
+	for s := 0; s < f.g.NumShards(); s++ {
+		inner := NewShardServer(f.hosts[s], Config{}).Handler()
+		shardTS[s] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/internal/probe" {
+				hanging.Add(1)
+				defer hanging.Add(-1)
+				// Drain the body so the server's background read can detect
+				// the client disconnect and cancel r.Context().
+				io.Copy(io.Discard, r.Body)
+				<-r.Context().Done() // stuck shard: never answers, honors disconnect
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(shardTS[s].Close)
+	}
+	topo := fleet.Topology{}
+	for s := 0; s < f.g.NumShards(); s++ {
+		topo.Endpoints = append(topo.Endpoints, fleet.ShardEndpoints{Shard: s, Primary: shardTS[s].URL})
+	}
+	c, err := fleet.New(context.Background(), topo, fleet.Options{
+		Transport:      fleet.NewHTTPTransport(),
+		Timeout:        10 * time.Second,
+		AttemptTimeout: 10 * time.Second,
+		Retries:        -1,
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Related(ctx, 3, 5, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	releaseDeadline := time.Now().Add(5 * time.Second)
+	for hanging.Load() != 0 {
+		if time.Now().After(releaseDeadline) {
+			t.Fatalf("stuck shard handlers were not released by cancellation: %d still parked", hanging.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancellation: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetServeAuxSurfaces covers the operational endpoints of both
+// fleet binaries — /metrics in both formats, /healthz — plus the typed
+// error paths the happy-path equivalence tests never touch.
+func TestFleetServeAuxSurfaces(t *testing.T) {
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	f := fleetBackend()
+
+	shardTS := httptest.NewServer(NewShardServer(f.hosts[1], Config{}).Handler())
+	t.Cleanup(shardTS.Close)
+
+	lt := fleet.NewLocalTransport()
+	topo := fleet.Topology{}
+	for s := 0; s < f.g.NumShards(); s++ {
+		ep := fmt.Sprintf("aux-s%d", s)
+		lt.AddHost(ep, f.hosts[s])
+		topo.Endpoints = append(topo.Endpoints, fleet.ShardEndpoints{Shard: s, Primary: ep})
+	}
+	c, err := fleet.New(context.Background(), topo, fleet.Options{Transport: lt})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	fleetTS := httptest.NewServer(NewFleetServer(c, Config{}).Handler())
+	t.Cleanup(fleetTS.Close)
+
+	getWith := func(url, accept string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	for name, base := range map[string]string{"shard": shardTS.URL, "fleet": fleetTS.URL} {
+		resp, body := getWith(base+"/healthz", "")
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+			t.Fatalf("%s /healthz: status %d body %s", name, resp.StatusCode, body)
+		}
+		resp, body = getWith(base+"/metrics", "")
+		if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+			t.Fatalf("%s /metrics JSON: status %d body %.120s", name, resp.StatusCode, body)
+		}
+		resp, body = getWith(base+"/metrics", obs.PrometheusContentType)
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != obs.PrometheusContentType {
+			t.Fatalf("%s /metrics prometheus: status %d content-type %q", name, resp.StatusCode, resp.Header.Get("Content-Type"))
+		}
+		if !strings.Contains(string(body), "# TYPE") {
+			t.Fatalf("%s /metrics prometheus exposition missing TYPE lines: %.120s", name, body)
+		}
+	}
+
+	// Typed errors on the shard surface: explain for a shard this server
+	// does not own.
+	resp, body := postJSON(t, shardTS.URL+"/internal/explain", `{"shard": 3, "items": []}`)
+	if resp.StatusCode != http.StatusMisdirectedRequest || typedError(t, body).Kind != "not_owned" {
+		t.Fatalf("misdirected explain: status %d body %s", resp.StatusCode, body)
+	}
+	// Typed errors on the coordinator surface down the explain branch:
+	// an unknown document must 404 identically to the plain branch.
+	resp, body = postJSON(t, fleetTS.URL+"/related", `{"doc_id": 999999, "k": 5, "explain": true}`)
+	if resp.StatusCode != http.StatusNotFound || typedError(t, body).Kind != "unknown_doc" {
+		t.Fatalf("explain for unknown doc: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestWriteTypedErrorMapping pins the error→(status, kind) table the
+// fleet surfaces answer with.
+func TestWriteTypedErrorMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		kind   string
+	}{
+		{&fleet.RPCError{Status: http.StatusNotFound, Kind: "unknown_doc", Msg: "x"}, http.StatusNotFound, "unknown_doc"},
+		{&fleet.RPCError{Status: 0, Kind: "", Msg: "x"}, http.StatusBadGateway, "internal"},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline"},
+		{context.Canceled, 499, "canceled"},
+		{errors.New("plain"), http.StatusBadGateway, "internal"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeTypedError(rec, tc.err)
+		if rec.Code != tc.status {
+			t.Fatalf("%v: status %d, want %d", tc.err, rec.Code, tc.status)
+		}
+		if got := typedError(t, rec.Body.Bytes()).Kind; got != tc.kind {
+			t.Fatalf("%v: kind %q, want %q", tc.err, got, tc.kind)
+		}
+	}
+}

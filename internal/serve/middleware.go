@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// observer is the request-scoped observability shared by every server
+// flavor in this package (the single-process Server, the fleet's
+// ShardServer and FleetServer): a per-server tracer feeding the
+// /debug/traces ring and one structured access-log record per API
+// request. It is embedded, so servers call s.observe(...) and read
+// s.tracer directly.
+type observer struct {
+	log    *slog.Logger
+	tracer *obs.Tracer
+}
+
+func newObserver(cfg Config) observer {
+	return observer{
+		log: cfg.Logger,
+		tracer: obs.NewTracer(obs.TracerConfig{
+			PerSecond: cfg.TraceRate,
+			SlowQuery: cfg.SlowQuery,
+			RingSize:  cfg.TraceRingSize,
+		}),
+	}
+}
+
+// statusWriter remembers the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// reqInfo carries per-request facts from a handler back to the access
+// log: which document was asked about, with what k, and how many
+// results came back. Handlers fill it through the request context; the
+// set flags distinguish "not applicable to this endpoint" from real
+// values (a 404 for a negative doc_id still logs the id asked for).
+type reqInfo struct {
+	docID, k, results        int
+	hasDoc, hasK, hasResults bool
+}
+
+type reqInfoKey struct{}
+
+// infoFrom returns the middleware-installed reqInfo, or nil for a
+// handler invoked outside observe (direct tests).
+func infoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// observe wraps a handler with the request-scoped observability: a
+// Trace from the server's tracer (for traced endpoints) carried via the
+// context into the pipeline, and one structured access-log record on
+// the way out.
+func (o *observer) observe(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		info := &reqInfo{}
+		ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
+		var tr *obs.Trace
+		if traced {
+			if tr = o.tracer.Start(); tr != nil {
+				ctx = obs.WithTrace(ctx, tr)
+			}
+		}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+		if tr != nil {
+			dur = o.tracer.Finish(tr)
+			ctrTracesStarted.Inc()
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if o.log != nil {
+			attrs := make([]slog.Attr, 0, 8)
+			attrs = append(attrs,
+				slog.String("endpoint", endpoint),
+				slog.Int("status", sw.status),
+				slog.Int64("latency_ns", int64(dur)),
+			)
+			if id := tr.ID(); id != "" {
+				attrs = append(attrs, slog.String("trace_id", id))
+			}
+			if info.hasDoc {
+				attrs = append(attrs, slog.Int("doc_id", info.docID))
+			}
+			if info.hasK {
+				attrs = append(attrs, slog.Int("k", info.k))
+			}
+			if info.hasResults {
+				attrs = append(attrs, slog.Int("results", info.results))
+			}
+			o.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	}
+}

@@ -28,7 +28,6 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"log/slog"
@@ -95,10 +94,9 @@ type Config struct {
 // locked public surface, the obs registry through atomic snapshots, and
 // the trace ring through atomic pointer loads.
 type Server struct {
-	p      *core.Pipeline
-	mux    *http.ServeMux
-	log    *slog.Logger
-	tracer *obs.Tracer
+	p   *core.Pipeline
+	mux *http.ServeMux
+	observer
 }
 
 // New wraps a built pipeline in an HTTP server. The pprof handlers are
@@ -108,14 +106,9 @@ type Server struct {
 // by side.
 func New(p *core.Pipeline, cfg Config) *Server {
 	s := &Server{
-		p:   p,
-		mux: http.NewServeMux(),
-		log: cfg.Logger,
-		tracer: obs.NewTracer(obs.TracerConfig{
-			PerSecond: cfg.TraceRate,
-			SlowQuery: cfg.SlowQuery,
-			RingSize:  cfg.TraceRingSize,
-		}),
+		p:        p,
+		mux:      http.NewServeMux(),
+		observer: newObserver(cfg),
 	}
 	// The query and ingestion paths are traced; the read-only
 	// introspection endpoints only get the access log (tracing a
@@ -136,94 +129,6 @@ func New(p *core.Pipeline, cfg Config) *Server {
 
 // Handler returns the server's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
-
-// statusWriter remembers the response status for the access log.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusWriter) Write(b []byte) (int, error) {
-	if w.status == 0 {
-		w.status = http.StatusOK
-	}
-	return w.ResponseWriter.Write(b)
-}
-
-// reqInfo carries per-request facts from a handler back to the access
-// log: which document was asked about, with what k, and how many
-// results came back. Handlers fill it through the request context; the
-// set flags distinguish "not applicable to this endpoint" from real
-// values (a 404 for a negative doc_id still logs the id asked for).
-type reqInfo struct {
-	docID, k, results        int
-	hasDoc, hasK, hasResults bool
-}
-
-type reqInfoKey struct{}
-
-// infoFrom returns the middleware-installed reqInfo, or nil for a
-// handler invoked outside observe (direct tests).
-func infoFrom(ctx context.Context) *reqInfo {
-	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
-	return ri
-}
-
-// observe wraps a handler with the request-scoped observability: a
-// Trace from the server's tracer (for traced endpoints) carried via the
-// context into the pipeline, and one structured access-log record on
-// the way out.
-func (s *Server) observe(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
-		info := &reqInfo{}
-		ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
-		var tr *obs.Trace
-		if traced {
-			if tr = s.tracer.Start(); tr != nil {
-				ctx = obs.WithTrace(ctx, tr)
-			}
-		}
-		start := time.Now()
-		h(sw, r.WithContext(ctx))
-		dur := time.Since(start)
-		if tr != nil {
-			dur = s.tracer.Finish(tr)
-			ctrTracesStarted.Inc()
-		}
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		if s.log != nil {
-			attrs := make([]slog.Attr, 0, 8)
-			attrs = append(attrs,
-				slog.String("endpoint", endpoint),
-				slog.Int("status", sw.status),
-				slog.Int64("latency_ns", int64(dur)),
-			)
-			if id := tr.ID(); id != "" {
-				attrs = append(attrs, slog.String("trace_id", id))
-			}
-			if info.hasDoc {
-				attrs = append(attrs, slog.Int("doc_id", info.docID))
-			}
-			if info.hasK {
-				attrs = append(attrs, slog.Int("k", info.k))
-			}
-			if info.hasResults {
-				attrs = append(attrs, slog.Int("results", info.results))
-			}
-			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
-		}
-	}
-}
 
 // RelatedRequest is the POST /related payload.
 type RelatedRequest struct {
@@ -266,11 +171,18 @@ type RelatedResult struct {
 	Explain []ClusterExplain `json:"explain,omitempty"`
 }
 
-// RelatedResponse is the POST /related reply.
+// RelatedResponse is the POST /related reply. The two partial-result
+// fields are only ever set by the fleet coordinator surface
+// (FleetServer): when a shard misses its deadline, PartialResults is
+// true and ShardsMissing names it. Both are omitempty, so a healthy
+// fleet response is byte-identical to a single-process response — the
+// equivalence the smoke harness diffs.
 type RelatedResponse struct {
-	DocID   int             `json:"doc_id"`
-	K       int             `json:"k"`
-	Results []RelatedResult `json:"results"`
+	DocID          int             `json:"doc_id"`
+	K              int             `json:"k"`
+	Results        []RelatedResult `json:"results"`
+	PartialResults bool            `json:"partial_results,omitempty"`
+	ShardsMissing  []int           `json:"shards_missing,omitempty"`
 }
 
 // AddRequest is the POST /add payload: one raw post (may contain HTML).

@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ReadDirShards is the fleet loader: a shard server owning a subset of
+// partitions must still score collection-globally, because every
+// non-owned shard file is streamed through the shared statistics pools
+// before being dropped. These tests pin that contract and the loader's
+// error surface.
+
+func TestReadDirShardsPartialLoad(t *testing.T) {
+	_, g := buildGroup(t, 120, 4)
+	dir := t.TempDir()
+	if err := g.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	own := []int{1, 3}
+	shards, m, err := ReadDirShards(dir, own)
+	if err != nil {
+		t.Fatalf("ReadDirShards(%v): %v", own, err)
+	}
+	if m.Shards != 4 || m.Docs != g.NumDocs() || m.RouteSeed != g.Seed() {
+		t.Fatalf("manifest diverged: %+v", m)
+	}
+	if len(shards) != len(own) {
+		t.Fatalf("want %d owned matchers, got %d", len(own), len(shards))
+	}
+	for _, s := range own {
+		sh, ok := shards[s]
+		if !ok {
+			t.Fatalf("owned shard %d missing from the result", s)
+		}
+		if sh.NumDocs() != g.ShardMR(s).NumDocs() {
+			t.Fatalf("shard %d holds %d docs, group's partition holds %d",
+				s, sh.NumDocs(), g.ShardMR(s).NumDocs())
+		}
+		// Collection-global scoring: with the non-owned shards streamed
+		// through the pools, a partial load must rank its partition
+		// exactly like the live group's matcher for the same partition.
+		for local := 0; local < sh.NumDocs(); local++ {
+			sameResults(t, fmt.Sprintf("shard %d local %d", s, local),
+				g.ShardMR(s).Match(local, 5), sh.Match(local, 5))
+		}
+	}
+
+	// Routing is a pure function of (seed, id, n); the exported replay
+	// must agree with the live group for every document.
+	for d := 0; d < g.NumDocs(); d++ {
+		if RouteDoc(g.Seed(), d, 4) != g.Route(d) {
+			t.Fatalf("RouteDoc diverges from Group.Route at doc %d", d)
+		}
+	}
+}
+
+func TestReadDirShardsErrors(t *testing.T) {
+	_, g := buildGroup(t, 60, 2)
+	dir := t.TempDir()
+	if err := g.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := ReadDirShards(filepath.Join(dir, "nope"), []int{0}); err == nil {
+		t.Fatal("missing directory must fail")
+	}
+	for _, own := range [][]int{{-1}, {2}} {
+		if _, _, err := ReadDirShards(dir, own); err == nil || !strings.Contains(err.Error(), "cannot own") {
+			t.Fatalf("out-of-range own %v: got %v", own, err)
+		}
+	}
+	// A corrupt NON-owned file must still fail the load: its statistics
+	// are part of every owned shard's scores.
+	if err := os.WriteFile(filepath.Join(dir, ShardFileName(1)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadDirShards(dir, []int{0}); err == nil || !strings.Contains(err.Error(), ShardFileName(1)) {
+		t.Fatalf("corrupt non-owned shard file: got %v", err)
+	}
+}

@@ -36,8 +36,12 @@ const ManifestName = "manifest.json"
 // ShardFileName returns shard s's file name inside a shard directory.
 func ShardFileName(s int) string { return fmt.Sprintf("shard-%04d.mr", s) }
 
-// manifest is the JSON topology record written next to the shard files.
-type manifest struct {
+// Manifest is the JSON topology record written next to the shard
+// files. It is exported because the fleet layer (internal/fleet) plans
+// its topology from it: shard servers load a subset of the directory
+// and need the global shard count, routing seed, and document count to
+// describe themselves to the coordinator.
+type Manifest struct {
 	Version   int    `json:"version"`
 	Name      string `json:"name"`
 	Shards    int    `json:"shards"`
@@ -61,7 +65,7 @@ func (g *Group) WriteDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: creating %s: %w", dir, err)
 	}
-	m := manifest{
+	m := Manifest{
 		Version:   manifestVersion,
 		Name:      g.Name(),
 		Shards:    g.n,
@@ -111,38 +115,16 @@ func writeShardFile(path string, sh *match.MR) error {
 // routing directory. Every failure is a descriptive error naming the
 // offending file; nothing panics on truncated or corrupt input.
 func ReadDir(dir string) (*Group, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	m, err := ReadManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("shard: reading manifest: %w", err)
-	}
-	var m manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
-	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("shard: unsupported manifest version %d (want %d)", m.Version, manifestVersion)
-	}
-	if m.Shards < 1 {
-		return nil, fmt.Errorf("shard: manifest declares %d shards", m.Shards)
-	}
-	if m.Docs < 0 || m.Clusters < 1 {
-		return nil, fmt.Errorf("shard: manifest declares %d documents in %d clusters", m.Docs, m.Clusters)
+		return nil, err
 	}
 
 	shards := make([]*match.MR, m.Shards)
 	for s := range shards {
-		name := ShardFileName(s)
-		f, err := os.Open(filepath.Join(dir, name))
+		sh, err := readShardFile(dir, s, m.Clusters, m.Shards)
 		if err != nil {
-			return nil, fmt.Errorf("shard: opening %s (manifest declares %d shards): %w", name, m.Shards, err)
-		}
-		sh, err := match.ReadMR(bufio.NewReader(f))
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("shard: reading %s: %w", name, err)
-		}
-		if got := sh.NumClusters(); got != m.Clusters {
-			return nil, fmt.Errorf("shard: %s has %d clusters, manifest declares %d", name, got, m.Clusters)
+			return nil, err
 		}
 		shards[s] = sh
 	}
@@ -168,4 +150,103 @@ func ReadDir(dir string) (*Group, error) {
 		}
 	}
 	return g, nil
+}
+
+// ReadManifest reads and validates a shard directory's manifest without
+// touching the shard files.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return m, fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("shard: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("shard: unsupported manifest version %d (want %d)", m.Version, manifestVersion)
+	}
+	if m.Shards < 1 {
+		return m, fmt.Errorf("shard: manifest declares %d shards", m.Shards)
+	}
+	if m.Docs < 0 || m.Clusters < 1 {
+		return m, fmt.Errorf("shard: manifest declares %d documents in %d clusters", m.Docs, m.Clusters)
+	}
+	return m, nil
+}
+
+// readShardFile loads one shard file, cross-checking its cluster count
+// against the manifest's.
+func readShardFile(dir string, s, clusters, declared int) (*match.MR, error) {
+	name := ShardFileName(s)
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("shard: opening %s (manifest declares %d shards): %w", name, declared, err)
+	}
+	sh, err := match.ReadMR(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading %s: %w", name, err)
+	}
+	if got := sh.NumClusters(); got != clusters {
+		return nil, fmt.Errorf("shard: %s has %d clusters, manifest declares %d", name, got, clusters)
+	}
+	return sh, nil
+}
+
+// ReadDirShards loads the shards named in own from a shard directory,
+// attached to statistics pools that cover the ENTIRE collection. Eq 7–9
+// scores depend on collection-global quantities (unit count N, per-term
+// document frequency, average unique-term count), so a server holding
+// one partition must still accumulate every shard's contribution into
+// the shared pools; ReadDirShards streams the non-owned shard files
+// through the pools one at a time and drops them, keeping steady-state
+// memory proportional to the owned partitions. The owned matchers come
+// back keyed by shard id, each verified against the routing replay
+// exactly as ReadDir verifies a full load.
+func ReadDirShards(dir string, own []int) (map[int]*match.MR, Manifest, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, m, err
+	}
+	want := make(map[int]bool, len(own))
+	for _, s := range own {
+		if s < 0 || s >= m.Shards {
+			return nil, m, fmt.Errorf("shard: cannot own shard %d of %d", s, m.Shards)
+		}
+		want[s] = true
+	}
+
+	stats := make([]*index.GlobalStats, m.Clusters)
+	for c := range stats {
+		stats[c] = index.NewGlobalStats()
+	}
+
+	// Routing replay: per-shard document counts predicted by the seed,
+	// used to validate every file we read (owned or streamed).
+	predicted := make([]int, m.Shards)
+	for d := 0; d < m.Docs; d++ {
+		predicted[routeDoc(m.RouteSeed, d, m.Shards)]++
+	}
+
+	out := make(map[int]*match.MR, len(want))
+	for s := 0; s < m.Shards; s++ {
+		sh, err := readShardFile(dir, s, m.Clusters, m.Shards)
+		if err != nil {
+			return nil, m, err
+		}
+		if got := sh.NumDocs(); got != predicted[s] {
+			return nil, m, fmt.Errorf("shard: %s holds %d documents but routing %d over seed %d assigns it %d (wrong seed, or shard files from a different build?)",
+				ShardFileName(s), got, m.Docs, m.RouteSeed, predicted[s])
+		}
+		if err := sh.AttachGlobalStats(stats); err != nil {
+			return nil, m, fmt.Errorf("shard: attaching %s: %w", ShardFileName(s), err)
+		}
+		if want[s] {
+			out[s] = sh
+		}
+		// Not owned: the matcher is garbage once its statistics are in the
+		// pools. Dropping it here keeps peak memory at owned + 1 shards.
+	}
+	return out, m, nil
 }

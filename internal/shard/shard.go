@@ -195,6 +195,18 @@ func (g *Group) Seed() uint64 { return g.seed }
 // doc.
 func (g *Group) Route(doc int) int { return routeDoc(g.seed, doc, g.n) }
 
+// RouteDoc exposes the routing function itself: the shard owning
+// global document doc under seed in an n-shard topology. The network
+// coordinator (internal/fleet) replays it to reconstruct and grow the
+// global↔local id directory from a manifest alone.
+func RouteDoc(seed uint64, doc, n int) int { return routeDoc(seed, doc, n) }
+
+// ShardMR returns shard s's matcher. The fleet layer uses it to serve a
+// live group's partitions over the network probe surface; the matcher
+// carries its own locks, so concurrent Group.Add and direct probe reads
+// are safe.
+func (g *Group) ShardMR(s int) *match.MR { return g.shards[s] }
+
 // NumDocs returns the number of documents across all shards.
 func (g *Group) NumDocs() int {
 	g.dirMu.RLock()

@@ -3,11 +3,12 @@
 # machine-readable snapshot so the repo keeps a perf trajectory across PRs.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, writes BENCH_PR7.json
+#   scripts/bench.sh                 # full run, writes BENCH_PR8.json
 #   scripts/bench.sh -smoke          # 1-iteration smoke (CI: bench code must compile and run)
 #   BENCH_OUT=perf.json scripts/bench.sh
 #   PERSIST_SIZES=1000 scripts/bench.sh   # shrink the persistence leg
 #   QUERY_SIZES=1000 scripts/bench.sh     # shrink the query-pruning leg
+#   FLEET_DOCS=0 scripts/bench.sh         # skip the fleet-overhead leg
 #
 # The JSON output maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
 # plus a "meta" block (go version, GOMAXPROCS, benchtime, count) and a
@@ -15,9 +16,14 @@
 # and post-load heap for the legacy gob vs compact snapshot layouts at
 # each corpus size (set PERSIST_SIZES=0 to skip the leg), and a "query"
 # block from cmd/querybench: exhaustive vs max-score-pruned ns/op and
-# postings scanned per query at each corpus size (QUERY_SIZES=0 skips).
-# The full run enforces -require-speedup: the pruned path must be faster
-# and scan >= 2x fewer postings at the largest size, or the run fails.
+# postings scanned per query at each corpus size (QUERY_SIZES=0 skips) —
+# the full run includes the 1M-unit size, so the snapshot tracks pruning
+# at serving scale. The full run enforces -require-speedup: the pruned
+# path must be faster and scan >= 2x fewer postings at the largest size,
+# or the run fails. A "fleet" block (FLEET_DOCS docs at FLEET_SHARDS
+# shards, FLEET_DOCS=0 skips) records the serving-topology tax: the same
+# query answered by the unsharded matcher, the in-process shard group,
+# and the networked fleet coordinator over the in-process transport.
 #
 # The Fig11cRetrievalIntent / Fig11cRetrievalIntentObserved pair tracks
 # the observability tax on the query hot path (obs disabled vs enabled);
@@ -29,9 +35,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR7.json}"
+OUT="${BENCH_OUT:-BENCH_PR8.json}"
 PERSIST_SIZES="${PERSIST_SIZES:-1000,10000,100000}"
-QUERY_SIZES="${QUERY_SIZES:-1000,10000,100000}"
+QUERY_SIZES="${QUERY_SIZES:-1000,10000,100000,1000000}"
+QUERY_RUNS="${QUERY_RUNS:-64}"
+FLEET_DOCS="${FLEET_DOCS:-10000}"
+FLEET_SHARDS="${FLEET_SHARDS:-4}"
 PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntent$|BenchmarkFig11cRetrievalIntentObserved|BenchmarkMRBuild|BenchmarkPipelineBuild1k|BenchmarkConcurrentServe$|BenchmarkConcurrentServeReadOnly|BenchmarkConcurrentServeSharded|BenchmarkConcurrentServeShardedWriteHeavy'
 BENCHTIME="${BENCH_TIME:-2s}"
 COUNT="${BENCH_COUNT:-3}"
@@ -47,7 +56,7 @@ if [[ "${1:-}" == "-smoke" ]]; then
     # the speedup gate only applies at full scale, so it is not set here).
     go test -run '^$' -bench 'BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntentObserved|BenchmarkPipelineBuild1k' -benchtime 1x .
     go run ./cmd/persistbench -sizes 1000 -runs 2
-    exec go run ./cmd/querybench -sizes 1000 -runs 16 -out /dev/null
+    exec go run ./cmd/querybench -sizes 1000 -runs 16 -fleet-docs 300 -out /dev/null
 fi
 
 RAW="$(mktemp)"
@@ -110,13 +119,17 @@ fi
 if [[ "$QUERY_SIZES" != 0 ]]; then
     QB="$(mktemp)"
     trap 'rm -f "$RAW" "${PB:-}" "$QB"' EXIT
-    echo "running: go run ./cmd/querybench -sizes $QUERY_SIZES -require-speedup" >&2
-    go run ./cmd/querybench -sizes "$QUERY_SIZES" -require-speedup -out "$QB"
+    echo "running: go run ./cmd/querybench -sizes $QUERY_SIZES -runs $QUERY_RUNS -fleet-docs $FLEET_DOCS -fleet-shards $FLEET_SHARDS -require-speedup" >&2
+    go run ./cmd/querybench -sizes "$QUERY_SIZES" -runs "$QUERY_RUNS" \
+        -fleet-docs "$FLEET_DOCS" -fleet-shards "$FLEET_SHARDS" -require-speedup -out "$QB"
     python3 - "$OUT" "$QB" <<'EOF'
 import json, sys
 out_path, qb_path = sys.argv[1], sys.argv[2]
 snap = json.load(open(out_path))
-snap["query"] = json.load(open(qb_path))["query"]
+qb = json.load(open(qb_path))
+snap["query"] = qb["query"]
+if "fleet" in qb:
+    snap["fleet"] = qb["fleet"]
 with open(out_path, "w") as f:
     json.dump(snap, f, indent=2)
     f.write("\n")

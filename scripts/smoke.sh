@@ -20,6 +20,7 @@ LOG="$(mktemp)"
 
 cleanup() {
     [[ -n "${SERVER_PID:-}" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    [[ -n "${FLEET_PIDS[*]:-}" ]] && kill "${FLEET_PIDS[@]}" 2>/dev/null || true
     rm -rf "$(dirname "$BIN")" "$LOG" "${REF_DIR:-}"
 }
 trap cleanup EXIT
@@ -225,6 +226,104 @@ else
     echo "FAIL truncated snapshot error is not descriptive:" >&2; tail -2 "$LOG" >&2
     fail=1
 fi
+
+# Networked fleet leg: the same corpus split into a 4-shard directory
+# and served as SIX processes — four shard servers, one replica of
+# shard 0, and a coordinator. A healthy fleet must answer /related
+# byte-for-byte identically to the single-process server; killing one
+# shard server must degrade to well-formed partials (partial_results +
+# shards_missing) for docs homed elsewhere and a typed 503 for docs
+# homed on the dead shard — never a hang, never a silently wrong
+# complete answer.
+echo "== fleet (4 shard servers + 1 replica + coordinator, separate processes)" >&2
+"$WORK/intentmatch" -corpus "$WORK/corpus.jsonl" -seed 42 -save-shards 4 -save "$WORK/sharddir" >/dev/null
+FLEET_PIDS=()
+SHARD_PORT0=$((PORT+10))
+for s in 0 1 2 3; do
+    "$BIN" -addr "127.0.0.1:$((SHARD_PORT0+s))" -shard-role shard -load "$WORK/sharddir" -own "$s" 2>"$WORK/shard$s.log" &
+    FLEET_PIDS+=($!)
+done
+"$BIN" -addr "127.0.0.1:$((SHARD_PORT0+4))" -shard-role shard -load "$WORK/sharddir" -own 0 2>"$WORK/replica0.log" &
+FLEET_PIDS+=($!)
+cat >"$WORK/topology.json" <<EOF
+{"endpoints":[
+  {"shard":0,"primary":"http://127.0.0.1:$SHARD_PORT0","replicas":["http://127.0.0.1:$((SHARD_PORT0+4))"]},
+  {"shard":1,"primary":"http://127.0.0.1:$((SHARD_PORT0+1))"},
+  {"shard":2,"primary":"http://127.0.0.1:$((SHARD_PORT0+2))"},
+  {"shard":3,"primary":"http://127.0.0.1:$((SHARD_PORT0+3))"}
+]}
+EOF
+COORD="http://127.0.0.1:$((SHARD_PORT0+5))"
+"$BIN" -addr "127.0.0.1:$((SHARD_PORT0+5))" -shard-role coordinator -fleet "$WORK/topology.json" 2>"$WORK/coord.log" &
+FLEET_PIDS+=($!)
+
+# The coordinator only reports healthy once it has bootstrapped meta
+# from every shard, so one readiness loop covers the whole fleet.
+for i in $(seq 1 100); do
+    if curl -sf "$COORD/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "${FLEET_PIDS[5]}" 2>/dev/null; then
+        echo "coordinator died during startup:" >&2; cat "$WORK/coord.log" >&2; exit 1
+    fi
+    sleep 0.3
+done
+curl -sf "$COORD/healthz" >/dev/null || { echo "fleet never became healthy" >&2; cat "$WORK/coord.log" >&2; exit 1; }
+
+for doc in 3 17 57; do
+    check "POST /related (fleet) doc $doc" 200 -X POST "$COORD/related" -d "{\"doc_id\": $doc, \"k\": 5}"
+    if cmp -s /tmp/smoke_body "$REF_DIR/related_$doc.json"; then
+        echo "ok   fleet /related doc $doc matches single-process byte-for-byte" >&2
+    else
+        echo "FAIL fleet /related doc $doc diverges from single-process:" >&2
+        diff <(head -c 400 "$REF_DIR/related_$doc.json") <(head -c 400 /tmp/smoke_body) >&2 || true
+        fail=1
+    fi
+done
+check "POST /related explain (fleet)" 200 -X POST "$COORD/related" -d '{"doc_id": 3, "k": 5, "explain": true}'
+if cmp -s /tmp/smoke_body "$REF_DIR/explain_3.json"; then
+    echo "ok   fleet explain matches single-process byte-for-byte" >&2
+else
+    echo "FAIL fleet explain diverges from single-process" >&2
+    fail=1
+fi
+
+check "GET /stats (fleet)" 200 "$COORD/stats"
+json  "  fleet topology" "b['shards'] == 4 and b['num_docs'] == 200 and b['epoch'] > 0"
+check "POST /add (fleet read-only)" 501 -X POST "$COORD/add" -d '{"text": "should be refused"}'
+json  "  typed read_only error" "b['error']['kind'] == 'read_only'"
+
+# Kill shard 2's only server. Docs homed on shard 2 must fail with a
+# typed 503; everything else must degrade to partial_results with
+# shards_missing=[2].
+echo "== fleet: kill shard 2" >&2
+kill "${FLEET_PIDS[2]}" 2>/dev/null; wait "${FLEET_PIDS[2]}" 2>/dev/null || true
+partials=0
+for doc in 3 17 57 101 140; do
+    got="$(curl -s -o /tmp/smoke_body -w '%{http_code}' -X POST "$COORD/related" -d "{\"doc_id\": $doc, \"k\": 5}")"
+    case "$got" in
+    200)
+        json "  doc $doc partial after shard kill" "b['partial_results'] == True and b['shards_missing'] == [2] and len(b['results']) >= 1"
+        partials=$((partials+1))
+        ;;
+    503)
+        json "  doc $doc homed on dead shard -> typed 503" "b['error']['kind'] == 'fleet_unavailable'"
+        ;;
+    *)
+        echo "FAIL fleet doc $doc after shard kill: status $got" >&2
+        head -c 400 /tmp/smoke_body >&2; echo >&2
+        fail=1
+        ;;
+    esac
+done
+if [[ "$partials" -ge 1 ]]; then
+    echo "ok   fleet degraded to $partials well-formed partials" >&2
+else
+    echo "FAIL no doc produced a partial result after the shard kill" >&2
+    fail=1
+fi
+
+kill "${FLEET_PIDS[@]}" 2>/dev/null || true
+wait 2>/dev/null || true
+FLEET_PIDS=()
 
 rm -rf "$REF_DIR"
 
