@@ -66,6 +66,8 @@ func main() {
 		"always capture traces of requests at least this slow (0 captures every request, negative disables)")
 	traceRate := flag.Int("trace-rate", 1, "rate-sample up to this many request traces per second (0 disables)")
 	traceRing := flag.Int("trace-ring", 0, "retained finished traces (0 = default 256)")
+	sloLatency := flag.Duration("slo-latency", 0,
+		"per-request latency objective; slower requests count into slo.<endpoint>.breaches (0 = default 250ms)")
 	shardRole := flag.String("shard-role", "",
 		"fleet process role: empty (single-process pipeline), shard (serve partitions of a -load shard directory on the internal probe endpoints), or coordinator (scatter-gather over a -fleet topology)")
 	own := flag.String("own", "", "shard role: comma-separated shard ids this process serves (default all shards in the directory)")
@@ -95,6 +97,7 @@ func main() {
 		TraceRate:     *traceRate,
 		SlowQuery:     *traceSlow,
 		TraceRingSize: *traceRing,
+		SLOLatency:    *sloLatency,
 	}
 	switch *shardRole {
 	case "":
@@ -108,7 +111,7 @@ func main() {
 		logger.Info("shard host ready", "path", *load, "own", m.Shards,
 			"total_shards", m.TotalShards, "docs", m.Docs, "epoch", m.Epoch)
 		runServer(*addr, serve.NewShardServer(h, scfg).Handler(), logger,
-			"POST /internal/home, POST /internal/probe, POST /internal/explain, GET /internal/meta, GET /metrics, GET /healthz")
+			"POST /internal/home, POST /internal/probe, POST /internal/explain, GET /internal/meta, GET /internal/metricsz, GET /metrics, GET /healthz, GET /debug/traces")
 		return
 	case "coordinator":
 		c, err := bootstrapCoordinator(*fleetFile, fleet.Options{

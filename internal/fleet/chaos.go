@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Chaos wraps a Transport with scripted faults: per-(endpoint, call
@@ -173,6 +175,21 @@ func (c *Chaos) Meta(ctx context.Context, endpoint string, deliver func(*Meta, e
 	}
 	del := lateDeliver(c.clock, act.ReplyDelay, deliver)
 	step := func() { c.inner.Meta(ctx, endpoint, del) }
+	if act.Err != nil {
+		err := act.Err
+		step = func() { del(nil, err) }
+	}
+	c.schedule(act, step)
+}
+
+// Metrics implements Transport.
+func (c *Chaos) Metrics(ctx context.Context, endpoint string, deliver func(*obs.Snapshot, error)) {
+	act := c.next(endpoint, "metrics")
+	if act.Drop {
+		return
+	}
+	del := lateDeliver(c.clock, act.ReplyDelay, deliver)
+	step := func() { c.inner.Metrics(ctx, endpoint, del) }
 	if act.Err != nil {
 		err := act.Err
 		step = func() { del(nil, err) }

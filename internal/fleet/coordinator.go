@@ -163,6 +163,7 @@ type Coordinator struct {
 	seed     uint64
 	clusters int
 	epoch    uint64
+	wire     int            // min wire version across the fleet; gates trace propagation
 	mcfg     match.MRConfig // ScoreThreshold/NormalizeLists for TrimParams
 
 	eps map[int][]string // shard → primary, replicas...
@@ -178,6 +179,12 @@ type Coordinator struct {
 	latMu  sync.Mutex
 	lat    [][]time.Duration
 	latPos []int
+
+	// Per-shard health view for GET /stats: consecutive leg failures
+	// (reset on any merged leg) and the kind of the last failure.
+	healthMu    sync.Mutex
+	consecFail  []int
+	lastErrKind []string
 
 	ctrLegOK   []*obs.Counter // fleet.leg.NN.ok: legs merged
 	ctrLegMiss []*obs.Counter // fleet.leg.NN.missing: legs dropped as missing
@@ -210,10 +217,14 @@ func New(ctx context.Context, topo Topology, opts Options) (*Coordinator, error)
 
 	c := &Coordinator{opts: opts, tr: opts.Transport, clock: opts.Clock, eps: eps}
 	var first *Meta
+	minWire := -1
 	for s, list := range eps {
 		m, err := c.bootstrapMeta(ctx, list)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: bootstrapping shard %d: %w", s, err)
+		}
+		if minWire < 0 || m.Wire < minWire {
+			minWire = m.Wire
 		}
 		owns := false
 		for _, o := range m.Shards {
@@ -244,6 +255,7 @@ func New(ctx context.Context, topo Topology, opts Options) (*Coordinator, error)
 	c.seed = first.Seed
 	c.clusters = first.Clusters
 	c.epoch = first.Epoch
+	c.wire = minWire
 	c.mcfg = match.MRConfig{
 		NFactor:        first.Params.NFactor,
 		ScoreThreshold: first.Params.ScoreThreshold,
@@ -252,6 +264,8 @@ func New(ctx context.Context, topo Topology, opts Options) (*Coordinator, error)
 	c.global = make([][]int32, c.total)
 	c.lat = make([][]time.Duration, c.total)
 	c.latPos = make([]int, c.total)
+	c.consecFail = make([]int, c.total)
+	c.lastErrKind = make([]string, c.total)
 	c.ctrLegOK = make([]*obs.Counter, c.total)
 	c.ctrLegMiss = make([]*obs.Counter, c.total)
 	c.spanLeg = make([]*obs.Span, c.total)
@@ -279,18 +293,20 @@ func (c *Coordinator) bootstrapMeta(ctx context.Context, eps []string) (*Meta, e
 	return nil, lastErr
 }
 
-// fetchMeta is a synchronous-over-async /internal/meta call using the
-// same Clock.Wait discipline as the query loop (so it works under
-// VirtualClock and chaos too).
-func (c *Coordinator) fetchMeta(ctx context.Context, ep string) (*Meta, error) {
+// fetchOne is the synchronous-over-async skeleton for one-shot control
+// RPCs (meta bootstrap, metrics scrape): issue the call, then block in
+// the same Clock.Wait discipline as the query loop (so it works under
+// VirtualClock and chaos too) until the delivery or the per-attempt
+// deadline.
+func fetchOne[T any](c *Coordinator, ctx context.Context, what string, issue func(context.Context, func(*T, error))) (*T, error) {
 	notify := make(chan struct{}, 1)
 	var mu sync.Mutex
-	var got *Meta
+	var got *T
 	var gerr error
 	done := false
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	c.tr.Meta(cctx, ep, func(m *Meta, err error) {
+	issue(cctx, func(m *T, err error) {
 		mu.Lock()
 		if !done {
 			got, gerr, done = m, err, true
@@ -319,9 +335,68 @@ func (c *Coordinator) fetchMeta(ctx context.Context, ep string) (*Meta, error) {
 			if d {
 				return m, err
 			}
-			return nil, &RPCError{Status: 0, Kind: "timeout", Msg: fmt.Sprintf("meta from %s exceeded %v", ep, c.opts.AttemptTimeout)}
+			return nil, &RPCError{Status: 0, Kind: "timeout", Msg: fmt.Sprintf("%s exceeded %v", what, c.opts.AttemptTimeout)}
 		}
 	}
+}
+
+// fetchMeta is a synchronous-over-async /internal/meta call.
+func (c *Coordinator) fetchMeta(ctx context.Context, ep string) (*Meta, error) {
+	return fetchOne(c, ctx, "meta from "+ep, func(cctx context.Context, deliver func(*Meta, error)) {
+		c.tr.Meta(cctx, ep, deliver)
+	})
+}
+
+// fetchMetrics is a synchronous-over-async /internal/metricsz scrape.
+func (c *Coordinator) fetchMetrics(ctx context.Context, ep string) (*obs.Snapshot, error) {
+	return fetchOne(c, ctx, "metrics from "+ep, func(cctx context.Context, deliver func(*obs.Snapshot, error)) {
+		c.tr.Metrics(cctx, ep, deliver)
+	})
+}
+
+// ShardScrape is one shard's leg of a federated metrics scrape: the
+// snapshot from the first endpoint that answered, or the failure that
+// exhausted the endpoint list. Err is the explicit scrape-failure
+// marker — a fleet view never silently omits a shard.
+type ShardScrape struct {
+	Shard    int           `json:"shard"`
+	Endpoint string        `json:"endpoint,omitempty"`
+	Snapshot *obs.Snapshot `json:"snapshot,omitempty"`
+	Err      string        `json:"error,omitempty"`
+}
+
+// ScrapeFleet fetches every shard's raw registry snapshot (primary
+// first, replicas as fallback, per-attempt timeout each) and merges
+// the successes: counters/gauges by sum, histograms bucket-wise (exact
+// — see obs.MergeSnapshots). Scrapes run concurrently; the per-shard
+// results come back ordered by shard id.
+func (c *Coordinator) ScrapeFleet(ctx context.Context) ([]ShardScrape, obs.Snapshot) {
+	scrapes := make([]ShardScrape, c.total)
+	var wg sync.WaitGroup
+	for s := 0; s < c.total; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sc := ShardScrape{Shard: s}
+			for _, ep := range c.eps[s] {
+				snap, err := c.fetchMetrics(ctx, ep)
+				if err == nil {
+					sc.Endpoint, sc.Snapshot, sc.Err = ep, snap, ""
+					break
+				}
+				sc.Err = err.Error()
+			}
+			scrapes[s] = sc
+		}(s)
+	}
+	wg.Wait()
+	parts := make([]obs.Snapshot, 0, c.total)
+	for _, sc := range scrapes {
+		if sc.Snapshot != nil {
+			parts = append(parts, *sc.Snapshot)
+		}
+	}
+	return scrapes, obs.MergeSnapshots(parts...)
 }
 
 // Epoch returns the fleet's snapshot epoch.
@@ -400,6 +475,78 @@ func (c *Coordinator) recordLatency(s int, d time.Duration) {
 	}
 	c.latPos[s]++
 	c.latMu.Unlock()
+}
+
+// noteLegOK resets a shard's consecutive-failure streak.
+func (c *Coordinator) noteLegOK(s int) {
+	c.healthMu.Lock()
+	c.consecFail[s] = 0
+	c.healthMu.Unlock()
+}
+
+// noteLegFail extends a shard's failure streak and records why.
+func (c *Coordinator) noteLegFail(s int, kind string) {
+	c.healthMu.Lock()
+	c.consecFail[s]++
+	c.lastErrKind[s] = kind
+	c.healthMu.Unlock()
+}
+
+// errKind extracts a machine-readable failure kind for the health view.
+func errKind(err error) string {
+	if err == nil {
+		return "budget_exhausted"
+	}
+	var rpc *RPCError
+	if errors.As(err, &rpc) && rpc.Kind != "" {
+		return rpc.Kind
+	}
+	if errors.Is(err, ErrEpochMismatch) {
+		return "epoch_mismatch"
+	}
+	return "error"
+}
+
+// ShardHealth is one shard's entry in the coordinator's health view —
+// the degradation state that existed internally since the retry/hedge
+// machinery landed, exposed on GET /stats.
+type ShardHealth struct {
+	Shard int `json:"shard"`
+	// Endpoints is primary first, then replicas — the hedge rotation.
+	Endpoints []string `json:"endpoints"`
+	// ConsecutiveFailures counts legs dropped since the last merged leg.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastErrorKind names the most recent failure (empty: never failed).
+	LastErrorKind string `json:"last_error_kind,omitempty"`
+	// HedgeDelayNS is the current hedge trigger for this shard: the
+	// observed latency-ring quantile (HedgeQuantile, default p90) once
+	// the ring has latMinSamples, the fixed HedgeAfter floor before.
+	HedgeDelayNS int64 `json:"hedge_delay_ns"`
+	// LatencySamples is how many completed-leg latencies back the
+	// estimate (capped at the ring size).
+	LatencySamples int `json:"latency_samples"`
+}
+
+// Health reports the per-shard health view, ordered by shard id.
+func (c *Coordinator) Health() []ShardHealth {
+	out := make([]ShardHealth, c.total)
+	for s := 0; s < c.total; s++ {
+		c.latMu.Lock()
+		samples := len(c.lat[s])
+		c.latMu.Unlock()
+		c.healthMu.Lock()
+		fails, kind := c.consecFail[s], c.lastErrKind[s]
+		c.healthMu.Unlock()
+		out[s] = ShardHealth{
+			Shard:               s,
+			Endpoints:           append([]string(nil), c.eps[s]...),
+			ConsecutiveFailures: fails,
+			LastErrorKind:       kind,
+			HedgeDelayNS:        int64(c.hedgeDelay(s)),
+			LatencySamples:      samples,
+		}
+	}
+	return out
 }
 
 // legKind selects which RPC a leg issues.
@@ -690,7 +837,38 @@ func (sc *scatter) handleDelivery(d delivery) {
 		sc.tr.Event("fleet.leg",
 			obs.N("shard", int64(l.shard)),
 			obs.N("attempts", int64(l.attempts)),
-			obs.N("hedge_won", hedge))
+			obs.N("hedge_won", hedge),
+			obs.N("rtt_ns", int64(now.Sub(d.sentAt))))
+		sc.stitchRemote(l.shard, d)
+	}
+}
+
+// stitchRemote splices a reply's shard-side child-trace events into the
+// coordinator's trace, directly after the leg's own "fleet.leg" marker.
+// Remote offsets are relative to the server's request receipt, which
+// lies inside [sentAt, now] on the coordinator's clock — so each event
+// keeps its remote-relative offset as an attribute (remote_at_ns) and
+// the hop is bounded by the fleet.leg marker's rtt_ns, with no remote
+// wall clock trusted anywhere. The stitched events' own At values are
+// stamped at stitch time, preserving the trace's per-process
+// monotonicity invariant.
+func (sc *scatter) stitchRemote(shard int, d delivery) {
+	var remote []obs.TraceEvent
+	switch {
+	case d.home != nil:
+		remote = d.home.Trace
+	case d.probe != nil:
+		remote = d.probe.Trace
+	case d.explain != nil:
+		remote = d.explain.Trace
+	}
+	for _, ev := range remote {
+		attrs := make([]obs.Attr, 0, len(ev.Attrs)+2)
+		attrs = append(attrs,
+			obs.N("shard", int64(shard)),
+			obs.N("remote_at_ns", int64(ev.At)))
+		attrs = append(attrs, ev.Attrs...)
+		sc.tr.Event("remote."+ev.Name, attrs...)
 	}
 }
 
@@ -778,6 +956,13 @@ func (c *Coordinator) gather(ctx context.Context, docID, k int, tr *obs.Trace) (
 	home, local := c.lookup(docID)
 	sc := c.newScatter(ctx, tr)
 	defer sc.cancelAllLegs()
+	// Trace propagation is gated on the fleet's minimum wire version:
+	// version-1 servers decode strictly and would reject the fields.
+	traced := tr != nil && c.wire >= WireVersion
+	var traceID string
+	if traced {
+		traceID = tr.ID()
+	}
 	if tr != nil {
 		tr.Event("fleet.scatter", obs.N("shards", int64(c.total)), obs.N("home", int64(home)))
 	}
@@ -785,7 +970,7 @@ func (c *Coordinator) gather(ctx context.Context, docID, k int, tr *obs.Trace) (
 	// Phase 1: the home leg. Without it there are no probes, no frozen
 	// factors, and no depth — nothing correct to degrade to.
 	hl := &leg{kind: kindHome, shard: home, eps: c.eps[home],
-		homeReq: &HomeRequest{Shard: home, LocalDoc: local, K: k}}
+		homeReq: &HomeRequest{Shard: home, LocalDoc: local, K: k, TraceID: traceID, Trace: traced}}
 	sc.startLeg(hl)
 	err := sc.await(func() bool { return hl.done || hl.failed != nil })
 	if err != nil && err != errBudget {
@@ -801,6 +986,10 @@ func (c *Coordinator) gather(ctx context.Context, docID, k int, tr *obs.Trace) (
 			return nil, ErrUnknownDoc
 		}
 		c.ctrLegMiss[home].Inc()
+		c.noteLegFail(home, errKind(ferr))
+		if tr != nil {
+			tr.Event("fleet.leg.missing", obs.N("shard", int64(home)), obs.A("kind", errKind(ferr)))
+		}
 		return nil, &RPCError{Status: http.StatusServiceUnavailable, Kind: "fleet_unavailable",
 			Msg: fmt.Sprintf("home shard %d unavailable: %v", home, ferr)}
 	}
@@ -810,6 +999,7 @@ func (c *Coordinator) gather(ctx context.Context, docID, k int, tr *obs.Trace) (
 			Msg: fmt.Sprintf("home shard %d returned %d lists for %d probes", home, len(resp.Lists), len(resp.Probes))}
 	}
 	c.ctrLegOK[home].Inc()
+	c.noteLegOK(home)
 	sc.nProbes = len(resp.Probes)
 
 	// Phase 2: siblings, all at the home-reported depth, pruning under
@@ -824,7 +1014,8 @@ func (c *Coordinator) gather(ctx context.Context, docID, k int, tr *obs.Trace) (
 	}
 	if c.total > 1 {
 		probeReq := func(s int) *ProbeRequest {
-			return &ProbeRequest{Shard: s, Probes: resp.Probes, Depth: n, Floors: floors}
+			return &ProbeRequest{Shard: s, Probes: resp.Probes, Depth: n, Floors: floors,
+				TraceID: traceID, Trace: traced}
 		}
 		for s := 0; s < c.total; s++ {
 			if s == home {
@@ -854,10 +1045,21 @@ func (c *Coordinator) gather(ctx context.Context, docID, k int, tr *obs.Trace) (
 		l := sc.legs[s]
 		if l != nil && l.done {
 			c.ctrLegOK[s].Inc()
+			c.noteLegOK(s)
 			continue
 		}
 		out.missing = append(out.missing, s)
 		c.ctrLegMiss[s].Inc()
+		var kind string
+		if l != nil {
+			kind = errKind(l.failed)
+		} else {
+			kind = "not_started"
+		}
+		c.noteLegFail(s, kind)
+		if tr != nil {
+			tr.Event("fleet.leg.missing", obs.N("shard", int64(s)), obs.A("kind", kind))
+		}
 	}
 	if len(out.missing) > 0 {
 		ctrPartial.Inc()
@@ -995,6 +1197,9 @@ func (c *Coordinator) RelatedExplained(ctx context.Context, docID, k int, tr *ob
 		sc := c.newScatter(ctx, tr)
 		defer sc.cancelAllLegs()
 		for s, req := range reqs {
+			if tr != nil && c.wire >= WireVersion {
+				req.TraceID, req.Trace = tr.ID(), true
+			}
 			sc.startLeg(&leg{kind: kindExplain, shard: s, eps: c.eps[s], explainReq: req})
 		}
 		err = sc.await(func() bool {

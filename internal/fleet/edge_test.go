@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/forum"
 	"repro/internal/match"
+	"repro/internal/obs"
 )
 
 // Edge cases of the degradation machinery: clock semantics, bootstrap
@@ -198,6 +199,11 @@ func (r *launchRecorder) Meta(ctx context.Context, ep string, deliver func(*Meta
 	r.inner.Meta(ctx, ep, deliver)
 }
 
+func (r *launchRecorder) Metrics(ctx context.Context, ep string, deliver func(*obs.Snapshot, error)) {
+	r.record(ep, "metrics")
+	r.inner.Metrics(ctx, ep, deliver)
+}
+
 // TestBackoffSchedule pins the exact retry timing: transient errors
 // back off 10ms, then 20ms, then 40ms (doubling), so launches land at
 // t = 0, 10, 30, 70ms.
@@ -262,6 +268,10 @@ func (p *probeLeaker) Explain(ctx context.Context, ep string, req *ExplainReques
 
 func (p *probeLeaker) Meta(ctx context.Context, ep string, deliver func(*Meta, error)) {
 	p.inner.Meta(ctx, ep, deliver)
+}
+
+func (p *probeLeaker) Metrics(ctx context.Context, ep string, deliver func(*obs.Snapshot, error)) {
+	p.inner.Metrics(ctx, ep, deliver)
 }
 
 // TestBudgetReleasesAllLegs: a query that ends by budget exhaustion

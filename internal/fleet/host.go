@@ -29,6 +29,47 @@ type Host struct {
 	ctrProbe   map[int]*obs.Counter // fleet.host.NN.probe: sibling scans answered
 	ctrExplain map[int]*obs.Counter // fleet.host.NN.explain: explain batches answered
 	spanProbe  map[int]*obs.Span    // fleet.host.NN.scan: scan latency (home + sibling)
+
+	// tracer, when set, also publishes remote-requested child traces
+	// into the host process's own /debug/traces ring (the shard server
+	// wires its per-server tracer in). Without one the trace still runs —
+	// its events ship back in the reply — it just isn't retained locally.
+	tracer *obs.Tracer
+}
+
+// SetTracer attaches the ring remote-requested traces publish into.
+func (h *Host) SetTracer(tr *obs.Tracer) { h.tracer = tr }
+
+// openTrace starts the shard-side child trace for a remote request that
+// set the trace flag, or returns nil (the free path) when it didn't.
+// The trace's clock starts at request receipt, so every event offset is
+// remote-relative; the upstream trace id is recorded as an attribute
+// for cross-process correlation.
+func (h *Host) openTrace(want bool, traceID, kind string, shard int) *obs.Trace {
+	if !want {
+		return nil
+	}
+	var t *obs.Trace
+	if h.tracer != nil {
+		t = h.tracer.StartForced()
+	} else {
+		t = obs.NewTrace()
+	}
+	t.Event("host.recv", obs.A("kind", kind), obs.A("remote_trace", traceID), obs.N("shard", int64(shard)))
+	return t
+}
+
+// closeTrace finishes a child trace and returns its events for the
+// reply. Nil-safe (untraced requests pass the nil straight through).
+func (h *Host) closeTrace(t *obs.Trace) []obs.TraceEvent {
+	if t == nil {
+		return nil
+	}
+	events := t.Events()
+	if h.tracer != nil {
+		h.tracer.Finish(t)
+	}
+	return events
 }
 
 // NewHost assembles a host over already-loaded shard matchers. docs
@@ -119,6 +160,7 @@ func (h *Host) Meta() *Meta {
 			ScoreThreshold: h.cfg.ScoreThreshold,
 			NormalizeLists: h.cfg.NormalizeLists,
 		},
+		Wire: WireVersion,
 	}
 }
 
@@ -155,9 +197,13 @@ func (h *Host) HandleHome(req *HomeRequest) (*HomeResponse, error) {
 		return nil, ErrUnknownDoc
 	}
 	n := h.cfg.ListDepth(req.K)
+	t := h.openTrace(req.Trace, req.TraceID, "home", req.Shard)
 	st := h.spanProbe[req.Shard].Start()
-	lists := mr.QueryClusterLists(probes, n, req.LocalDoc, nil, nil)
+	lists := mr.QueryClusterLists(probes, n, req.LocalDoc, nil, t)
 	st.Stop()
+	if t != nil {
+		t.Event("host.lists", obs.N("probes", int64(len(probes))), obs.N("depth", int64(n)), obs.N("candidates", totalWidth(lists)))
+	}
 	h.ctrHome[req.Shard].Inc()
 	return &HomeResponse{
 		Probes: toWireProbes(probes),
@@ -165,7 +211,18 @@ func (h *Host) HandleHome(req *HomeRequest) (*HomeResponse, error) {
 		N:      n,
 		Epoch:  h.epoch,
 		Docs:   h.docs(),
+		Trace:  h.closeTrace(t),
 	}, nil
+}
+
+// totalWidth sums the per-cluster candidate list widths — the merge
+// size the coordinator will pay for this leg.
+func totalWidth(lists [][]match.Result) int64 {
+	var n int64
+	for _, l := range lists {
+		n += int64(len(l))
+	}
+	return n
 }
 
 // HandleProbe answers a sibling scan: frozen probes against this
@@ -182,14 +239,19 @@ func (h *Host) HandleProbe(req *ProbeRequest) (*ProbeResponse, error) {
 		return nil, badRequest("floors length %d does not match %d probes", len(req.Floors), len(req.Probes))
 	}
 	probes := toClusterQueries(req.Probes)
+	t := h.openTrace(req.Trace, req.TraceID, "probe", req.Shard)
 	st := h.spanProbe[req.Shard].Start()
-	lists := mr.QueryClusterLists(probes, req.Depth, -1, req.Floors, nil)
+	lists := mr.QueryClusterLists(probes, req.Depth, -1, req.Floors, t)
 	st.Stop()
+	if t != nil {
+		t.Event("host.lists", obs.N("probes", int64(len(probes))), obs.N("depth", int64(req.Depth)), obs.N("candidates", totalWidth(lists)))
+	}
 	h.ctrProbe[req.Shard].Inc()
 	return &ProbeResponse{
 		Lists: toWireLists(lists),
 		Epoch: h.epoch,
 		Docs:  h.docs(),
+		Trace: h.closeTrace(t),
 	}, nil
 }
 
@@ -200,10 +262,20 @@ func (h *Host) HandleExplain(req *ExplainRequest) (*ExplainResponse, error) {
 	if !ok {
 		return nil, errNotOwned(req.Shard)
 	}
+	t := h.openTrace(req.Trace, req.TraceID, "explain", req.Shard)
 	out := make([][]match.TermContribution, len(req.Items))
 	for i, it := range req.Items {
 		out[i] = mr.ExplainDocCluster(it.LocalDoc, it.Cluster, probeTF(it.Terms, it.QF), it.Norm)
 	}
+	if t != nil {
+		t.Event("host.explained", obs.N("items", int64(len(req.Items))))
+	}
 	h.ctrExplain[req.Shard].Inc()
-	return &ExplainResponse{Items: out, Epoch: h.epoch}, nil
+	return &ExplainResponse{Items: out, Epoch: h.epoch, Trace: h.closeTrace(t)}, nil
 }
+
+// MetricsSnapshot is the /internal/metricsz payload: this process's raw
+// registry view. Registry instruments are process-global, so a host
+// sharing a process with others (LocalTransport fleets) reports the
+// shared registry — real fleets run one host per process.
+func (h *Host) MetricsSnapshot() obs.Snapshot { return obs.Default.Snapshot() }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // LocalTransport is the in-process Transport: endpoints are plain
@@ -97,4 +99,20 @@ func (t *LocalTransport) Meta(ctx context.Context, endpoint string, deliver func
 		return
 	}
 	deliver(h.Meta(), nil)
+}
+
+// Metrics implements Transport. In-process hosts share one registry, so
+// each live endpoint reports the same process-wide snapshot — the
+// federation caveat Host.MetricsSnapshot documents.
+func (t *LocalTransport) Metrics(ctx context.Context, endpoint string, deliver func(*obs.Snapshot, error)) {
+	if ctx.Err() != nil {
+		return
+	}
+	h, err := t.host(endpoint)
+	if err != nil {
+		deliver(nil, err)
+		return
+	}
+	s := h.MetricsSnapshot()
+	deliver(&s, nil)
 }

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Transport is how the coordinator reaches shard servers. It is
@@ -38,6 +40,9 @@ type Transport interface {
 	Explain(ctx context.Context, endpoint string, req *ExplainRequest, deliver func(*ExplainResponse, error))
 	// Meta fetches a server's self-description.
 	Meta(ctx context.Context, endpoint string, deliver func(*Meta, error))
+	// Metrics fetches a server's raw observability snapshot — the
+	// federated-scrape leg behind the coordinator's /metrics?scope=fleet.
+	Metrics(ctx context.Context, endpoint string, deliver func(*obs.Snapshot, error))
 }
 
 // RPCError is a typed failure from a shard server. Status carries the
@@ -196,6 +201,18 @@ func (t *HTTPTransport) Meta(ctx context.Context, endpoint string, deliver func(
 	go func() {
 		var out Meta
 		if err := t.roundTrip(ctx, endpoint+"/internal/meta", nil, &out); err != nil {
+			deliver(nil, err)
+			return
+		}
+		deliver(&out, nil)
+	}()
+}
+
+// Metrics implements Transport.
+func (t *HTTPTransport) Metrics(ctx context.Context, endpoint string, deliver func(*obs.Snapshot, error)) {
+	go func() {
+		var out obs.Snapshot
+		if err := t.roundTrip(ctx, endpoint+"/internal/metricsz", nil, &out); err != nil {
 			deliver(nil, err)
 			return
 		}

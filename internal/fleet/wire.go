@@ -5,7 +5,17 @@ import (
 	"strconv"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 )
+
+// WireVersion is the fleet's internal RPC protocol version. Version 2
+// added trace propagation: requests may carry a trace id + sampling
+// flag, replies may carry the shard-side event list. All trace fields
+// are omitempty, so an untraced version-2 request is byte-identical to
+// a version-1 request; the coordinator only sets them against peers
+// whose /internal/meta reports Wire >= 2 (version-1 servers decode
+// strictly and would reject unknown fields).
+const WireVersion = 2
 
 // Wire types for the shard fleet's internal RPC surface. Everything
 // crossing the network is plain JSON: Go's encoder emits the shortest
@@ -44,6 +54,11 @@ type HomeRequest struct {
 	Shard    int `json:"shard"`
 	LocalDoc int `json:"local_doc"`
 	K        int `json:"k"`
+	// TraceID correlates the shard-side child trace with the
+	// coordinator's trace; Trace asks the server to record one. Wire
+	// version 2; both absent on untraced requests.
+	TraceID string `json:"trace_id,omitempty"`
+	Trace   bool   `json:"trace,omitempty"`
 }
 
 // HomeResponse carries the home leg's outcome. N is the full unsharded
@@ -59,23 +74,31 @@ type HomeResponse struct {
 	N      int            `json:"n"`
 	Epoch  uint64         `json:"epoch"`
 	Docs   int            `json:"docs"`
+	// Trace is the shard-side child trace's event list when the request
+	// asked for one. Event offsets are relative to the server's request
+	// receipt — never wall-clock — so the coordinator can stitch them
+	// without trusting remote clocks.
+	Trace []obs.TraceEvent `json:"trace,omitempty"`
 }
 
 // ProbeRequest asks a sibling shard to scan the frozen probes against
 // its partition at the given depth, optionally pruning below the
 // per-probe floors seeded from the home leg.
 type ProbeRequest struct {
-	Shard  int         `json:"shard"`
-	Probes []WireProbe `json:"probes"`
-	Depth  int         `json:"depth"`
-	Floors []float64   `json:"floors,omitempty"`
+	Shard   int         `json:"shard"`
+	Probes  []WireProbe `json:"probes"`
+	Depth   int         `json:"depth"`
+	Floors  []float64   `json:"floors,omitempty"`
+	TraceID string      `json:"trace_id,omitempty"`
+	Trace   bool        `json:"trace,omitempty"`
 }
 
 // ProbeResponse is a sibling leg's per-probe candidate lists.
 type ProbeResponse struct {
-	Lists [][]WireResult `json:"lists"`
-	Epoch uint64         `json:"epoch"`
-	Docs  int            `json:"docs"`
+	Lists [][]WireResult   `json:"lists"`
+	Epoch uint64           `json:"epoch"`
+	Docs  int              `json:"docs"`
+	Trace []obs.TraceEvent `json:"trace,omitempty"`
 }
 
 // ExplainItem names one (result document, intention cluster) pair to
@@ -92,8 +115,10 @@ type ExplainItem struct {
 // ExplainRequest asks the shard owning a set of result documents for
 // term-level Eq 7–9 contribution breakdowns.
 type ExplainRequest struct {
-	Shard int           `json:"shard"`
-	Items []ExplainItem `json:"items"`
+	Shard   int           `json:"shard"`
+	Items   []ExplainItem `json:"items"`
+	TraceID string        `json:"trace_id,omitempty"`
+	Trace   bool          `json:"trace,omitempty"`
 }
 
 // ExplainResponse carries one contribution list per requested item,
@@ -101,6 +126,7 @@ type ExplainRequest struct {
 type ExplainResponse struct {
 	Items [][]match.TermContribution `json:"items"`
 	Epoch uint64                     `json:"epoch"`
+	Trace []obs.TraceEvent           `json:"trace,omitempty"`
 }
 
 // MetaParams is the slice of match.MRConfig the coordinator needs to
@@ -127,6 +153,11 @@ type Meta struct {
 	Clusters    int        `json:"clusters"`
 	Epoch       uint64     `json:"epoch"`
 	Params      MetaParams `json:"params"`
+	// Wire is the server's RPC protocol version (0 from version-1
+	// servers, which predate the field). The coordinator only sends
+	// trace-propagation fields to fleets whose every member reports a
+	// version that understands them.
+	Wire int `json:"wire,omitempty"`
 }
 
 // SnapshotEpoch derives the fleet epoch from the topology identity:

@@ -129,15 +129,21 @@ type HistogramSnapshot struct {
 	P50     float64       `json:"p50"`
 	P90     float64       `json:"p90"`
 	P99     float64       `json:"p99"`
+	P999    float64       `json:"p999"`
 	Max     int64         `json:"max_bound"` // upper bound of highest non-empty bucket
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // BucketCount is one non-empty histogram bucket: the inclusive upper
-// bound LE ("less or equal", math.MaxInt64 for the overflow bucket) and
-// the number of observations in it (non-cumulative).
+// bound LE ("less or equal", math.MaxInt64 for the overflow bucket),
+// the exclusive lower bound GT ("greater than", 0 for the first
+// bucket), and the number of observations in it (non-cumulative). GT is
+// carried so a consumer that only has the snapshot — the coordinator
+// merging remote shard scrapes — can recompute interpolated quantiles
+// exactly, without knowing the histogram's full bounds slice.
 type BucketCount struct {
 	LE    int64 `json:"le"`
+	GT    int64 `json:"gt,omitempty"`
 	Count int64 `json:"count"`
 }
 
@@ -158,6 +164,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50 = h.quantile(counts, total, 0.50)
 	s.P90 = h.quantile(counts, total, 0.90)
 	s.P99 = h.quantile(counts, total, 0.99)
+	s.P999 = h.quantile(counts, total, 0.999)
 	for i := len(counts) - 1; i >= 0; i-- {
 		if counts[i] > 0 {
 			s.Max = h.upper(i)
@@ -166,7 +173,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i, c := range counts {
 		if c > 0 {
-			s.Buckets = append(s.Buckets, BucketCount{LE: h.upper(i), Count: c})
+			s.Buckets = append(s.Buckets, BucketCount{LE: h.upper(i), GT: h.lower(i), Count: c})
 		}
 	}
 	return s

@@ -90,8 +90,8 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	if s.P50 <= 0 || s.P50 > 10 {
 		t.Fatalf("p50 = %v, want in (0,10]", s.P50)
 	}
-	if !(s.P50 <= s.P90 && s.P90 <= s.P99) {
-		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v", s.P50, s.P90, s.P99)
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999 && s.P999 <= float64(s.Max)) {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v p999=%v max=%d", s.P50, s.P90, s.P99, s.P999, s.Max)
 	}
 	if s.Max != 10 {
 		t.Fatalf("max bound = %d, want 10", s.Max)
@@ -339,8 +339,8 @@ func TestConcurrentSnapshotConsistency(t *testing.T) {
 		} else {
 			lastCounter = cv
 		}
-		if s.Count > 0 && !(s.P50 <= s.P90 && s.P90 <= s.P99) {
-			t.Fatalf("quantiles not monotone under load: %v %v %v", s.P50, s.P90, s.P99)
+		if s.Count > 0 && !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999) {
+			t.Fatalf("quantiles not monotone under load: %v %v %v %v", s.P50, s.P90, s.P99, s.P999)
 		}
 	}
 	close(stop)

@@ -33,20 +33,28 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 // format. Output is deterministic: metrics appear in name order within
 // each section (counters, gauges, histograms, spans).
 func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return s.WritePrometheusPrefixed(w, "")
+}
+
+// WritePrometheusPrefixed is WritePrometheus with every metric name
+// prefixed (after sanitization) — the coordinator's federated /metrics
+// uses it to expose each shard's scrape under a fleet_shardNN_
+// namespace next to the unprefixed fleet-wide aggregate.
+func (s Snapshot) WritePrometheusPrefixed(w io.Writer, prefix string) error {
 	pw := &promWriter{w: w}
 	for _, name := range sortedKeys(s.Counters) {
-		pn := promName(name) + "_total"
+		pn := prefix + promName(name) + "_total"
 		pw.printf("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		pn := promName(name)
+		pn := prefix + promName(name)
 		pw.printf("# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Histograms) {
-		pw.histogram(promName(name), s.Histograms[name])
+		pw.histogram(prefix+promName(name), s.Histograms[name])
 	}
 	for _, name := range sortedKeys(s.Spans) {
-		pw.histogram(promName(name), s.Spans[name])
+		pw.histogram(prefix+promName(name), s.Spans[name])
 	}
 	return pw.err
 }
@@ -83,6 +91,10 @@ func (pw *promWriter) histogram(pn string, h HistogramSnapshot) {
 	pw.printf("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
 	pw.printf("%s_sum %d\n", pn, h.Sum)
 	pw.printf("%s_count %d\n", pn, h.Count)
+	// Tail-latency SLOs watch P999; expose the precomputed interpolated
+	// estimate as a companion gauge so scrapers need not rederive it
+	// from the buckets.
+	pw.printf("# TYPE %s_p999 gauge\n%s_p999 %g\n", pn, pn, h.P999)
 }
 
 // promName sanitizes a registry metric name into the Prometheus metric

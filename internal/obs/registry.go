@@ -121,11 +121,11 @@ func (s Snapshot) SummaryLines() []string {
 		lines = append(lines, fmt.Sprintf("gauge   %-32s %d", name, v))
 	}
 	for name, h := range s.Histograms {
-		lines = append(lines, fmt.Sprintf("hist    %-32s count=%d mean=%.1f p50=%.1f p99=%.1f", name, h.Count, h.Mean, h.P50, h.P99))
+		lines = append(lines, fmt.Sprintf("hist    %-32s count=%d mean=%.1f p50=%.1f p99=%.1f p999=%.1f", name, h.Count, h.Mean, h.P50, h.P99, h.P999))
 	}
 	for name, h := range s.Spans {
-		lines = append(lines, fmt.Sprintf("span    %-32s count=%d mean=%s p50=%s p99=%s total=%s",
-			name, h.Count, fmtNS(h.Mean), fmtNS(h.P50), fmtNS(h.P99), fmtNS(float64(h.Sum))))
+		lines = append(lines, fmt.Sprintf("span    %-32s count=%d mean=%s p50=%s p99=%s p999=%s total=%s",
+			name, h.Count, fmtNS(h.Mean), fmtNS(h.P50), fmtNS(h.P99), fmtNS(h.P999), fmtNS(float64(h.Sum))))
 	}
 	sortLinesByName(lines)
 	return lines

@@ -89,6 +89,27 @@ func (t *Trace) ID() string {
 	return strconv.FormatUint(t.id, 16)
 }
 
+// Events returns a copy of the events recorded so far, in record order
+// (monotone At). The fleet host uses it to ship a remote child trace's
+// events back in the RPC reply; a nil receiver returns nil.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// NewTrace returns a standalone trace that starts now and is not
+// attached to any Tracer ring. The fleet host opens one per
+// remote-requested trace when it has no local tracer to publish into;
+// the caller reads the events back with Events.
+func NewTrace() *Trace {
+	now := time.Now()
+	return &Trace{start: now, wall: now, sampled: true}
+}
+
 // TraceRecord is the published, immutable form of a finished trace —
 // the GET /debug/traces payload element.
 type TraceRecord struct {
@@ -163,6 +184,15 @@ func (tr *Tracer) Start() *Trace {
 	}
 	now := time.Now()
 	return &Trace{id: tr.nextID.Add(1), start: now, wall: now, sampled: sampled}
+}
+
+// StartForced returns a new Trace unconditionally, bypassing the rate
+// sampler — the path for requests that arrive with an explicit trace
+// flag already set by an upstream process (the coordinator's scatter
+// marks its shard RPCs). Forced traces are always published by Finish.
+func (tr *Tracer) StartForced() *Trace {
+	now := time.Now()
+	return &Trace{id: tr.nextID.Add(1), start: now, wall: now, sampled: true}
 }
 
 // Finish completes a trace and publishes it into the ring if the policy

@@ -11,7 +11,8 @@
 //	POST /internal/probe    sibling leg: scan frozen probes
 //	POST /internal/explain  term-level Eq 7–9 breakdowns
 //	GET  /internal/meta     topology self-description + snapshot epoch
-//	GET  /metrics, /healthz
+//	GET  /internal/metricsz raw obs snapshot for the federated scrape
+//	GET  /metrics, /healthz, /debug/traces
 //
 // Coordinator endpoints (public, same wire shapes as the single
 // binary; /related answers byte-identically when the fleet is
@@ -21,8 +22,10 @@
 //	                        shards_missing when degraded
 //	POST /add               501: the networked fleet serves read-only
 //	                        snapshots (writes go through rebuilds)
-//	GET  /stats             fleet topology view
-//	GET  /metrics, /healthz, /debug/traces
+//	GET  /stats             fleet topology view + per-shard health
+//	GET  /metrics           own process; ?scope=fleet scrapes every
+//	                        shard and merges the snapshots exactly
+//	GET  /healthz, /debug/traces
 //
 // Error bodies on these surfaces are typed:
 // {"error": {"kind": "...", "message": "..."}} — the kind strings
@@ -34,6 +37,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"repro/internal/fleet"
@@ -50,6 +54,8 @@ var (
 	ctrShardProbe   = obs.NewCounter("http.shard.probe.requests")
 	ctrShardExplain = obs.NewCounter("http.shard.explain.requests")
 	ctrShardMeta    = obs.NewCounter("http.shard.meta.requests")
+	ctrShardScrapes = obs.NewCounter("http.shard.metricsz.requests")
+	ctrFleetScrapes = obs.NewCounter("http.fleet.metrics.fleet_scope")
 	ctrTypedErrors  = obs.NewCounter("http.fleet.errors")
 )
 
@@ -89,15 +95,21 @@ type ShardServer struct {
 	observer
 }
 
-// NewShardServer wraps a host in its HTTP surface.
+// NewShardServer wraps a host in its HTTP surface. The host publishes
+// its request-flagged remote traces through the server's tracer, so a
+// shard's /debug/traces shows the shard-local view of the same
+// distributed requests the coordinator stitches end to end.
 func NewShardServer(h *fleet.Host, cfg Config) *ShardServer {
 	s := &ShardServer{host: h, mux: http.NewServeMux(), observer: newObserver(cfg)}
+	h.SetTracer(s.tracer)
 	s.mux.HandleFunc("POST /internal/home", s.observe("/internal/home", false, s.handleHome))
 	s.mux.HandleFunc("POST /internal/probe", s.observe("/internal/probe", false, s.handleProbe))
 	s.mux.HandleFunc("POST /internal/explain", s.observe("/internal/explain", false, s.handleExplain))
 	s.mux.HandleFunc("GET /internal/meta", s.observe("/internal/meta", false, s.handleMeta))
+	s.mux.HandleFunc("GET /internal/metricsz", s.observe("/internal/metricsz", false, s.handleMetricsz))
 	s.mux.HandleFunc("GET /metrics", s.observe("/metrics", false, s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.observe("/healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /debug/traces", s.observe("/debug/traces", false, s.handleTraces))
 	return s
 }
 
@@ -161,6 +173,19 @@ func (s *ShardServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleMetricsz is the federated-scrape leg: always the raw JSON
+// snapshot (no content negotiation), because its one consumer is the
+// coordinator's merge, which needs the exact bucket structure.
+func (s *ShardServer) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	ctrShardScrapes.Inc()
+	writeJSON(w, http.StatusOK, obs.Default.Snapshot())
+}
+
+func (s *ShardServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ctrTraceRequests.Inc()
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.tracer.Snapshot()})
 }
 
 func (s *ShardServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -256,26 +281,45 @@ func (s *FleetServer) handleAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 // FleetStatsResponse is the coordinator's GET /stats reply: the fleet
-// topology view.
+// topology view plus the coordinator's live per-shard health ledger
+// (consecutive leg failures, last error kind, current hedge delay).
 type FleetStatsResponse struct {
-	Method  string `json:"method"`
-	NumDocs int    `json:"num_docs"`
-	Shards  int    `json:"shards"`
-	Epoch   uint64 `json:"epoch"`
+	Method      string              `json:"method"`
+	NumDocs     int                 `json:"num_docs"`
+	Shards      int                 `json:"shards"`
+	Epoch       uint64              `json:"epoch"`
+	ShardHealth []fleet.ShardHealth `json:"shard_health"`
 }
 
 func (s *FleetServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	ctrStatsRequests.Inc()
 	writeJSON(w, http.StatusOK, FleetStatsResponse{
-		Method:  s.c.Name(),
-		NumDocs: s.c.NumDocs(),
-		Shards:  s.c.NumShards(),
-		Epoch:   s.c.Epoch(),
+		Method:      s.c.Name(),
+		NumDocs:     s.c.NumDocs(),
+		Shards:      s.c.NumShards(),
+		Epoch:       s.c.Epoch(),
+		ShardHealth: s.c.Health(),
 	})
+}
+
+// FleetMetricsResponse is GET /metrics?scope=fleet: every shard's raw
+// snapshot scraped in parallel, the exact bucket-wise merge of the
+// successes, and explicit failure markers for shards that could not be
+// scraped (a dead shard shows up as an Err on its ShardScrape entry,
+// never as silently missing series).
+type FleetMetricsResponse struct {
+	Scope  string              `json:"scope"`
+	Shards int                 `json:"shards"`
+	Fleet  obs.Snapshot        `json:"fleet"`
+	Scrape []fleet.ShardScrape `json:"scrape"`
 }
 
 func (s *FleetServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ctrMetricsRequests.Inc()
+	if r.URL.Query().Get("scope") == "fleet" {
+		s.handleFleetMetrics(w, r)
+		return
+	}
 	snap := obs.Default.Snapshot()
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", obs.PrometheusContentType)
@@ -284,6 +328,39 @@ func (s *FleetServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleFleetMetrics answers the federated form. The Prometheus
+// exposition writes the fleet-merged series unprefixed (so dashboards
+// built against a single process keep working), then each shard's own
+// series under a fleet_shardNN_ prefix, led by a fleet_shardNN_up gauge
+// marking scrape success — the per-shard failure marker in text form.
+func (s *FleetServer) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	ctrFleetScrapes.Inc()
+	scrapes, merged := s.c.ScrapeFleet(r.Context())
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = merged.WritePrometheus(w)
+		for _, sc := range scrapes {
+			up := 0
+			if sc.Err == "" {
+				up = 1
+			}
+			prefix := fmt.Sprintf("fleet_shard%02d_", sc.Shard)
+			fmt.Fprintf(w, "# TYPE %sup gauge\n%sup %d\n", prefix, prefix, up)
+			if sc.Snapshot != nil {
+				_ = sc.Snapshot.WritePrometheusPrefixed(w, prefix)
+			}
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, FleetMetricsResponse{
+		Scope:  "fleet",
+		Shards: len(scrapes),
+		Fleet:  merged,
+		Scrape: scrapes,
+	})
 }
 
 func (s *FleetServer) handleHealthz(w http.ResponseWriter, r *http.Request) {

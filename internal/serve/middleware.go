@@ -18,9 +18,14 @@ import (
 type observer struct {
 	log    *slog.Logger
 	tracer *obs.Tracer
+	slo    time.Duration
 }
 
 func newObserver(cfg Config) observer {
+	slo := cfg.SLOLatency
+	if slo == 0 {
+		slo = defaultSLOLatency
+	}
 	return observer{
 		log: cfg.Logger,
 		tracer: obs.NewTracer(obs.TracerConfig{
@@ -28,6 +33,7 @@ func newObserver(cfg Config) observer {
 			SlowQuery: cfg.SlowQuery,
 			RingSize:  cfg.TraceRingSize,
 		}),
+		slo: slo,
 	}
 }
 
@@ -72,9 +78,12 @@ func infoFrom(ctx context.Context) *reqInfo {
 
 // observe wraps a handler with the request-scoped observability: a
 // Trace from the server's tracer (for traced endpoints) carried via the
-// context into the pipeline, and one structured access-log record on
-// the way out.
+// context into the pipeline, the endpoint's SLO bookkeeping (latency
+// span, 5xx counter, objective-breach counter), and one structured
+// access-log record on the way out. The SLO instruments are resolved
+// here, at wrap time, so the request path stays allocation-free.
 func (o *observer) observe(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	slo := sloFor(endpoint, o.slo)
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		info := &reqInfo{}
@@ -95,6 +104,7 @@ func (o *observer) observe(endpoint string, traced bool, h http.HandlerFunc) htt
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		slo.record(sw.status, dur)
 		if o.log != nil {
 			attrs := make([]slog.Attr, 0, 8)
 			attrs = append(attrs,

@@ -3,12 +3,13 @@
 # machine-readable snapshot so the repo keeps a perf trajectory across PRs.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, writes BENCH_PR8.json
+#   scripts/bench.sh                 # full run, writes BENCH_PR9.json
 #   scripts/bench.sh -smoke          # 1-iteration smoke (CI: bench code must compile and run)
 #   BENCH_OUT=perf.json scripts/bench.sh
 #   PERSIST_SIZES=1000 scripts/bench.sh   # shrink the persistence leg
 #   QUERY_SIZES=1000 scripts/bench.sh     # shrink the query-pruning leg
 #   FLEET_DOCS=0 scripts/bench.sh         # skip the fleet-overhead leg
+#   LOADGEN_DOCS=0 scripts/bench.sh       # skip the open-loop loadgen leg
 #
 # The JSON output maps benchmark name -> {ns_per_op, bytes_per_op, allocs_per_op}
 # plus a "meta" block (go version, GOMAXPROCS, benchtime, count) and a
@@ -24,6 +25,12 @@
 # shards, FLEET_DOCS=0 skips) records the serving-topology tax: the same
 # query answered by the unsharded matcher, the in-process shard group,
 # and the networked fleet coordinator over the in-process transport.
+# A "loadgen" block (LOADGEN_DOCS docs, LOADGEN_DOCS=0 skips) records
+# open-loop latency quantiles — P50/P99/P999 under a fixed arrival
+# schedule, immune to coordinated omission — against three live
+# topologies: one unsharded process ("single"), one process with an
+# in-process shard group ("group"), and a networked fleet of four shard
+# servers behind a coordinator ("fleet").
 #
 # The Fig11cRetrievalIntent / Fig11cRetrievalIntentObserved pair tracks
 # the observability tax on the query hot path (obs disabled vs enabled);
@@ -35,12 +42,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR8.json}"
+OUT="${BENCH_OUT:-BENCH_PR9.json}"
 PERSIST_SIZES="${PERSIST_SIZES:-1000,10000,100000}"
 QUERY_SIZES="${QUERY_SIZES:-1000,10000,100000,1000000}"
 QUERY_RUNS="${QUERY_RUNS:-64}"
 FLEET_DOCS="${FLEET_DOCS:-10000}"
 FLEET_SHARDS="${FLEET_SHARDS:-4}"
+LOADGEN_DOCS="${LOADGEN_DOCS:-2000}"
+LOADGEN_RATE="${LOADGEN_RATE:-100}"
+LOADGEN_DURATION="${LOADGEN_DURATION:-5s}"
+LOADGEN_PORT="${LOADGEN_PORT:-18200}"
 PATTERN='BenchmarkFig11aSegmentation|BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntent$|BenchmarkFig11cRetrievalIntentObserved|BenchmarkMRBuild|BenchmarkPipelineBuild1k|BenchmarkConcurrentServe$|BenchmarkConcurrentServeReadOnly|BenchmarkConcurrentServeSharded|BenchmarkConcurrentServeShardedWriteHeavy'
 BENCHTIME="${BENCH_TIME:-2s}"
 COUNT="${BENCH_COUNT:-3}"
@@ -56,7 +67,24 @@ if [[ "${1:-}" == "-smoke" ]]; then
     # the speedup gate only applies at full scale, so it is not set here).
     go test -run '^$' -bench 'BenchmarkFig11bClustering|BenchmarkFig11cRetrievalIntentObserved|BenchmarkPipelineBuild1k' -benchtime 1x .
     go run ./cmd/persistbench -sizes 1000 -runs 2
-    exec go run ./cmd/querybench -sizes 1000 -runs 16 -fleet-docs 300 -out /dev/null
+    go run ./cmd/querybench -sizes 1000 -runs 16 -fleet-docs 300 -out /dev/null
+    # Loadgen smoke: a 2-second open-loop run against a tiny live server
+    # gates the full run's loadgen leg (loadgen must boot, find the
+    # collection size via /stats, fire, and report sane quantiles).
+    SMOKE_DIR="$(mktemp -d)"
+    trap 'kill "${SMOKE_SRV:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+    go build -o "$SMOKE_DIR/serve" ./cmd/serve
+    go build -o "$SMOKE_DIR/loadgen" ./cmd/loadgen
+    "$SMOKE_DIR/serve" -addr "127.0.0.1:$LOADGEN_PORT" -domain tech -n 200 -seed 42 2>/dev/null &
+    SMOKE_SRV=$!
+    for i in $(seq 1 50); do
+        curl -sf "http://127.0.0.1:$LOADGEN_PORT/healthz" >/dev/null 2>&1 && break
+        sleep 0.3
+    done
+    "$SMOKE_DIR/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate 50 -duration 2s -name smoke |
+        python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"] > 0 and r["p50_ns"] > 0 and r["p999_ns"] >= r["p99_ns"] >= r["p50_ns"], r'
+    echo "loadgen smoke ok" >&2
+    exit 0
 fi
 
 RAW="$(mktemp)"
@@ -130,6 +158,90 @@ qb = json.load(open(qb_path))
 snap["query"] = qb["query"]
 if "fleet" in qb:
     snap["fleet"] = qb["fleet"]
+with open(out_path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+EOF
+fi
+
+# Open-loop loadgen leg: the same corpus served as three live
+# topologies, each driven at a fixed arrival rate; the block records
+# P50/P99/P999 and achieved throughput per topology. Single and group
+# run the full Related/Add mix; the fleet coordinator is read-only, so
+# its run keeps add-frac 0.
+if [[ "$LOADGEN_DOCS" != 0 ]]; then
+    LG="$(mktemp -d)"
+    LG_PIDS=()
+    trap 'kill "${LG_PIDS[@]}" 2>/dev/null || true; rm -f "$RAW" "${PB:-}" "${QB:-}"; rm -rf "${LG:-}"' EXIT
+    echo "building serve + loadgen for the open-loop leg" >&2
+    go build -o "$LG/serve" ./cmd/serve
+    go build -o "$LG/loadgen" ./cmd/loadgen
+    go build -o "$LG/gencorpus" ./cmd/gencorpus
+    go build -o "$LG/intentmatch" ./cmd/intentmatch
+    "$LG/gencorpus" -domain tech -n "$LOADGEN_DOCS" -seed 42 >"$LG/corpus.jsonl"
+
+    lg_wait() { # lg_wait <port>
+        for i in $(seq 1 150); do
+            curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+            sleep 0.3
+        done
+        echo "loadgen leg: server on port $1 never became healthy" >&2
+        return 1
+    }
+    lg_kill() {
+        kill "${LG_PIDS[@]}" 2>/dev/null || true
+        wait "${LG_PIDS[@]}" 2>/dev/null || true
+        LG_PIDS=()
+    }
+
+    # Single unsharded process.
+    echo "loadgen: single ($LOADGEN_DOCS docs, $LOADGEN_RATE rps, $LOADGEN_DURATION)" >&2
+    "$LG/serve" -addr "127.0.0.1:$LOADGEN_PORT" -corpus "$LG/corpus.jsonl" -seed 42 \
+        -trace-rate 0 -trace-slow=-1ms 2>/dev/null &
+    LG_PIDS+=($!)
+    lg_wait "$LOADGEN_PORT"
+    "$LG/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate "$LOADGEN_RATE" \
+        -duration "$LOADGEN_DURATION" -add-frac 0.02 -name single -out "$LG/single.json" >/dev/null
+    lg_kill
+
+    # One process, in-process shard group.
+    echo "loadgen: group (-shards $FLEET_SHARDS)" >&2
+    "$LG/serve" -addr "127.0.0.1:$LOADGEN_PORT" -corpus "$LG/corpus.jsonl" -seed 42 \
+        -shards "$FLEET_SHARDS" -trace-rate 0 -trace-slow=-1ms 2>/dev/null &
+    LG_PIDS+=($!)
+    lg_wait "$LOADGEN_PORT"
+    "$LG/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate "$LOADGEN_RATE" \
+        -duration "$LOADGEN_DURATION" -add-frac 0.02 -name group -out "$LG/group.json" >/dev/null
+    lg_kill
+
+    # Networked fleet: shard servers + coordinator, separate processes.
+    echo "loadgen: fleet ($FLEET_SHARDS shard servers + coordinator)" >&2
+    "$LG/intentmatch" -corpus "$LG/corpus.jsonl" -seed 42 -save-shards "$FLEET_SHARDS" -save "$LG/sharddir" >/dev/null
+    printf '{"endpoints":[' >"$LG/topology.json"
+    for ((s = 0; s < FLEET_SHARDS; s++)); do
+        "$LG/serve" -addr "127.0.0.1:$((LOADGEN_PORT + 1 + s))" -shard-role shard \
+            -load "$LG/sharddir" -own "$s" -trace-rate 0 -trace-slow=-1ms 2>/dev/null &
+        LG_PIDS+=($!)
+        [[ "$s" != 0 ]] && printf ',' >>"$LG/topology.json"
+        printf '{"shard":%d,"primary":"http://127.0.0.1:%d"}' "$s" "$((LOADGEN_PORT + 1 + s))" >>"$LG/topology.json"
+    done
+    printf ']}\n' >>"$LG/topology.json"
+    "$LG/serve" -addr "127.0.0.1:$LOADGEN_PORT" -shard-role coordinator -fleet "$LG/topology.json" \
+        -trace-rate 0 -trace-slow=-1ms 2>/dev/null &
+    LG_PIDS+=($!)
+    lg_wait "$LOADGEN_PORT"
+    "$LG/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate "$LOADGEN_RATE" \
+        -duration "$LOADGEN_DURATION" -name fleet -out "$LG/fleet.json" >/dev/null
+    lg_kill
+
+    python3 - "$OUT" "$LG/single.json" "$LG/group.json" "$LG/fleet.json" <<'EOF'
+import json, sys
+out_path = sys.argv[1]
+snap = json.load(open(out_path))
+snap["loadgen"] = {}
+for path in sys.argv[2:]:
+    rep = json.load(open(path))
+    snap["loadgen"][rep["name"]] = rep
 with open(out_path, "w") as f:
     json.dump(snap, f, indent=2)
     f.write("\n")

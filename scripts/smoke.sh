@@ -91,6 +91,9 @@ json  "  build phases" "b['num_docs'] >= 200 and b['num_clusters'] > 0 and 'segm
 
 check "GET /metrics (json)" 200 "$BASE/metrics"
 json  "  counters served" "b['counters']['http.related.requests'] >= 4"
+json  "  p999 on every histogram" "all('p999' in h for h in list(b['histograms'].values()) + list(b['spans'].values()))"
+json  "  quantiles monotone" "all(h['p50'] <= h['p90'] <= h['p99'] <= h['p999'] <= h['max_bound'] for h in b['spans'].values() if h['count'] > 0)"
+json  "  slo instruments" "'slo.related.latency' in b['spans'] and 'slo.related.errors' in b['counters'] and 'slo.related.breaches' in b['counters']"
 
 check "GET /metrics (prometheus)" 200 "$BASE/metrics?format=prometheus"
 grep -q '^# TYPE http_related_requests_total counter$' /tmp/smoke_body || { echo "FAIL prometheus exposition body" >&2; fail=1; }
@@ -254,7 +257,7 @@ cat >"$WORK/topology.json" <<EOF
 ]}
 EOF
 COORD="http://127.0.0.1:$((SHARD_PORT0+5))"
-"$BIN" -addr "127.0.0.1:$((SHARD_PORT0+5))" -shard-role coordinator -fleet "$WORK/topology.json" 2>"$WORK/coord.log" &
+"$BIN" -addr "127.0.0.1:$((SHARD_PORT0+5))" -shard-role coordinator -fleet "$WORK/topology.json" -trace-slow 0 2>"$WORK/coord.log" &
 FLEET_PIDS+=($!)
 
 # The coordinator only reports healthy once it has bootstrapped meta
@@ -288,8 +291,32 @@ fi
 
 check "GET /stats (fleet)" 200 "$COORD/stats"
 json  "  fleet topology" "b['shards'] == 4 and b['num_docs'] == 200 and b['epoch'] > 0"
+json  "  shard health ledger" "len(b['shard_health']) == 4 and all(h['consecutive_failures'] == 0 and h['hedge_delay_ns'] > 0 for h in b['shard_health'])"
 check "POST /add (fleet read-only)" 501 -X POST "$COORD/add" -d '{"text": "should be refused"}'
 json  "  typed read_only error" "b['error']['kind'] == 'read_only'"
+
+# Distributed tracing: the coordinator captures every request
+# (-trace-slow 0) and flags its shard RPCs, so its /debug/traces must
+# contain stitched remote events, and each shard's own /debug/traces
+# must show the shard-local child traces of the same requests.
+check "GET /debug/traces (coordinator)" 200 "$COORD/debug/traces"
+json  "  stitched remote events" "any(e['name'].startswith('remote.') for t in b['traces'] for e in (t['events'] or []))"
+json  "  leg markers with rtt" "any(e['name'] == 'fleet.leg' and any(a['key'] == 'rtt_ns' for a in e.get('attrs', [])) for t in b['traces'] for e in (t['events'] or []))"
+json  "  stitched traces monotone" "all(all(e[i]['at_ns'] <= e[i+1]['at_ns'] for i in range(len(e)-1)) for t in b['traces'] for e in [t['events'] or []])"
+check "GET /debug/traces (shard 0)" 200 "http://127.0.0.1:$SHARD_PORT0/debug/traces"
+json  "  shard-side child traces" "any(e['name'] == 'host.recv' for t in b['traces'] for e in (t['events'] or []))"
+check "GET /metrics (shard 0, prometheus)" 200 "http://127.0.0.1:$SHARD_PORT0/metrics?format=prometheus"
+grep -q '^runtime_goroutines ' /tmp/smoke_body || { echo "FAIL runtime gauges missing from shard prometheus body" >&2; fail=1; }
+
+# Federated scrape: the coordinator's ?scope=fleet view must aggregate
+# every counter as exactly the sum of the per-shard snapshots it
+# carries, with all four shards scraped successfully.
+check "GET /metrics?scope=fleet" 200 "$COORD/metrics?scope=fleet"
+json  "  all shards scraped" "b['scope'] == 'fleet' and len(b['scrape']) == 4 and all(not s.get('error') for s in b['scrape'])"
+json  "  aggregate == sum of shards" "all(v == sum(s['snapshot']['counters'].get(k, 0) for s in b['scrape']) for k, v in b['fleet']['counters'].items())"
+json  "  shard probes visible fleet-wide" "b['fleet']['counters'].get('http.shard.probe.requests', 0) >= 4"
+check "GET /metrics?scope=fleet (prometheus)" 200 "$COORD/metrics?scope=fleet&format=prometheus"
+grep -q '^fleet_shard00_up 1$' /tmp/smoke_body || { echo "FAIL fleet prometheus exposition missing per-shard up markers" >&2; fail=1; }
 
 # Kill shard 2's only server. Docs homed on shard 2 must fail with a
 # typed 503; everything else must degrade to partial_results with
@@ -320,6 +347,14 @@ else
     echo "FAIL no doc produced a partial result after the shard kill" >&2
     fail=1
 fi
+
+# The federated scrape must mark the dead shard explicitly and keep
+# aggregating the survivors.
+check "GET /metrics?scope=fleet (degraded)" 200 "$COORD/metrics?scope=fleet"
+json  "  dead shard marked" "[s['shard'] for s in b['scrape'] if s.get('error')] == [2]"
+json  "  survivors still aggregated" "all(v == sum(s['snapshot']['counters'].get(k, 0) for s in b['scrape'] if 'snapshot' in s) for k, v in b['fleet']['counters'].items())"
+check "GET /stats (degraded health)" 200 "$COORD/stats"
+json  "  failure streak recorded" "any(h['shard'] == 2 and h['consecutive_failures'] >= 1 and h['last_error_kind'] for h in b['shard_health'])"
 
 kill "${FLEET_PIDS[@]}" 2>/dev/null || true
 wait 2>/dev/null || true
