@@ -40,6 +40,15 @@ import (
 type result struct {
 	latency time.Duration
 	err     bool
+	shed    bool
+}
+
+// cacheStats mirrors the cache block a hygiene-enabled server exposes
+// on /stats (absent — nil — when caching is off).
+type cacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // report is the JSON written to -out (and stdout): everything the
@@ -54,12 +63,18 @@ type report struct {
 	Sent          int     `json:"sent"`
 	OK            int     `json:"ok"`
 	Errors        int     `json:"errors"`
+	// Shed counts typed 503 overload responses (a subset of Errors):
+	// the server refusing work by contract rather than failing at it.
+	Shed          int     `json:"shed"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50NS         int64   `json:"p50_ns"`
 	P90NS         int64   `json:"p90_ns"`
 	P99NS         int64   `json:"p99_ns"`
 	P999NS        int64   `json:"p999_ns"`
 	MaxNS         int64   `json:"max_ns"`
+	// Cache is the server's result-cache view scraped from /stats after
+	// the run; absent when the target serves with caching off.
+	Cache *cacheStats `json:"cache,omitempty"`
 }
 
 func main() {
@@ -127,19 +142,26 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ok := fire(client, *target, docs[i], *k, adds[i])
-			results[i] = result{latency: time.Since(start) - time.Duration(i)*interval, err: !ok}
+			status := fire(client, *target, docs[i], *k, adds[i])
+			results[i] = result{
+				latency: time.Since(start) - time.Duration(i)*interval,
+				err:     status != http.StatusOK,
+				shed:    status == http.StatusServiceUnavailable,
+			}
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	lats := make([]int64, 0, total)
-	okCount := 0
+	okCount, shedCount := 0, 0
 	for _, r := range results {
 		lats = append(lats, int64(r.latency))
 		if !r.err {
 			okCount++
+		}
+		if r.shed {
+			shedCount++
 		}
 	}
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
@@ -154,7 +176,9 @@ func main() {
 		Sent:          total,
 		OK:            okCount,
 		Errors:        total - okCount,
+		Shed:          shedCount,
 		ThroughputRPS: float64(total) / elapsed.Seconds(),
+		Cache:         fetchCacheStats(client, *target),
 		P50NS:         quantile(lats, 0.50),
 		P90NS:         quantile(lats, 0.90),
 		P99NS:         quantile(lats, 0.99),
@@ -208,9 +232,31 @@ func fetchNumDocs(client *http.Client, target string) (int, error) {
 	return st.NumDocs, nil
 }
 
-// fire issues one request and reports success. Request bodies are tiny
-// and fixed-shape; building them inline keeps the goroutine cheap.
-func fire(client *http.Client, target string, doc, k int, add bool) bool {
+// fetchCacheStats scrapes the post-run cache block from /stats; nil
+// when the target serves uncached (the block is omitempty) or the
+// scrape fails (the report simply goes without).
+func fetchCacheStats(client *http.Client, target string) *cacheStats {
+	resp, err := client.Get(target + "/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st struct {
+		Cache *cacheStats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	return st.Cache
+}
+
+// fire issues one request and returns the HTTP status (0 on transport
+// error). Request bodies are tiny and fixed-shape; building them inline
+// keeps the goroutine cheap.
+func fire(client *http.Client, target string, doc, k int, add bool) int {
 	var url string
 	var body []byte
 	if add {
@@ -222,9 +268,9 @@ func fire(client *http.Client, target string, doc, k int, add bool) bool {
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return false
+		return 0
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return resp.StatusCode
 }

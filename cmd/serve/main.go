@@ -21,6 +21,7 @@
 //	serve -load built.idx                      # cmd/intentmatch -save output
 //	serve -load sharddir/                      # core.WriteShardDir output
 //	serve -trace-slow 50ms -trace-rate 5       # capture policy
+//	serve -cache-entries 4096 -max-inflight 64 -max-queued 128   # heavy-traffic hygiene
 //	serve -shard-role shard -load sharddir/ -own 0 -addr :9000
 //	serve -shard-role coordinator -fleet topology.json -addr :8080
 //	curl -s localhost:8080/related -d '{"doc_id": 3, "k": 5, "explain": true}'
@@ -68,6 +69,12 @@ func main() {
 	traceRing := flag.Int("trace-ring", 0, "retained finished traces (0 = default 256)")
 	sloLatency := flag.Duration("slo-latency", 0,
 		"per-request latency objective; slower requests count into slo.<endpoint>.breaches (0 = default 250ms)")
+	cacheEntries := flag.Int("cache-entries", 0,
+		"bound of the /related result cache, in entries; enables the cache and singleflight collapsing, keyed by (doc, k, explain, collection epoch) so any add invalidates (0 = off)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"bound on concurrently computing /related queries; excess requests queue up to -max-queued, then shed with a typed 503 + Retry-After (0 = off)")
+	maxQueued := flag.Int("max-queued", 0,
+		"admission wait-queue depth on top of -max-inflight (0 = shed as soon as the in-flight limit is hit)")
 	shardRole := flag.String("shard-role", "",
 		"fleet process role: empty (single-process pipeline), shard (serve partitions of a -load shard directory on the internal probe endpoints), or coordinator (scatter-gather over a -fleet topology)")
 	own := flag.String("own", "", "shard role: comma-separated shard ids this process serves (default all shards in the directory)")
@@ -98,6 +105,9 @@ func main() {
 		SlowQuery:     *traceSlow,
 		TraceRingSize: *traceRing,
 		SLOLatency:    *sloLatency,
+		CacheEntries:  *cacheEntries,
+		MaxInflight:   *maxInflight,
+		MaxQueued:     *maxQueued,
 	}
 	switch *shardRole {
 	case "":

@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+var (
+	ctrLeaders   = obs.NewCounter("singleflight.leaders")
+	ctrFollowers = obs.NewCounter("singleflight.followers")
+)
+
+// call is one in-flight computation shared by every request that
+// arrived for the same key while it ran.
+type call struct {
+	done  chan struct{}
+	entry Entry
+	err   error
+}
+
+// Flight collapses concurrent identical queries: the first request for
+// a key becomes the leader and runs the computation, every request for
+// the same key that arrives before it finishes becomes a follower and
+// just waits for the leader's result.
+//
+// Keys carry the collection epoch, which is what keeps collapsing
+// correct under mutation: a request that starts after an Add commits
+// reads a newer epoch, probes a different key, and can never join — or
+// be answered by — a flight computed against the old collection state.
+type Flight struct {
+	mu sync.Mutex
+	m  map[Key]*call
+
+	leaders, followers atomic.Int64
+}
+
+// NewFlight builds an empty singleflight group.
+func NewFlight() *Flight {
+	return &Flight{m: make(map[Key]*call)}
+}
+
+// Do returns the result of fn for key, running fn exactly once no
+// matter how many goroutines call Do concurrently with the same key.
+// The boolean reports whether this caller was the leader (ran fn).
+//
+// A follower whose ctx is canceled stops waiting and returns ctx.Err()
+// without disturbing the leader. The leader always runs fn to
+// completion; fn is responsible for its own cancellation policy (the
+// serving layer deliberately detaches the leader from its request
+// context so one impatient client cannot poison the herd).
+func (f *Flight) Do(ctx context.Context, key Key, fn func() (Entry, error)) (Entry, error, bool) {
+	f.mu.Lock()
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		ctrFollowers.Inc()
+		f.followers.Add(1)
+		select {
+		case <-c.done:
+			return c.entry, c.err, false
+		case <-ctx.Done():
+			return Entry{}, ctx.Err(), false
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+	ctrLeaders.Inc()
+	f.leaders.Add(1)
+
+	c.entry, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.entry, c.err, true
+}
+
+// FlightStats is the per-group view /stats serves.
+type FlightStats struct {
+	Leaders   int64 `json:"leaders"`
+	Followers int64 `json:"followers"`
+}
+
+// Stats snapshots this group's counters.
+func (f *Flight) Stats() FlightStats {
+	return FlightStats{Leaders: f.leaders.Load(), Followers: f.followers.Load()}
+}

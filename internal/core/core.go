@@ -144,6 +144,12 @@ type Pipeline struct {
 	mr      *match.MR    // non-nil for the unsharded MR methods
 	group   *shard.Group // non-nil when Config.Shards > 1
 
+	// epochBase offsets Epoch: 0 for a fresh Build, 1 for a pipeline
+	// restored from a snapshot, so loading a snapshot is itself an epoch
+	// advance and no cached result computed against a pre-load pipeline
+	// can survive the load. Immutable after construction.
+	epochBase uint64
+
 	mu    sync.RWMutex
 	docs  []*segment.Doc
 	stats Stats
@@ -424,6 +430,25 @@ func (p *Pipeline) Doc(docID int) *segment.Doc {
 		return nil
 	}
 	return p.docs[docID]
+}
+
+// Epoch returns the collection epoch: a counter that advances on every
+// committed mutation (and on snapshot load, via epochBase). Because Eq
+// 9's scoring statistics are collection-global, any mutation changes
+// every document's scores — so a cached Related result is valid exactly
+// as long as the epoch it was computed under is still current. Serving
+// layers key their result caches by this value; see internal/cache.
+// Whole-post methods (FullText, LDA) reject Add, so their epoch is
+// constantly epochBase.
+func (p *Pipeline) Epoch() uint64 {
+	var gen uint64
+	switch {
+	case p.group != nil:
+		gen = p.group.Generation()
+	case p.mr != nil:
+		gen = p.mr.Generation()
+	}
+	return p.epochBase + gen
 }
 
 // HasDoc reports whether docID names a document of the collection. It

@@ -79,10 +79,11 @@ func ReadPipeline(r io.Reader) (*Pipeline, error) {
 		return nil, err
 	}
 	return &Pipeline{
-		cfg:     Config{Method: method},
-		matcher: mr,
-		mr:      mr,
-		stats:   stats,
+		cfg:       Config{Method: method},
+		matcher:   mr,
+		mr:        mr,
+		epochBase: 1, // loading is an epoch advance; see Pipeline.Epoch
+		stats:     stats,
 	}, nil
 }
 
@@ -115,9 +116,10 @@ func ReadShardDir(dir string) (*Pipeline, error) {
 	}
 	bs := g.Stats()
 	return &Pipeline{
-		cfg:     Config{Method: method, Shards: g.NumShards()},
-		matcher: g,
-		group:   g,
+		cfg:       Config{Method: method, Shards: g.NumShards()},
+		matcher:   g,
+		group:     g,
+		epochBase: 1, // loading is an epoch advance; see Pipeline.Epoch
 		stats: Stats{
 			NumDocs:     g.NumDocs(),
 			NumSegments: bs.NumSegments,

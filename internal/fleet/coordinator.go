@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/match"
@@ -189,6 +190,13 @@ type Coordinator struct {
 	ctrLegOK   []*obs.Counter // fleet.leg.NN.ok: legs merged
 	ctrLegMiss []*obs.Counter // fleet.leg.NN.missing: legs dropped as missing
 	spanLeg    []*obs.Span    // fleet.leg.NN: leg latency (first launch → win)
+
+	// cacheGen extends the static snapshot epoch into a live cache
+	// epoch (see CacheEpoch). Bumped whenever the coordinator's view of
+	// the fleet changes in a way a cached merged result must not
+	// survive: the directory grows (a shard reported adds) or a shard's
+	// health transitions to degraded.
+	cacheGen atomic.Uint64
 }
 
 // New bootstraps a coordinator against a topology: it fetches
@@ -402,6 +410,20 @@ func (c *Coordinator) ScrapeFleet(ctx context.Context) ([]ShardScrape, obs.Snaps
 // Epoch returns the fleet's snapshot epoch.
 func (c *Coordinator) Epoch() uint64 { return c.epoch }
 
+// CacheEpoch returns the fleet-wide cache-invalidation epoch: the
+// snapshot epoch every shard agreed on at bootstrap, advanced every
+// time the coordinator's view of the collection changes — a shard
+// reports a larger document count (growDir) or a shard's health
+// transitions to degraded. The serving layer keys its merged-result
+// cache by this value. The shard-side document count is learned lazily
+// (from reply metadata, the fleet has no push channel), so a shard-side
+// add invalidates when its first post-add reply arrives; the public
+// fleet surface is read-only (/add is 501), which makes that window
+// unobservable through the coordinator itself. Partial results are
+// never cached at all, so degraded-window responses cannot be replayed
+// as complete (see internal/serve).
+func (c *Coordinator) CacheEpoch() uint64 { return c.epoch + c.cacheGen.Load() }
+
 // Name returns the collection's method name.
 func (c *Coordinator) Name() string { return c.name }
 
@@ -421,6 +443,7 @@ func (c *Coordinator) NumDocs() int {
 // ascending per shard — the tie-break invariant.
 func (c *Coordinator) growDir(docs int) {
 	c.dirMu.Lock()
+	grew := docs > len(c.owner)
 	for gid := len(c.owner); gid < docs; gid++ {
 		s := shard.RouteDoc(c.seed, gid, c.total)
 		c.owner = append(c.owner, int32(s))
@@ -428,6 +451,14 @@ func (c *Coordinator) growDir(docs int) {
 		c.global[s] = append(c.global[s], int32(gid))
 	}
 	c.dirMu.Unlock()
+	if grew {
+		// The collection changed under us (a shard reported adds):
+		// advance the cache epoch before any future query reads it, so
+		// no merged result computed against the smaller collection is
+		// served again. Bumped under no lock — CacheEpoch readers only
+		// need monotonicity.
+		c.cacheGen.Add(1)
+	}
 }
 
 // lookup resolves a global doc id to its (home shard, local id). An id
@@ -484,12 +515,21 @@ func (c *Coordinator) noteLegOK(s int) {
 	c.healthMu.Unlock()
 }
 
-// noteLegFail extends a shard's failure streak and records why.
+// noteLegFail extends a shard's failure streak and records why. The
+// first failure of a streak is a health transition to degraded, which
+// advances the cache epoch: results merged while every shard answered
+// must not be conflated with what the degraded fleet can currently
+// prove, and the next queries re-compute instead of replaying the
+// healthy-era cache.
 func (c *Coordinator) noteLegFail(s int, kind string) {
 	c.healthMu.Lock()
 	c.consecFail[s]++
+	degraded := c.consecFail[s] == 1
 	c.lastErrKind[s] = kind
 	c.healthMu.Unlock()
+	if degraded {
+		c.cacheGen.Add(1)
+	}
 }
 
 // errKind extracts a machine-readable failure kind for the health view.

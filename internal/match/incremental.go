@@ -109,8 +109,18 @@ func (pa *PendingAdd) CommitTo(mr *MR) int {
 		after++
 	}
 	mr.after = append(mr.after, after)
+	// Bump under the write lock so the new generation is never visible
+	// before the mutation it announces.
+	mr.gen.Add(1)
 	return docID
 }
+
+// Generation returns the count of mutations committed into the matcher
+// since it was built or loaded. Any change to the collection — and
+// therefore, via Eq 9's collection-global statistics, to every score —
+// is visible as a generation bump, which is what makes it a sound
+// cache-invalidation epoch.
+func (mr *MR) Generation() uint64 { return mr.gen.Load() }
 
 // Add segments a new document, assigns each segment to the nearest
 // existing intention centroid, applies the refinement rule, and indexes

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -226,6 +227,14 @@ type docSeg struct {
 type MR struct {
 	name string
 	cfg  MRConfig
+
+	// gen counts committed mutations. Every CommitTo bumps it, so a
+	// serving layer can key cached results by generation and have any
+	// mutation invalidate them without coordination (Eq 9's global
+	// statistics shift on every add, so no pre-add result survives one).
+	// Atomic rather than mu-guarded: readers poll it on every request
+	// and must not contend with the write lock.
+	gen atomic.Uint64
 
 	mu        sync.RWMutex
 	clusters  []*index.Index

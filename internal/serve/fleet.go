@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/cache"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 )
@@ -197,12 +198,16 @@ type FleetServer struct {
 	c   *fleet.Coordinator
 	mux *http.ServeMux
 	observer
+	hygiene
 }
 
 // NewFleetServer wraps a bootstrapped coordinator in the public HTTP
-// surface.
+// surface. The hygiene knobs of Config apply here too: merged results
+// are cached under the coordinator's fleet-wide cache epoch, which
+// advances when any shard reports growth or transitions to degraded —
+// and partial merges are never cached at all.
 func NewFleetServer(c *fleet.Coordinator, cfg Config) *FleetServer {
-	s := &FleetServer{c: c, mux: http.NewServeMux(), observer: newObserver(cfg)}
+	s := &FleetServer{c: c, mux: http.NewServeMux(), observer: newObserver(cfg), hygiene: newHygiene(cfg)}
 	s.mux.HandleFunc("POST /related", s.observe("/related", true, s.handleRelated))
 	s.mux.HandleFunc("POST /add", s.observe("/add", false, s.handleAdd))
 	s.mux.HandleFunc("GET /stats", s.observe("/stats", false, s.handleStats))
@@ -233,14 +238,34 @@ func (s *FleetServer) handleRelated(w http.ResponseWriter, r *http.Request) {
 		info.k, info.hasK = req.K, true
 	}
 	tr := obs.TraceFrom(r.Context())
+	if s.hygiene.enabled() {
+		s.handleRelatedHygiene(w, r, req, tr)
+		return
+	}
+	resp, err := s.buildRelated(r.Context(), req, tr)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	if resp.PartialResults {
+		ctrFleetPartial.Inc()
+	}
+	if info := infoFrom(r.Context()); info != nil {
+		info.results, info.hasResults = len(resp.Results), true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
 
+// buildRelated runs the scatter-gather for a validated request.
+// Factored out of handleRelated so the default path and the hygiene
+// path serve identical bytes.
+func (s *FleetServer) buildRelated(ctx context.Context, req RelatedRequest, tr *obs.Trace) (RelatedResponse, error) {
 	resp := RelatedResponse{DocID: req.DocID, K: req.K}
 	if req.Explain {
 		ctrExplainRequests.Inc()
-		res, exps, err := s.c.RelatedExplained(r.Context(), req.DocID, req.K, tr)
+		res, exps, err := s.c.RelatedExplained(ctx, req.DocID, req.K, tr)
 		if err != nil {
-			writeTypedError(w, err)
-			return
+			return resp, err
 		}
 		resp.Results = make([]RelatedResult, len(res.Results))
 		for i, rr := range res.Results {
@@ -252,10 +277,9 @@ func (s *FleetServer) handleRelated(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.PartialResults, resp.ShardsMissing = res.Partial, res.Missing
 	} else {
-		res, err := s.c.Related(r.Context(), req.DocID, req.K, tr)
+		res, err := s.c.Related(ctx, req.DocID, req.K, tr)
 		if err != nil {
-			writeTypedError(w, err)
-			return
+			return resp, err
 		}
 		resp.Results = make([]RelatedResult, len(res.Results))
 		for i, rr := range res.Results {
@@ -263,13 +287,66 @@ func (s *FleetServer) handleRelated(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.PartialResults, resp.ShardsMissing = res.Partial, res.Missing
 	}
-	if resp.PartialResults {
+	return resp, nil
+}
+
+// handleRelatedHygiene is the coordinator's /related path with hygiene
+// on. The cache key's epoch is the fleet-wide CacheEpoch; complete
+// merges computed at a still-current epoch are cached, partial merges
+// never are (they flow through singleflight to followers, then die).
+func (s *FleetServer) handleRelatedHygiene(w http.ResponseWriter, r *http.Request, req RelatedRequest, tr *obs.Trace) {
+	key := cache.Key{Doc: req.DocID, K: req.K, Explain: req.Explain, Epoch: s.c.CacheEpoch()}
+	cctx := s.computeCtx(r.Context())
+	e, err := s.relatedHygiene(r.Context(), key, tr, func() (cache.Entry, error) {
+		if s.admit != nil {
+			if aerr := s.admit.Acquire(cctx); aerr != nil {
+				return cache.Entry{}, aerr
+			}
+			defer s.admit.Release()
+		}
+		if s.testHookCompute != nil {
+			s.testHookCompute()
+		}
+		resp, berr := s.buildRelated(cctx, req, tr)
+		if berr != nil {
+			return cache.Entry{}, berr
+		}
+		body, encErr := encodeBody(resp)
+		if encErr != nil {
+			return cache.Entry{}, encErr
+		}
+		entry := cache.Entry{Body: body, Status: http.StatusOK, Results: len(resp.Results), Partial: resp.PartialResults}
+		// A degraded merge is never stored, and neither is a complete
+		// one whose epoch moved mid-flight (a shard failure during this
+		// very query advances CacheEpoch via the health transition, so
+		// the double condition usually collapses into one).
+		if s.cache != nil && !entry.Partial && s.c.CacheEpoch() == key.Epoch {
+			s.cache.Put(key, entry)
+		}
+		return entry, nil
+	})
+	if err != nil {
+		// Coordinator errors (typed RPC failures, timeouts) and hygiene
+		// errors (sheds, canceled waits) both terminate here; sheds get
+		// their dedicated envelope with Retry-After.
+		if err == cache.ErrOverloaded {
+			ctrTypedErrors.Inc()
+			if tr != nil {
+				tr.Event("admit.shed")
+			}
+			writeOverloaded(w)
+			return
+		}
+		writeTypedError(w, err)
+		return
+	}
+	if e.Partial {
 		ctrFleetPartial.Inc()
 	}
 	if info := infoFrom(r.Context()); info != nil {
-		info.results, info.hasResults = len(resp.Results), true
+		info.results, info.hasResults = e.Results, true
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeRawJSON(w, e.Status, e.Body)
 }
 
 func (s *FleetServer) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -289,17 +366,36 @@ type FleetStatsResponse struct {
 	Shards      int                 `json:"shards"`
 	Epoch       uint64              `json:"epoch"`
 	ShardHealth []fleet.ShardHealth `json:"shard_health"`
+	// CacheEpoch and the hygiene blocks appear only when caching or
+	// admission is on, so a default coordinator's /stats bytes are
+	// unchanged.
+	CacheEpoch   uint64                `json:"cache_epoch,omitempty"`
+	Cache        *cache.Stats          `json:"cache,omitempty"`
+	Singleflight *cache.FlightStats    `json:"singleflight,omitempty"`
+	Admission    *cache.AdmissionStats `json:"admission,omitempty"`
 }
 
 func (s *FleetServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	ctrStatsRequests.Inc()
-	writeJSON(w, http.StatusOK, FleetStatsResponse{
+	resp := FleetStatsResponse{
 		Method:      s.c.Name(),
 		NumDocs:     s.c.NumDocs(),
 		Shards:      s.c.NumShards(),
 		Epoch:       s.c.Epoch(),
 		ShardHealth: s.c.Health(),
-	})
+	}
+	if s.cache != nil {
+		resp.CacheEpoch = s.c.CacheEpoch()
+		cs := s.cache.Stats()
+		resp.Cache = &cs
+		fs := s.flight.Stats()
+		resp.Singleflight = &fs
+	}
+	if s.admit != nil {
+		as := s.admit.Stats()
+		resp.Admission = &as
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // FleetMetricsResponse is GET /metrics?scope=fleet: every shard's raw

@@ -28,6 +28,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"log/slog"
@@ -38,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/match"
 	"repro/internal/obs"
@@ -92,6 +94,21 @@ type Config struct {
 	// counter (alongside the slo.<endpoint>.latency span and .errors
 	// counter the middleware always keeps). 0 → 250ms.
 	SLOLatency time.Duration
+
+	// CacheEntries bounds the Related result cache (and turns on
+	// singleflight collapsing of concurrent identical queries with it).
+	// Entries are keyed by (doc, k, explain, collection epoch); every
+	// mutation advances the epoch, so no stale result survives an add.
+	// 0 disables both layers — the default, byte-identical serving path.
+	CacheEntries int
+	// MaxInflight bounds concurrently computing /related queries. The
+	// next MaxQueued requests wait FIFO for a slot; beyond that the
+	// server sheds with a typed 503 ({"error":{"kind":"overloaded"}},
+	// Retry-After). 0 disables admission control — the default.
+	MaxInflight int
+	// MaxQueued is the admission wait-queue depth; meaningful only with
+	// MaxInflight > 0. 0 sheds as soon as the in-flight limit is hit.
+	MaxQueued int
 }
 
 // Server serves one built pipeline over HTTP. All handlers are safe for
@@ -102,6 +119,7 @@ type Server struct {
 	p   *core.Pipeline
 	mux *http.ServeMux
 	observer
+	hygiene
 }
 
 // New wraps a built pipeline in an HTTP server. The pprof handlers are
@@ -114,6 +132,7 @@ func New(p *core.Pipeline, cfg Config) *Server {
 		p:        p,
 		mux:      http.NewServeMux(),
 		observer: newObserver(cfg),
+		hygiene:  newHygiene(cfg),
 	}
 	// The query and ingestion paths are traced; the read-only
 	// introspection endpoints only get the access log (tracing a
@@ -217,6 +236,12 @@ type StatsResponse struct {
 	ShardDocs   []int             `json:"shard_docs,omitempty"`
 	PhaseNS     map[string]int64  `json:"phase_ns"`
 	Granularity GranularityReport `json:"granularity"`
+	// The hygiene blocks appear only when the corresponding knob is on
+	// (pointers + omitempty), so a default server's /stats bytes are
+	// unchanged.
+	Cache        *cache.Stats          `json:"cache,omitempty"`
+	Singleflight *cache.FlightStats    `json:"singleflight,omitempty"`
+	Admission    *cache.AdmissionStats `json:"admission,omitempty"`
 }
 
 // GranularityReport carries the Table 3 rows: the share of posts with
@@ -252,6 +277,26 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown doc_id")
 		return
 	}
+	if s.hygiene.enabled() {
+		s.handleRelatedHygiene(w, r, req)
+		return
+	}
+	resp, status, msg := s.buildRelated(r.Context(), req)
+	if status != http.StatusOK {
+		writeError(w, status, msg)
+		return
+	}
+	if info := infoFrom(r.Context()); info != nil {
+		info.results, info.hasResults = len(resp.Results), true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildRelated computes the response for a validated /related request:
+// the response and StatusOK, or a non-200 status with its error
+// message. Factored out of handleRelated so the default path and the
+// hygiene (cache/singleflight/admission) path serve identical bytes.
+func (s *Server) buildRelated(ctx context.Context, req RelatedRequest) (RelatedResponse, int, string) {
 	resp := RelatedResponse{DocID: req.DocID, K: req.K}
 	if req.Explain {
 		ctrExplainRequests.Inc()
@@ -259,8 +304,7 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// Well-formed request, but this pipeline's scores are not an
 			// Eq 7–9 sum (LDA) — same contract as unsupported /add.
-			writeError(w, http.StatusUnprocessableEntity, err.Error())
-			return
+			return resp, http.StatusUnprocessableEntity, err.Error()
 		}
 		resp.Results = make([]RelatedResult, len(results))
 		for i, res := range results {
@@ -271,16 +315,65 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		results := s.p.RelatedContext(r.Context(), req.DocID, req.K)
+		results := s.p.RelatedContext(ctx, req.DocID, req.K)
 		resp.Results = make([]RelatedResult, len(results))
 		for i, res := range results {
 			resp.Results[i] = RelatedResult{DocID: res.DocID, Score: res.Score}
 		}
 	}
-	if info := infoFrom(r.Context()); info != nil {
-		info.results, info.hasResults = len(resp.Results), true
+	return resp, http.StatusOK, ""
+}
+
+// handleRelatedHygiene is the /related path with any hygiene layer on:
+// epoch-keyed cache lookup, singleflight election, bounded admission,
+// then the same compute as the default path, serialized once into the
+// exact bytes writeJSON would produce.
+func (s *Server) handleRelatedHygiene(w http.ResponseWriter, r *http.Request, req RelatedRequest) {
+	tr := obs.TraceFrom(r.Context())
+	key := cache.Key{Doc: req.DocID, K: req.K, Explain: req.Explain, Epoch: s.p.Epoch()}
+	cctx := s.computeCtx(r.Context())
+	e, err := s.relatedHygiene(r.Context(), key, tr, func() (cache.Entry, error) {
+		if s.admit != nil {
+			if aerr := s.admit.Acquire(cctx); aerr != nil {
+				return cache.Entry{}, aerr
+			}
+			defer s.admit.Release()
+		}
+		if s.testHookCompute != nil {
+			s.testHookCompute()
+		}
+		resp, status, msg := s.buildRelated(cctx, req)
+		var body []byte
+		var encErr error
+		if status != http.StatusOK {
+			body, encErr = encodeBody(map[string]string{"error": msg})
+		} else {
+			body, encErr = encodeBody(resp)
+		}
+		if encErr != nil {
+			return cache.Entry{}, encErr
+		}
+		entry := cache.Entry{Body: body, Status: status, Results: len(resp.Results)}
+		// Store only complete 200s computed against a still-current
+		// epoch: a commit that landed during the flight has already
+		// moved readers to a new key, and this entry must not be
+		// reachable there.
+		if s.cache != nil && status == http.StatusOK && s.p.Epoch() == key.Epoch {
+			s.cache.Put(key, entry)
+		}
+		return entry, nil
+	})
+	if err != nil {
+		ctrErrors.Inc()
+		hygieneError(w, err, tr)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if e.Status != http.StatusOK {
+		ctrErrors.Inc()
+	} else if info := infoFrom(r.Context()); info != nil {
+		info.results, info.hasResults = e.Results, true
+	}
+	writeRawJSON(w, e.Status, e.Body)
 }
 
 // explainClusters converts one match.Explanation into its wire form,
@@ -399,6 +492,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Before:  core.GranularityDistribution(before),
 			After:   core.GranularityDistribution(after),
 		},
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.Cache = &cs
+		fs := s.flight.Stats()
+		resp.Singleflight = &fs
+	}
+	if s.admit != nil {
+		as := s.admit.Stats()
+		resp.Admission = &as
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -237,6 +237,23 @@ func (g *Group) Centroids() [][]float64 { return g.centroids }
 // copy of the source build's; they are identical).
 func (g *Group) Stats() match.BuildStats { return g.shards[0].Stats() }
 
+// Generation returns the group-wide mutation count: the sum of every
+// shard's matcher generation. CommitAdd commits into exactly one shard
+// and bumps that shard's generation, so the sum advances on every
+// mutation regardless of routing — the property a cache epoch needs.
+// Summing over lock-free per-shard atomics means a concurrent commit
+// may or may not be included, but a reader that observes the commit's
+// effects afterwards also observes the larger sum (the shard bump
+// happens under the shard's write lock, before the effects are
+// readable).
+func (g *Group) Generation() uint64 {
+	var gen uint64
+	for _, mr := range g.shards {
+		gen += mr.Generation()
+	}
+	return gen
+}
+
 // SegmentCounts returns each document's segment count before grouping
 // and after refinement in global id order — the Table 3 view, merged
 // back from the per-shard counts.

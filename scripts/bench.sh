@@ -3,7 +3,7 @@
 # machine-readable snapshot so the repo keeps a perf trajectory across PRs.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, writes BENCH_PR9.json
+#   scripts/bench.sh                 # full run, writes BENCH_PR10.json
 #   scripts/bench.sh -smoke          # 1-iteration smoke (CI: bench code must compile and run)
 #   BENCH_OUT=perf.json scripts/bench.sh
 #   PERSIST_SIZES=1000 scripts/bench.sh   # shrink the persistence leg
@@ -30,7 +30,12 @@
 # schedule, immune to coordinated omission — against three live
 # topologies: one unsharded process ("single"), one process with an
 # in-process shard group ("group"), and a networked fleet of four shard
-# servers behind a coordinator ("fleet").
+# servers behind a coordinator ("fleet"). The leg also runs a
+# cached-vs-uncached pair ("uncached"/"cached": the same server with
+# and without -cache-entries, same Zipf(1.1) schedule, no adds) and
+# gates on it: the cached run must report a result-cache hit rate
+# >= 50% and a P99 no worse than the uncached run (a 10% allowance
+# absorbs scheduling jitter), or the run fails.
 #
 # The Fig11cRetrievalIntent / Fig11cRetrievalIntentObserved pair tracks
 # the observability tax on the query hot path (obs disabled vs enabled);
@@ -42,7 +47,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR9.json}"
+OUT="${BENCH_OUT:-BENCH_PR10.json}"
 PERSIST_SIZES="${PERSIST_SIZES:-1000,10000,100000}"
 QUERY_SIZES="${QUERY_SIZES:-1000,10000,100000,1000000}"
 QUERY_RUNS="${QUERY_RUNS:-64}"
@@ -84,6 +89,27 @@ if [[ "${1:-}" == "-smoke" ]]; then
     "$SMOKE_DIR/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate 50 -duration 2s -name smoke |
         python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["ok"] > 0 and r["p50_ns"] > 0 and r["p999_ns"] >= r["p99_ns"] >= r["p50_ns"], r'
     echo "loadgen smoke ok" >&2
+    # Cached-serving gate: the same corpus behind -cache-entries under
+    # the Zipf(1.1) schedule must turn repeat traffic into cache hits —
+    # hit rate >= 50%, zero sheds (admission is off), and the report's
+    # cache block present. This is the CI teeth for the hygiene layer.
+    kill "$SMOKE_SRV" 2>/dev/null || true; wait "$SMOKE_SRV" 2>/dev/null || true
+    "$SMOKE_DIR/serve" -addr "127.0.0.1:$LOADGEN_PORT" -domain tech -n 200 -seed 42 \
+        -cache-entries 1024 2>/dev/null &
+    SMOKE_SRV=$!
+    for i in $(seq 1 50); do
+        curl -sf "http://127.0.0.1:$LOADGEN_PORT/healthz" >/dev/null 2>&1 && break
+        sleep 0.3
+    done
+    "$SMOKE_DIR/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate 200 -duration 2s -name cached-smoke |
+        python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["ok"] > 0 and r["shed"] == 0, r
+assert r.get("cache"), "cached server reported no cache block: %s" % r
+assert r["cache"]["hit_rate"] >= 0.5, "Zipf(1.1) hit rate %.3f < 0.5" % r["cache"]["hit_rate"]
+'
+    echo "cached loadgen smoke ok (hit rate >= 50%)" >&2
     exit 0
 fi
 
@@ -202,6 +228,19 @@ if [[ "$LOADGEN_DOCS" != 0 ]]; then
     lg_wait "$LOADGEN_PORT"
     "$LG/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate "$LOADGEN_RATE" \
         -duration "$LOADGEN_DURATION" -add-frac 0.02 -name single -out "$LG/single.json" >/dev/null
+    # Cached-vs-uncached pair on the same process shape: identical
+    # Zipf(1.1) schedules (same seed, no adds), with and without the
+    # result cache. The python merge below gates on the pair.
+    "$LG/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate "$LOADGEN_RATE" \
+        -duration "$LOADGEN_DURATION" -name uncached -out "$LG/uncached.json" >/dev/null
+    lg_kill
+    echo "loadgen: cached (-cache-entries 4096, same schedule)" >&2
+    "$LG/serve" -addr "127.0.0.1:$LOADGEN_PORT" -corpus "$LG/corpus.jsonl" -seed 42 \
+        -cache-entries 4096 -trace-rate 0 -trace-slow=-1ms 2>/dev/null &
+    LG_PIDS+=($!)
+    lg_wait "$LOADGEN_PORT"
+    "$LG/loadgen" -target "http://127.0.0.1:$LOADGEN_PORT" -rate "$LOADGEN_RATE" \
+        -duration "$LOADGEN_DURATION" -name cached -out "$LG/cached.json" >/dev/null
     lg_kill
 
     # One process, in-process shard group.
@@ -234,7 +273,7 @@ if [[ "$LOADGEN_DOCS" != 0 ]]; then
         -duration "$LOADGEN_DURATION" -name fleet -out "$LG/fleet.json" >/dev/null
     lg_kill
 
-    python3 - "$OUT" "$LG/single.json" "$LG/group.json" "$LG/fleet.json" <<'EOF'
+    python3 - "$OUT" "$LG/single.json" "$LG/group.json" "$LG/fleet.json" "$LG/uncached.json" "$LG/cached.json" <<'EOF'
 import json, sys
 out_path = sys.argv[1]
 snap = json.load(open(out_path))
@@ -245,6 +284,20 @@ for path in sys.argv[2:]:
 with open(out_path, "w") as f:
     json.dump(snap, f, indent=2)
     f.write("\n")
+
+# Acceptance gate on the cached-vs-uncached pair: the cache must turn
+# the Zipf(1.1) repeat traffic into a >= 50% hit rate without hurting
+# tail latency (10% P99 allowance for scheduling jitter).
+cached, uncached = snap["loadgen"]["cached"], snap["loadgen"]["uncached"]
+assert cached.get("cache"), "cached run reported no cache block: %s" % cached
+hit_rate = cached["cache"]["hit_rate"]
+assert hit_rate >= 0.5, "cached hit rate %.3f < 0.5 under Zipf(1.1)" % hit_rate
+assert cached["p99_ns"] <= uncached["p99_ns"] * 1.10, (
+    "cached P99 %.2fms worse than uncached %.2fms"
+    % (cached["p99_ns"] / 1e6, uncached["p99_ns"] / 1e6))
+print("cached-vs-uncached gate: hit rate %.1f%%, P99 %.2fms vs %.2fms uncached"
+      % (hit_rate * 100, cached["p99_ns"] / 1e6, uncached["p99_ns"] / 1e6),
+      file=sys.stderr)
 EOF
 fi
 

@@ -173,6 +173,101 @@ json  "  per-shard counters" "all(('shard.%02d.queries' % s) in b['counters'] fo
 kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
+# Cached-serving leg: the same corpus behind -cache-entries and
+# admission limits must answer /related byte-for-byte like the default
+# server — on the cold pass (a miss that computes) and the warm pass (a
+# hit served straight from the cache) — and /stats must expose the
+# hygiene blocks with a live hit rate.
+echo "== cached serving (-cache-entries 1024 -max-inflight 8 -max-queued 16)" >&2
+"$BIN" -addr "127.0.0.1:$PORT" -domain tech -n 200 -seed 42 \
+    -cache-entries 1024 -max-inflight 8 -max-queued 16 -trace-slow 0 2>"$LOG" &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "cached server died during startup:" >&2; cat "$LOG" >&2; exit 1
+    fi
+    sleep 0.3
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "cached server never became healthy" >&2; cat "$LOG" >&2; exit 1; }
+
+for pass in cold warm; do
+    for doc in 3 17 57; do
+        check "POST /related (cached, $pass) doc $doc" 200 -X POST "$BASE/related" -d "{\"doc_id\": $doc, \"k\": 5}"
+        if cmp -s /tmp/smoke_body "$REF_DIR/related_$doc.json"; then
+            echo "ok   cached ($pass) /related doc $doc matches uncached byte-for-byte" >&2
+        else
+            echo "FAIL cached ($pass) /related doc $doc diverges from uncached:" >&2
+            diff <(head -c 400 "$REF_DIR/related_$doc.json") <(head -c 400 /tmp/smoke_body) >&2 || true
+            fail=1
+        fi
+    done
+    check "POST /related explain (cached, $pass)" 200 -X POST "$BASE/related" -d '{"doc_id": 3, "k": 5, "explain": true}'
+    if cmp -s /tmp/smoke_body "$REF_DIR/explain_3.json"; then
+        echo "ok   cached ($pass) explain matches uncached byte-for-byte" >&2
+    else
+        echo "FAIL cached ($pass) explain diverges from uncached" >&2
+        fail=1
+    fi
+done
+
+check "GET /stats (cached)" 200 "$BASE/stats"
+json  "  cache block with hits" "b['cache']['capacity'] == 1024 and b['cache']['hits'] >= 4 and b['cache']['hit_rate'] > 0"
+json  "  admission config" "b['admission']['max_inflight'] == 8 and b['admission']['max_queued'] == 16 and b['admission']['shed'] == 0"
+json  "  singleflight block" "'leaders' in b['singleflight'] and 'followers' in b['singleflight']"
+
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# Shed probe: with -max-inflight 1 and no queue, a burst of concurrent
+# expensive queries must produce at least one typed 503 with
+# Retry-After — the overload contract clients back off on. The burst
+# retries a few times because overlap, while near-certain, is up to the
+# scheduler.
+echo "== shed probe (-max-inflight 1 -max-queued 0)" >&2
+"$BIN" -addr "127.0.0.1:$PORT" -domain tech -n 200 -seed 42 -max-inflight 1 2>"$LOG" &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "shed-probe server died during startup:" >&2; cat "$LOG" >&2; exit 1
+    fi
+    sleep 0.3
+done
+SHED_DIR="$(mktemp -d)"
+shed_hit=""
+for attempt in 1 2 3; do
+    rm -f "$SHED_DIR"/*
+    CURL_PIDS=()
+    for i in $(seq 1 40); do
+        curl -s -D "$SHED_DIR/head$i" -o "$SHED_DIR/body$i" -X POST "$BASE/related" \
+            -d '{"doc_id": 3, "k": 100, "explain": true}' &
+        CURL_PIDS+=($!)
+    done
+    wait "${CURL_PIDS[@]}" 2>/dev/null || true
+    shed_hit="$(grep -l '^HTTP/[0-9.]* 503' "$SHED_DIR"/head* 2>/dev/null | head -1 || true)"
+    [[ -n "$shed_hit" ]] && break
+done
+if [[ -n "$shed_hit" ]]; then
+    echo "ok   shed burst produced a 503 (attempt $attempt)" >&2
+    if grep -qi '^Retry-After: 1' "$shed_hit"; then
+        echo "ok   shed carries Retry-After: 1" >&2
+    else
+        echo "FAIL shed response missing Retry-After:" >&2; cat "$shed_hit" >&2; fail=1
+    fi
+    cp "${shed_hit/head/body}" /tmp/smoke_body
+    json "  typed overloaded envelope" "b['error']['kind'] == 'overloaded'"
+else
+    echo "FAIL no 503 in three 40-request bursts against -max-inflight 1" >&2
+    fail=1
+fi
+check "GET /stats (after shed)" 200 "$BASE/stats"
+json  "  sheds counted" "b['admission']['shed'] >= 1 and b['admission']['inflight'] == 0"
+rm -rf "$SHED_DIR"
+
+kill "$SERVER_PID" 2>/dev/null && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
 # Persistence leg: build once offline, save the pipeline in BOTH on-disk
 # layouts (compact section format and legacy gob), then serve each file
 # with -load. Every /related body must match the build-from-scratch
@@ -318,6 +413,37 @@ json  "  shard probes visible fleet-wide" "b['fleet']['counters'].get('http.shar
 check "GET /metrics?scope=fleet (prometheus)" 200 "$COORD/metrics?scope=fleet&format=prometheus"
 grep -q '^fleet_shard00_up 1$' /tmp/smoke_body || { echo "FAIL fleet prometheus exposition missing per-shard up markers" >&2; fail=1; }
 
+# Cached coordinator: a second coordinator over the same healthy fleet
+# with -cache-entries must answer byte-for-byte like the single-process
+# references, cold and warm, and expose the fleet cache epoch in /stats.
+echo "== fleet: cached coordinator (-cache-entries 1024)" >&2
+CACHED_COORD="http://127.0.0.1:$((SHARD_PORT0+6))"
+"$BIN" -addr "127.0.0.1:$((SHARD_PORT0+6))" -shard-role coordinator -fleet "$WORK/topology.json" \
+    -cache-entries 1024 -trace-slow 0 2>"$WORK/coordcache.log" &
+CACHED_COORD_PID=$!
+FLEET_PIDS+=($CACHED_COORD_PID)
+for i in $(seq 1 100); do
+    if curl -sf "$CACHED_COORD/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$CACHED_COORD_PID" 2>/dev/null; then
+        echo "cached coordinator died during startup:" >&2; cat "$WORK/coordcache.log" >&2; exit 1
+    fi
+    sleep 0.3
+done
+for pass in cold warm; do
+    for doc in 3 17 57; do
+        check "POST /related (cached fleet, $pass) doc $doc" 200 -X POST "$CACHED_COORD/related" -d "{\"doc_id\": $doc, \"k\": 5}"
+        if cmp -s /tmp/smoke_body "$REF_DIR/related_$doc.json"; then
+            echo "ok   cached fleet ($pass) doc $doc matches single-process byte-for-byte" >&2
+        else
+            echo "FAIL cached fleet ($pass) doc $doc diverges from single-process:" >&2
+            diff <(head -c 400 "$REF_DIR/related_$doc.json") <(head -c 400 /tmp/smoke_body) >&2 || true
+            fail=1
+        fi
+    done
+done
+check "GET /stats (cached coordinator)" 200 "$CACHED_COORD/stats"
+json  "  fleet cache block" "b['cache']['hits'] >= 3 and b['cache']['hit_rate'] > 0 and b['cache_epoch'] >= b['epoch']"
+
 # Kill shard 2's only server. Docs homed on shard 2 must fail with a
 # typed 503; everything else must degrade to partial_results with
 # shards_missing=[2].
@@ -355,6 +481,35 @@ json  "  dead shard marked" "[s['shard'] for s in b['scrape'] if s.get('error')]
 json  "  survivors still aggregated" "all(v == sum(s['snapshot']['counters'].get(k, 0) for s in b['scrape'] if 'snapshot' in s) for k, v in b['fleet']['counters'].items())"
 check "GET /stats (degraded health)" 200 "$COORD/stats"
 json  "  failure streak recorded" "any(h['shard'] == 2 and h['consecutive_failures'] >= 1 and h['last_error_kind'] for h in b['shard_health'])"
+
+# The cached coordinator must not serve stale complete answers once it
+# observes the degradation: an uncached-shape probe forces the shard
+# failure into view (advancing the fleet cache epoch), after which the
+# warm key from the healthy pass recomputes — an honest partial or a
+# typed 503, never the cached complete body.
+probe_status="$(curl -s -o /tmp/smoke_body -w '%{http_code}' -X POST "$CACHED_COORD/related" -d '{"doc_id": 3, "k": 7}')"
+echo "ok   cached coordinator degradation probe (status $probe_status)" >&2
+got="$(curl -s -o /tmp/smoke_body -w '%{http_code}' -X POST "$CACHED_COORD/related" -d '{"doc_id": 3, "k": 5}')"
+case "$got" in
+200)
+    if cmp -s /tmp/smoke_body "$REF_DIR/related_3.json"; then
+        echo "FAIL cached coordinator served a stale complete answer after the shard kill" >&2
+        fail=1
+    else
+        json "  warm key recomputed as partial after epoch advance" "b['partial_results'] == True and 2 in b['shards_missing']"
+    fi
+    ;;
+503)
+    json "  warm key recomputed -> typed 503" "b['error']['kind'] == 'fleet_unavailable'"
+    ;;
+*)
+    echo "FAIL cached coordinator degraded warm query: status $got" >&2
+    head -c 400 /tmp/smoke_body >&2; echo >&2
+    fail=1
+    ;;
+esac
+check "GET /stats (cached coordinator, degraded)" 200 "$CACHED_COORD/stats"
+json  "  cache epoch advanced past topology epoch" "b['cache_epoch'] > b['epoch']"
 
 kill "${FLEET_PIDS[@]}" 2>/dev/null || true
 wait 2>/dev/null || true
